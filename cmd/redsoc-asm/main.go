@@ -1,0 +1,123 @@
+// Command redsoc-asm assembles a program written in the simulator's
+// assembly dialect, traces it through the interpreter, and runs the dynamic
+// stream on a core under the chosen scheduler — comparing the simulator's
+// architectural results against the interpreter's.
+//
+// Usage:
+//
+//	redsoc-asm [-core big] [-policy redsoc] [-compare] prog.s
+//
+// See internal/asm's package documentation for the dialect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"redsoc/internal/asm"
+	"redsoc/internal/baseline"
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("redsoc-asm: ")
+	coreName := flag.String("core", "big", "core: big, medium or small")
+	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc or mos")
+	compare := flag.Bool("compare", false, "run all four schedulers and compare")
+	maxSteps := flag.Int("max-steps", 0, "dynamic instruction cap (0 = default)")
+	trace := flag.Bool("trace", false, "print the pipeline event trace (small programs!)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: redsoc-asm [flags] prog.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prog.Trace(*maxSteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d static instructions, traced %d dynamic instructions\n",
+		prog.Len(), tr.Steps)
+
+	var cfg ooo.Config
+	switch strings.ToLower(*coreName) {
+	case "big":
+		cfg = ooo.BigConfig()
+	case "medium":
+		cfg = ooo.MediumConfig()
+	case "small":
+		cfg = ooo.SmallConfig()
+	default:
+		log.Fatalf("unknown core %q", *coreName)
+	}
+
+	if *compare {
+		cmp, err := baseline.Compare(cfg, tr.Prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %d cycles | redsoc %d (%+.1f%%) | ts %+.1f%% | mos %+.1f%%\n",
+			cmp.Baseline.Cycles, cmp.Redsoc.Cycles,
+			100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1))
+		verify(cmp.Redsoc, tr)
+		return
+	}
+
+	var policy ooo.Policy
+	switch strings.ToLower(*policyName) {
+	case "baseline":
+		policy = ooo.PolicyBaseline
+	case "redsoc":
+		policy = ooo.PolicyRedsoc
+	case "mos":
+		policy = ooo.PolicyMOS
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	sim, err := ooo.New(cfg.WithPolicy(policy), tr.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *trace {
+		sim.SetTracer(os.Stdout)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s: %d cycles, IPC %.3f, %d recycled ops\n",
+		cfg.Name, policy, res.Cycles, res.IPC(), res.RecycledOps)
+	verify(res, tr)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		if v := res.FinalRegs[isa.R(r)].Lo; v != 0 {
+			fmt.Printf("  r%-2d = %d (%#x)\n", r, v, v)
+		}
+	}
+}
+
+// verify cross-checks the simulator against the interpreter.
+func verify(res *ooo.Result, tr *asm.TraceResult) {
+	for r := 0; r < isa.NumIntRegs; r++ {
+		if res.FinalRegs[isa.R(r)].Lo != tr.Regs[r] {
+			log.Fatalf("MISMATCH r%d: simulator %#x, interpreter %#x",
+				r, res.FinalRegs[isa.R(r)].Lo, tr.Regs[r])
+		}
+	}
+	for a, v := range tr.Mem {
+		if res.FinalMem[a] != v {
+			log.Fatalf("MISMATCH mem[%#x]: simulator %#x, interpreter %#x", a, res.FinalMem[a], v)
+		}
+	}
+	fmt.Println("architectural state verified against the interpreter")
+}

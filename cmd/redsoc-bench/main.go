@@ -1,0 +1,98 @@
+// Command redsoc-bench reproduces the paper's full evaluation: it runs all
+// fifteen benchmarks on the three Table I cores under baseline, ReDSOC, TS
+// and MOS scheduling, applies the Sec. VI-C threshold sweep, and prints
+// every figure and table of the paper as text.
+//
+// Usage:
+//
+//	redsoc-bench [-scale quick|full] [-sweep] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"redsoc/internal/harness"
+	"redsoc/internal/ooo"
+	"redsoc/internal/timing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("redsoc-bench: ")
+	scaleFlag := flag.String("scale", "full", "benchmark sizes: quick or full")
+	sweep := flag.Bool("sweep", true, "run the Sec. VI-C slack-threshold design sweep")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	mdOut := flag.String("md", "", "also write generated-results markdown to this file")
+	flag.Parse()
+
+	scale := harness.Full
+	switch *scaleFlag {
+	case "quick":
+		scale = harness.Quick
+	case "full":
+	default:
+		log.Fatalf("unknown -scale %q (want quick or full)", *scaleFlag)
+	}
+
+	fmt.Println("ReDSOC evaluation — Recycling Data Slack in Out-of-Order Cores (HPCA'19)")
+	harness.Fig1Table().Render(os.Stdout)
+	harness.Fig2Table().Render(os.Stdout)
+	harness.Fig3Table().Render(os.Stdout)
+	harness.TableITable().Render(os.Stdout)
+	harness.OverheadTable().Render(os.Stdout)
+
+	start := time.Now()
+	benchmarks := harness.Benchmarks(scale)
+	opts := harness.Options{SweepThreshold: *sweep}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Println("  " + line) }
+	}
+	grid, err := harness.Run(benchmarks, harness.Cores(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := grid.WriteMarkdown(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *mdOut)
+	}
+
+	grid.Fig10Table().Render(os.Stdout)
+	grid.Fig11Table().Render(os.Stdout)
+	grid.Fig12Table().Render(os.Stdout)
+	grid.Fig13Table().Render(os.Stdout)
+	grid.Fig14Table().Render(os.Stdout)
+	grid.Fig15Table().Render(os.Stdout)
+	grid.ThresholdTable().Render(os.Stdout)
+	grid.PowerTable().Render(os.Stdout)
+
+	// Sec. V precision sweep on a recycling-sensitive benchmark.
+	var probe harness.Benchmark
+	for _, b := range benchmarks {
+		if b.Name == "bitcnt" {
+			probe = b
+		}
+	}
+	if probe.Prog != nil {
+		t, err := harness.PrecisionSweep(probe.Prog, ooo.BigConfig(), []int{1, 2, 3, 4, 5, timing.MaxPrecisionBits})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Render(os.Stdout)
+	}
+
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,185 @@
+// Command redsoc-sim runs one benchmark on one core under one scheduling
+// policy and prints detailed metrics — the single-run tool for exploring
+// the simulator.
+//
+// Usage:
+//
+//	redsoc-sim [-bench bitcnt] [-core big|medium|small] [-policy baseline|redsoc|mos]
+//	           [-threshold n] [-precision bits] [-compare]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"redsoc/internal/baseline"
+	"redsoc/internal/harness"
+	"redsoc/internal/ooo"
+	"redsoc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("redsoc-sim: ")
+	benchName := flag.String("bench", "bitcnt", "benchmark name (see -list)")
+	coreName := flag.String("core", "big", "core: big, medium or small")
+	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc or mos")
+	threshold := flag.Int("threshold", -1, "ReDSOC slack threshold in ticks (-1 = default)")
+	precision := flag.Int("precision", 0, "slack precision bits (0 = default 3)")
+	compare := flag.Bool("compare", false, "run all four schedulers and compare")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	flag.Parse()
+
+	benchmarks := append(harness.Benchmarks(harness.Full), harness.Extras()...)
+	if *list {
+		for _, b := range benchmarks {
+			fmt.Printf("%-8s %s (%d instructions)\n", b.Class, b.Name, b.Prog.Len())
+		}
+		return
+	}
+	var bench harness.Benchmark
+	for _, b := range benchmarks {
+		if b.Name == *benchName {
+			bench = b
+		}
+	}
+	if bench.Prog == nil {
+		log.Fatalf("unknown benchmark %q (try -list)", *benchName)
+	}
+
+	var cfg ooo.Config
+	switch strings.ToLower(*coreName) {
+	case "big":
+		cfg = ooo.BigConfig()
+	case "medium":
+		cfg = ooo.MediumConfig()
+	case "small":
+		cfg = ooo.SmallConfig()
+	default:
+		log.Fatalf("unknown core %q", *coreName)
+	}
+	if *precision > 0 {
+		cfg.PrecisionBits = *precision
+	}
+
+	if *compare {
+		cmp, err := baseline.Compare(cfg, bench.Prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := stats.NewTable(fmt.Sprintf("%s on %s", bench.Name, cfg.Name),
+			"scheduler", "cycles", "IPC", "speedup")
+		t.Row("baseline", cmp.Baseline.Cycles, cmp.Baseline.IPC(), "1.00x")
+		t.Row("redsoc", cmp.Redsoc.Cycles, cmp.Redsoc.IPC(), fmt.Sprintf("%.3fx", cmp.RedsocSpeedup()))
+		t.Row("ts", cmp.TS.Cycles, "-", fmt.Sprintf("%.3fx (%.0f ps, err %.3f%%)",
+			cmp.TSSpeedup(), float64(cmp.TS.PeriodPS), 100*cmp.TS.ErrorRate))
+		t.Row("mos", cmp.MOS.Cycles, cmp.MOS.IPC(), fmt.Sprintf("%.3fx", cmp.MOSSpeedup()))
+		t.Render(os.Stdout)
+		return
+	}
+
+	var policy ooo.Policy
+	switch strings.ToLower(*policyName) {
+	case "baseline":
+		policy = ooo.PolicyBaseline
+	case "redsoc":
+		policy = ooo.PolicyRedsoc
+	case "mos":
+		policy = ooo.PolicyMOS
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	cfg = cfg.WithPolicy(policy)
+	if policy == ooo.PolicyRedsoc && *threshold >= 0 {
+		cfg.Redsoc.ThresholdTicks = *threshold
+	}
+	res, err := ooo.Run(cfg, bench.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		e := exportOf(res)
+		e.Benchmark = bench.Name
+		if err := enc.Encode(e); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printResult(bench, res)
+}
+
+// export is the JSON-friendly view of a run (maps keyed by strings, no
+// internal pointers).
+type export struct {
+	Benchmark      string
+	Core           string
+	Policy         string
+	Cycles         int64
+	Instructions   int64
+	IPC            float64
+	Mix            ooo.OpMix
+	RecycledOps    int64
+	TwoCycleHolds  int64
+	SequenceEV     float64
+	SequenceHist   map[int]uint64
+	GPGrants       int64
+	GPWasted       int64
+	TagMispredict  float64
+	WidthReplays   int64
+	BranchMiss     float64
+	FUStallRate    float64
+	L1MissRate     float64
+	FinalThreshold int
+}
+
+func exportOf(r *ooo.Result) export {
+	return export{
+		Core:           r.Config.Name,
+		Policy:         r.Config.Policy.String(),
+		Cycles:         r.Cycles,
+		Instructions:   r.Instructions,
+		IPC:            r.IPC(),
+		Mix:            r.Mix,
+		RecycledOps:    r.RecycledOps,
+		TwoCycleHolds:  r.TwoCycleHolds,
+		SequenceEV:     r.Sequences.ExpectedLength(),
+		SequenceHist:   r.Sequences.Histogram(),
+		GPGrants:       r.GPWakeupGrants,
+		GPWasted:       r.GPWakeupWasted,
+		TagMispredict:  r.LastArrival.MispredictionRate(),
+		WidthReplays:   r.WidthReplays,
+		BranchMiss:     r.Branches.MispredictionRate(),
+		FUStallRate:    r.FUStallRate(),
+		L1MissRate:     r.MemStats.L1MissRate(),
+		FinalThreshold: r.FinalThreshold,
+	}
+}
+
+func printResult(b harness.Benchmark, res *ooo.Result) {
+	fmt.Printf("%s (%s) on %s under %s\n", b.Name, b.Class, res.Config.Name, res.Config.Policy)
+	fmt.Printf("  instructions     %d\n", res.Instructions)
+	fmt.Printf("  cycles           %d\n", res.Cycles)
+	fmt.Printf("  IPC              %.3f\n", res.IPC())
+	m := res.Mix
+	tot := float64(m.Total())
+	fmt.Printf("  op mix           MEM-HL %s  MEM-LL %s  SIMD %s  multi %s  ALU-LS %s  ALU-HS %s\n",
+		stats.Pct(float64(m.MemHL)/tot), stats.Pct(float64(m.MemLL)/tot),
+		stats.Pct(float64(m.SIMD)/tot), stats.Pct(float64(m.OtherMulti)/tot),
+		stats.Pct(float64(m.ALULS)/tot), stats.Pct(float64(m.ALUHS)/tot))
+	fmt.Printf("  recycled ops     %d (%d held 2 cycles)\n", res.RecycledOps, res.TwoCycleHolds)
+	fmt.Printf("  GP wakeups       %d useful, %d wasted\n", res.GPWakeupGrants, res.GPWakeupWasted)
+	fmt.Printf("  transparent seqs %d (EV length %.2f)\n", res.Sequences.Count(), res.Sequences.ExpectedLength())
+	fmt.Printf("  tag mispredicts  %d (rate %.3f%%)\n", res.TagMispredicts, 100*res.LastArrival.MispredictionRate())
+	fmt.Printf("  width replays    %d (aggressive rate %.3f%%)\n", res.WidthReplays, 100*res.WidthPredictor.AggressiveRate())
+	fmt.Printf("  branches         %d lookups, %.2f%% mispredicted\n",
+		res.Branches.Lookups, 100*res.Branches.MispredictionRate())
+	fmt.Printf("  FU stall rate    %s\n", stats.Pct(res.FUStallRate()))
+	fmt.Printf("  L1 miss rate     %s\n", stats.Pct(res.MemStats.L1MissRate()))
+}

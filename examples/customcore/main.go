@@ -1,0 +1,55 @@
+// customcore sweeps the ReDSOC design knobs on one benchmark: the slack
+// threshold of Sec. IV-C (recycle aggressiveness vs 2-cycle FU holds), the
+// slack-tracking precision of Sec. V, and the EGPW/skewed-select ablations.
+package main
+
+import (
+	"fmt"
+
+	"redsoc"
+)
+
+func main() {
+	const bench = "bitcnt"
+
+	base, err := redsoc.RunBenchmark(redsoc.Config{Core: redsoc.Big}, bench)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on Big: baseline %d cycles\n\n", bench, base.Cycles)
+
+	fmt.Println("slack threshold sweep (Sec. VI-C):")
+	for _, th := range []int{2, 4, 5, 6, 7, 8} {
+		m, err := redsoc.RunBenchmark(redsoc.Config{
+			Core: redsoc.Big, Scheduler: redsoc.ReDSOC, SlackThreshold: th,
+		}, bench)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  threshold %d/8: %+.1f%%  (recycled %d, 2-cycle holds %d)\n",
+			th, pct(base.Cycles, m.Cycles), m.RecycledOps, m.TwoCycleHolds)
+	}
+
+	fmt.Println("\nslack precision sweep (Sec. V):")
+	for _, bits := range []int{1, 2, 3, 4, 6} {
+		m, err := redsoc.RunBenchmark(redsoc.Config{
+			Core: redsoc.Big, Scheduler: redsoc.ReDSOC, PrecisionBits: bits,
+		}, bench)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %d bits (%3d ticks/cycle): %+.1f%%\n", bits, 1<<bits, pct(base.Cycles, m.Cycles))
+	}
+
+	fmt.Println("\nscheduler ablations:")
+	full, _ := redsoc.RunBenchmark(redsoc.Config{Core: redsoc.Big, Scheduler: redsoc.ReDSOC}, bench)
+	noEGPW, _ := redsoc.RunBenchmark(redsoc.Config{Core: redsoc.Big, Scheduler: redsoc.ReDSOC, DisableEGPW: true}, bench)
+	noSkew, _ := redsoc.RunBenchmark(redsoc.Config{Core: redsoc.Big, Scheduler: redsoc.ReDSOC, DisableSkewedSelect: true}, bench)
+	fmt.Printf("  full ReDSOC:          %+.1f%%\n", pct(base.Cycles, full.Cycles))
+	fmt.Printf("  without EGPW:         %+.1f%%\n", pct(base.Cycles, noEGPW.Cycles))
+	fmt.Printf("  without skewed select:%+.1f%%\n", pct(base.Cycles, noSkew.Cycles))
+}
+
+func pct(base, cycles int64) float64 {
+	return 100 * (float64(base)/float64(cycles) - 1)
+}

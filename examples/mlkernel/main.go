@@ -1,0 +1,39 @@
+// mlkernel runs the paper's Table II machine-learning kernels (convolution,
+// activation, pooling, softmax) across the three Table I cores and reports
+// the ReDSOC speedups — the workloads whose low-precision SIMD gives them
+// type slack.
+package main
+
+import (
+	"fmt"
+
+	"redsoc"
+)
+
+func main() {
+	cores := []redsoc.CoreSize{redsoc.Big, redsoc.Medium, redsoc.Small}
+	fmt.Printf("%-10s", "kernel")
+	for _, c := range cores {
+		fmt.Printf("  %-18s", c)
+	}
+	fmt.Println()
+	for _, b := range redsoc.Benchmarks() {
+		if b.Suite != "ML" {
+			continue
+		}
+		fmt.Printf("%-10s", b.Name)
+		for _, core := range cores {
+			base, err := redsoc.Run(redsoc.Config{Core: core}, b.Program())
+			if err != nil {
+				panic(err)
+			}
+			red, err := redsoc.Run(redsoc.Config{Core: core, Scheduler: redsoc.ReDSOC}, b.Program())
+			if err != nil {
+				panic(err)
+			}
+			speedup := float64(base.Cycles) / float64(red.Cycles)
+			fmt.Printf("  %+5.1f%% (IPC %.2f) ", 100*(speedup-1), red.IPC())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module redsoc
+
+go 1.22

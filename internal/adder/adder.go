@@ -1,0 +1,279 @@
+// Package adder implements a gate-level Kogge–Stone parallel-prefix adder
+// with value-dependent static timing: every gate output carries both its
+// logic value and the instant that value stabilizes, honoring controlling
+// values (an early 0 at an AND input settles the output early). This is the
+// "gate-level C-model" characterization the paper cross-checks its synthesis
+// numbers against (Sec. V), and it regenerates Fig. 2: the activated critical
+// path grows roughly with log2 of the effective operand width.
+package adder
+
+import "fmt"
+
+// Gate delays in abstract units. XOR cells are roughly twice the delay of a
+// simple AND/OR cell in standard-cell libraries.
+const (
+	DelayAndOr = 1
+	DelayXor   = 2
+)
+
+type gateKind uint8
+
+const (
+	gInput gateKind = iota
+	gAnd
+	gOr
+	gXor
+	gNot
+	gAndOr // or(a, and(b, c)) — the fused G-propagation cell
+)
+
+type gate struct {
+	kind    gateKind
+	in      [3]int32 // indices into the netlist; unused entries are -1
+	val     bool
+	qval    bool // quiescent value: the gate's output with all-zero inputs
+	arrival int
+}
+
+// Adder is a fixed-width Kogge–Stone adder netlist. It is not safe for
+// concurrent use; create one per goroutine.
+type Adder struct {
+	width int
+	gates []gate
+	aIn   []int32 // input gate indices for operand a
+	bIn   []int32
+	sum   []int32 // sum bit output gate indices
+	cout  int32
+	order []int32 // topological evaluation order (gates are appended in order)
+}
+
+// New builds a Kogge–Stone adder of the given bit width (1..64).
+func New(width int) *Adder {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("adder: width %d out of range [1,64]", width))
+	}
+	ad := &Adder{width: width}
+	ad.aIn = make([]int32, width)
+	ad.bIn = make([]int32, width)
+	for i := 0; i < width; i++ {
+		ad.aIn[i] = ad.add(gInput, -1, -1, -1)
+		ad.bIn[i] = ad.add(gInput, -1, -1, -1)
+	}
+	// Pre-processing: p_i = a^b, g_i = a&b.
+	p := make([]int32, width)
+	g := make([]int32, width)
+	for i := 0; i < width; i++ {
+		p[i] = ad.add(gXor, ad.aIn[i], ad.bIn[i], -1)
+		g[i] = ad.add(gAnd, ad.aIn[i], ad.bIn[i], -1)
+	}
+	// Kogge–Stone prefix levels: span doubles each level.
+	for off := 1; off < width; off <<= 1 {
+		np := make([]int32, width)
+		ng := make([]int32, width)
+		for i := 0; i < width; i++ {
+			if i < off {
+				np[i], ng[i] = p[i], g[i]
+				continue
+			}
+			// g' = g | (p & g_prev); p' = p & p_prev
+			ng[i] = ad.add(gAndOr, g[i], p[i], g[i-off])
+			np[i] = ad.add(gAnd, p[i], p[i-off], -1)
+		}
+		p, g = np, ng
+	}
+	// Post-processing: carry into bit i is g[i-1] (cin = 0); sum_i = p0_i ^ c_i.
+	p0 := make([]int32, width)
+	for i := 0; i < width; i++ {
+		p0[i] = ad.add(gXor, ad.aIn[i], ad.bIn[i], -1)
+	}
+	ad.sum = make([]int32, width)
+	ad.sum[0] = p0[0]
+	for i := 1; i < width; i++ {
+		ad.sum[i] = ad.add(gXor, p0[i], g[i-1], -1)
+	}
+	ad.cout = g[width-1]
+	ad.settleQuiescent()
+	return ad
+}
+
+// settleQuiescent records every gate's output value under all-zero inputs.
+// Timing is measured against this quiescent state: a gate whose output does
+// not change when operands are applied contributes no transition, which is
+// precisely why an inactive critical path leaves data slack.
+func (ad *Adder) settleQuiescent() {
+	gs := ad.gates
+	for i := range gs {
+		g := &gs[i]
+		switch g.kind {
+		case gInput:
+			g.qval = false
+		case gNot:
+			g.qval = !gs[g.in[0]].qval
+		case gAnd:
+			g.qval = gs[g.in[0]].qval && gs[g.in[1]].qval
+		case gOr:
+			g.qval = gs[g.in[0]].qval || gs[g.in[1]].qval
+		case gXor:
+			g.qval = gs[g.in[0]].qval != gs[g.in[1]].qval
+		case gAndOr:
+			g.qval = gs[g.in[0]].qval || (gs[g.in[1]].qval && gs[g.in[2]].qval)
+		}
+	}
+}
+
+func (ad *Adder) add(k gateKind, a, b, c int32) int32 {
+	ad.gates = append(ad.gates, gate{kind: k, in: [3]int32{a, b, c}})
+	return int32(len(ad.gates) - 1)
+}
+
+// Width returns the adder's bit width.
+func (ad *Adder) Width() int { return ad.width }
+
+// Gates returns the netlist size (area proxy).
+func (ad *Adder) Gates() int { return len(ad.gates) }
+
+// Result bundles the outcome of a timed addition.
+type Result struct {
+	Sum uint64
+	// CarryOut is the carry out of the most significant bit.
+	CarryOut bool
+	// CriticalDelay is the latest stabilization time over all sum outputs,
+	// in gate-delay units.
+	CriticalDelay int
+}
+
+// Add evaluates a+b through the netlist with value-dependent timing.
+// Operands must fit in the adder's width.
+func (ad *Adder) Add(a, b uint64) Result {
+	if ad.width < 64 {
+		mask := (uint64(1) << ad.width) - 1
+		if a&mask != a || b&mask != b {
+			panic(fmt.Sprintf("adder: operands %#x,%#x exceed width %d", a, b, ad.width))
+		}
+	}
+	gs := ad.gates
+	for i := 0; i < ad.width; i++ {
+		gs[ad.aIn[i]].val = a>>uint(i)&1 == 1
+		gs[ad.aIn[i]].arrival = 0
+		gs[ad.bIn[i]].val = b>>uint(i)&1 == 1
+		gs[ad.bIn[i]].arrival = 0
+	}
+	// Timing measures transition propagation from the quiescent (all-zero)
+	// state: a gate whose output keeps its quiescent value produces no event
+	// (arrival 0), and controlling values settle gates early. Glitches are
+	// ignored (monotone settling), the usual assumption in slack analyses.
+	for i := range gs {
+		g := &gs[i]
+		switch g.kind {
+		case gInput:
+			// set above
+		case gNot:
+			in := &gs[g.in[0]]
+			g.val = !in.val
+			g.arrival = transArrival(g, in.arrival+DelayAndOr)
+		case gAnd:
+			x, y := &gs[g.in[0]], &gs[g.in[1]]
+			g.val = x.val && y.val
+			g.arrival = transArrival(g,
+				binArrival(x.val, x.arrival, y.val, y.arrival, false)+DelayAndOr)
+		case gOr:
+			x, y := &gs[g.in[0]], &gs[g.in[1]]
+			g.val = x.val || y.val
+			g.arrival = transArrival(g,
+				binArrival(x.val, x.arrival, y.val, y.arrival, true)+DelayAndOr)
+		case gXor:
+			x, y := &gs[g.in[0]], &gs[g.in[1]]
+			g.val = x.val != y.val
+			g.arrival = transArrival(g, max(x.arrival, y.arrival)+DelayXor)
+		case gAndOr:
+			// out = gIn | (pIn & gPrev): evaluate the AND then the OR, each
+			// with controlling-value timing.
+			gi, pi, gp := &gs[g.in[0]], &gs[g.in[1]], &gs[g.in[2]]
+			andVal := pi.val && gp.val
+			andArr := binArrival(pi.val, pi.arrival, gp.val, gp.arrival, false) + DelayAndOr
+			if !andVal && !(gs[g.in[1]].qval && gs[g.in[2]].qval) {
+				andArr = 0 // the internal AND node never leaves quiescence
+			}
+			g.val = gi.val || andVal
+			g.arrival = transArrival(g,
+				binArrival(gi.val, gi.arrival, andVal, andArr, true)+DelayAndOr)
+		}
+	}
+	var sum uint64
+	crit := gs[ad.cout].arrival
+	for i, idx := range ad.sum {
+		g := &gs[idx]
+		if g.val {
+			sum |= 1 << uint(i)
+		}
+		if g.arrival > crit {
+			crit = g.arrival
+		}
+	}
+	return Result{Sum: sum, CarryOut: gs[ad.cout].val, CriticalDelay: crit}
+}
+
+// transArrival zeroes the arrival of a gate whose output never leaves its
+// quiescent value: no transition, no event.
+func transArrival(g *gate, arr int) int {
+	if g.val == g.qval {
+		return 0
+	}
+	return arr
+}
+
+// binArrival computes when a 2-input AND (controlling=false) or OR
+// (controlling=true) output stabilizes: if either input holds the controlling
+// value, the output settles when the earliest controlling input arrives;
+// otherwise it waits for both.
+func binArrival(xv bool, xa int, yv bool, ya int, controlling bool) int {
+	xc := xv == controlling
+	yc := yv == controlling
+	switch {
+	case xc && yc:
+		return min(xa, ya)
+	case xc:
+		return xa
+	case yc:
+		return ya
+	default:
+		return max(xa, ya)
+	}
+}
+
+// WorstCaseDelay returns the netlist's static worst-case delay in gate units:
+// a plain topological longest-path pass with no knowledge of values, exactly
+// the design-time constraint a synthesis tool reports. Every dynamic
+// CriticalDelay is bounded by it.
+func (ad *Adder) WorstCaseDelay() int {
+	arr := make([]int, len(ad.gates))
+	worst := 0
+	for i := range ad.gates {
+		g := &ad.gates[i]
+		a := 0
+		for _, in := range g.in {
+			if in >= 0 && arr[in] > a {
+				a = arr[in]
+			}
+		}
+		switch g.kind {
+		case gInput:
+			arr[i] = 0
+		case gXor:
+			arr[i] = a + DelayXor
+		case gAndOr:
+			arr[i] = a + 2*DelayAndOr
+		default:
+			arr[i] = a + DelayAndOr
+		}
+	}
+	for _, idx := range ad.sum {
+		if arr[idx] > worst {
+			worst = arr[idx]
+		}
+	}
+	if arr[ad.cout] > worst {
+		worst = arr[ad.cout]
+	}
+	return worst
+}

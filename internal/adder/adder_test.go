@@ -1,0 +1,166 @@
+package adder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddCorrect16(t *testing.T) {
+	ad := New(16)
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {0xFFFF, 1}, {0x8000, 0x8000}, {0x1234, 0x5678},
+		{0xFFFF, 0xFFFF},
+	}
+	for _, c := range cases {
+		got := ad.Add(c[0], c[1])
+		want := (c[0] + c[1]) & 0xFFFF
+		if got.Sum != want {
+			t.Errorf("Add(%#x,%#x) = %#x, want %#x", c[0], c[1], got.Sum, want)
+		}
+		if got.CarryOut != (c[0]+c[1] > 0xFFFF) {
+			t.Errorf("Add(%#x,%#x) carry = %v", c[0], c[1], got.CarryOut)
+		}
+	}
+}
+
+// Property: the 64-bit netlist matches the machine add for random operands.
+func TestAddCorrect64Property(t *testing.T) {
+	ad := New(64)
+	f := func(a, b uint64) bool {
+		r := ad.Add(a, b)
+		return r.Sum == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every width's netlist matches masked addition.
+func TestAddCorrectAllWidthsProperty(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 8, 13, 16, 24, 32, 48, 64} {
+		ad := New(w)
+		var mask uint64
+		if w == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << w) - 1
+		}
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			r := ad.Add(a, b)
+			return r.Sum == (a+b)&mask
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestDelayNeverExceedsWorstCase(t *testing.T) {
+	ad := New(32)
+	worst := ad.WorstCaseDelay()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a := rng.Uint64() & 0xFFFFFFFF
+		b := rng.Uint64() & 0xFFFFFFFF
+		if d := ad.Add(a, b).CriticalDelay; d > worst {
+			t.Fatalf("Add(%#x,%#x) delay %d exceeds worst case %d", a, b, d, worst)
+		}
+	}
+}
+
+// TestFig2NarrowOperandsFaster is the heart of Fig. 2: computations that only
+// exercise the low-order bits settle measurably earlier than full-width ones.
+func TestFig2NarrowOperandsFaster(t *testing.T) {
+	ad := New(64)
+	rng := rand.New(rand.NewSource(7))
+	avg := func(width uint) float64 {
+		mask := uint64(1)<<width - 1
+		total := 0
+		const n = 300
+		for i := 0; i < n; i++ {
+			total += ad.Add(rng.Uint64()&mask, rng.Uint64()&mask).CriticalDelay
+		}
+		return float64(total) / n
+	}
+	d4, d16, d63 := avg(4), avg(16), avg(63)
+	if !(d4 < d16 && d16 < d63) {
+		t.Errorf("average delay must grow with effective width: w4=%.1f w16=%.1f w63=%.1f", d4, d16, d63)
+	}
+	// The narrow case must cut at least two prefix levels' worth of delay.
+	if d63-d4 < 2*DelayAndOr {
+		t.Errorf("narrow-width saving too small: %.1f vs %.1f", d4, d63)
+	}
+}
+
+func TestWorstCaseGrowsLogarithmically(t *testing.T) {
+	prev := 0
+	for _, w := range []int{8, 16, 32, 64} {
+		d := New(w).WorstCaseDelay()
+		if d <= prev {
+			t.Errorf("worst-case delay must grow with width: %d-bit = %d, prev = %d", w, d, prev)
+		}
+		// Doubling the width adds one prefix level (2 gate units for the
+		// fused AndOr cell), not a doubling of delay.
+		if prev != 0 && d-prev > 3*DelayAndOr {
+			t.Errorf("width doubling to %d added %d units, want ~1 prefix level", w, d-prev)
+		}
+		prev = d
+	}
+}
+
+func TestZeroOperandsSettleFast(t *testing.T) {
+	ad := New(64)
+	z := ad.Add(0, 0)
+	full := ad.Add(^uint64(0), 1)
+	if z.CriticalDelay >= full.CriticalDelay {
+		t.Errorf("0+0 (%d units) must settle before the full carry chain (%d units)",
+			z.CriticalDelay, full.CriticalDelay)
+	}
+}
+
+func TestOperandRangePanics(t *testing.T) {
+	ad := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-width operand must panic")
+		}
+	}()
+	ad.Add(0x100, 0)
+}
+
+func TestWidthRangePanics(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) must panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestGateCountScales(t *testing.T) {
+	g16, g64 := New(16).Gates(), New(64).Gates()
+	if g64 <= g16 {
+		t.Error("64-bit netlist must be larger than 16-bit")
+	}
+	// Kogge–Stone is O(w log w); sanity bound the growth.
+	if g64 > 8*g16 {
+		t.Errorf("gate growth implausible: 16-bit=%d 64-bit=%d", g16, g64)
+	}
+}
+
+func BenchmarkAdd64(b *testing.B) {
+	ad := New(64)
+	rng := rand.New(rand.NewSource(1))
+	x, y := rng.Uint64(), rng.Uint64()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad.Add(x, y)
+	}
+}

@@ -1,0 +1,97 @@
+package adder
+
+// Alternative carry-network topologies on the same timed-gate
+// infrastructure. The paper characterizes a Kogge–Stone adder (Fig. 2);
+// these variants show how topology shifts the delay/area balance — and how
+// the *data-dependent* activated path (the quantity ReDSOC recycles) varies
+// far less across topologies than the static worst case does.
+
+// NewBrentKung builds a Brent–Kung adder: about half the prefix cells of
+// Kogge–Stone at roughly twice the tree depth.
+func NewBrentKung(width int) *Adder {
+	if width < 1 || width > 64 {
+		panic("adder: width out of range [1,64]")
+	}
+	ad := &Adder{width: width}
+	ad.aIn = make([]int32, width)
+	ad.bIn = make([]int32, width)
+	for i := 0; i < width; i++ {
+		ad.aIn[i] = ad.add(gInput, -1, -1, -1)
+		ad.bIn[i] = ad.add(gInput, -1, -1, -1)
+	}
+	p := make([]int32, width)
+	g := make([]int32, width)
+	for i := 0; i < width; i++ {
+		p[i] = ad.add(gXor, ad.aIn[i], ad.bIn[i], -1)
+		g[i] = ad.add(gAnd, ad.aIn[i], ad.bIn[i], -1)
+	}
+	// Up-sweep: combine at strides 1, 2, 4, ... (classic BK reduce).
+	for off := 1; off < width; off <<= 1 {
+		for i := 2*off - 1; i < width; i += 2 * off {
+			g[i] = ad.add(gAndOr, g[i], p[i], g[i-off])
+			p[i] = ad.add(gAnd, p[i], p[i-off], -1)
+		}
+	}
+	// Down-sweep: fill in the intermediate prefixes.
+	for off := largestPow2Below(width); off >= 1; off >>= 1 {
+		for i := 3*off - 1; i < width; i += 2 * off {
+			g[i] = ad.add(gAndOr, g[i], p[i], g[i-off])
+			p[i] = ad.add(gAnd, p[i], p[i-off], -1)
+		}
+	}
+	finishSum(ad, g)
+	return ad
+}
+
+// NewRipple builds a ripple-carry adder: minimal area, delay linear in the
+// carry distance.
+func NewRipple(width int) *Adder {
+	if width < 1 || width > 64 {
+		panic("adder: width out of range [1,64]")
+	}
+	ad := &Adder{width: width}
+	ad.aIn = make([]int32, width)
+	ad.bIn = make([]int32, width)
+	for i := 0; i < width; i++ {
+		ad.aIn[i] = ad.add(gInput, -1, -1, -1)
+		ad.bIn[i] = ad.add(gInput, -1, -1, -1)
+	}
+	g := make([]int32, width) // g[i] = carry OUT of bit i
+	for i := 0; i < width; i++ {
+		pi := ad.add(gXor, ad.aIn[i], ad.bIn[i], -1)
+		gi := ad.add(gAnd, ad.aIn[i], ad.bIn[i], -1)
+		if i == 0 {
+			g[i] = gi
+		} else {
+			// carry = gi | (pi & carryIn)
+			g[i] = ad.add(gAndOr, gi, pi, g[i-1])
+		}
+	}
+	finishSum(ad, g)
+	return ad
+}
+
+// finishSum wires the post-processing stage shared by the topologies: the
+// sum XORs against the incoming carries plus the quiescent-state snapshot.
+func finishSum(ad *Adder, carry []int32) {
+	width := ad.width
+	p0 := make([]int32, width)
+	for i := 0; i < width; i++ {
+		p0[i] = ad.add(gXor, ad.aIn[i], ad.bIn[i], -1)
+	}
+	ad.sum = make([]int32, width)
+	ad.sum[0] = p0[0]
+	for i := 1; i < width; i++ {
+		ad.sum[i] = ad.add(gXor, p0[i], carry[i-1], -1)
+	}
+	ad.cout = carry[width-1]
+	ad.settleQuiescent()
+}
+
+func largestPow2Below(n int) int {
+	p := 1
+	for p*2 < n {
+		p *= 2
+	}
+	return p
+}

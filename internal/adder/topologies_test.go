@@ -1,0 +1,111 @@
+package adder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentKungCorrectProperty(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 8, 16, 29, 32, 64} {
+		ad := NewBrentKung(w)
+		var mask uint64
+		if w == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << w) - 1
+		}
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			r := ad.Add(a, b)
+			return r.Sum == (a+b)&mask && r.CarryOut == (w < 64 && a+b > mask || w == 64 && a+b < a)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("BK width %d: %v", w, err)
+		}
+	}
+}
+
+func TestRippleCorrectProperty(t *testing.T) {
+	for _, w := range []int{1, 3, 8, 16, 33, 64} {
+		ad := NewRipple(w)
+		var mask uint64
+		if w == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << w) - 1
+		}
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			return ad.Add(a, b).Sum == (a+b)&mask
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("ripple width %d: %v", w, err)
+		}
+	}
+}
+
+// Topology trade-offs: KS is the fastest and largest; BK trades depth for
+// area; ripple is smallest with linear worst-case depth.
+func TestTopologyTradeoffs(t *testing.T) {
+	const w = 32
+	ks, bk, rp := New(w), NewBrentKung(w), NewRipple(w)
+	if !(ks.WorstCaseDelay() <= bk.WorstCaseDelay() && bk.WorstCaseDelay() < rp.WorstCaseDelay()) {
+		t.Fatalf("worst-case delays: KS %d, BK %d, ripple %d — expected KS <= BK < ripple",
+			ks.WorstCaseDelay(), bk.WorstCaseDelay(), rp.WorstCaseDelay())
+	}
+	if !(rp.Gates() < bk.Gates() && bk.Gates() < ks.Gates()) {
+		t.Fatalf("areas: KS %d, BK %d, ripple %d gates — expected ripple < BK < KS",
+			ks.Gates(), bk.Gates(), rp.Gates())
+	}
+}
+
+// The data-slack observation across topologies: for narrow operands the
+// ACTIVATED path of a ripple adder collapses toward the parallel-prefix
+// adders' — data slack is a property of the computation more than of the
+// network.
+func TestNarrowOperandsConvergeAcrossTopologies(t *testing.T) {
+	const w = 64
+	ks, rp := New(w), NewRipple(w)
+	rng := rand.New(rand.NewSource(5))
+	avg := func(ad *Adder, width uint) float64 {
+		mask := uint64(1)<<width - 1
+		sum := 0
+		const n = 300
+		for i := 0; i < n; i++ {
+			sum += ad.Add(rng.Uint64()&mask, rng.Uint64()&mask).CriticalDelay
+		}
+		return float64(sum) / n
+	}
+	narrowGap := avg(rp, 4) - avg(ks, 4)
+	wideGap := float64(rp.WorstCaseDelay() - ks.WorstCaseDelay())
+	if narrowGap >= wideGap/2 {
+		t.Fatalf("narrow-operand gap (%.1f) should collapse well below the worst-case gap (%.1f)",
+			narrowGap, wideGap)
+	}
+}
+
+func TestTopologyWidthValidation(t *testing.T) {
+	for _, fn := range []func(){func() { NewBrentKung(0) }, func() { NewRipple(65) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid width must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBrentKungAdd64(b *testing.B) {
+	ad := NewBrentKung(64)
+	rng := rand.New(rand.NewSource(1))
+	x, y := rng.Uint64(), rng.Uint64()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad.Add(x, y)
+	}
+}

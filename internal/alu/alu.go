@@ -1,0 +1,239 @@
+package alu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+)
+
+// Outcome is the architectural result of executing one instruction, plus the
+// timing facts the slack machinery needs: the operation's actual effective
+// width class and its actual (data-dependent) circuit delay.
+type Outcome struct {
+	// Result is the destination value (meaningless if the op has no Dst).
+	Result Value
+	// FlagsOut is the NZCV result when the op writes flags.
+	FlagsOut Flags
+	// WritesFlags reports whether FlagsOut is meaningful.
+	WritesFlags bool
+	// ActualWidth is the width class the operands actually exercised; the
+	// width predictor is validated against it at execute (Sec. II-B).
+	ActualWidth isa.WidthClass
+	// DelayPS is the modeled data-dependent computation time.
+	DelayPS int
+}
+
+// Operands carries resolved source values into Exec.
+type Operands struct {
+	Src1, Src2, Src3 Value
+	FlagsIn          Flags
+	// MemValue is the loaded value for OpLDR (the memory system resolves it).
+	MemValue Value
+}
+
+// op2 resolves the flexible second operand: register if Src2 is named,
+// immediate otherwise.
+func op2(in *isa.Instruction, ops *Operands) uint64 {
+	if in.Src2 != isa.RegNone {
+		return ops.Src2.Lo
+	}
+	return in.Imm
+}
+
+// shiftAmt resolves the shift distance for shift-class ops: immediate by
+// default, register (mod 64) when Src2 names one.
+func shiftAmt(in *isa.Instruction, ops *Operands) uint {
+	if in.Op.Class() == isa.ClassShift && in.Src2 != isa.RegNone {
+		return uint(ops.Src2.Lo & 63)
+	}
+	return uint(in.ShiftAmt & 63)
+}
+
+func addFlags(a, b, r uint64, carry bool) Flags {
+	return Flags{
+		N: r>>63 == 1,
+		Z: r == 0,
+		C: carry,
+		V: (a>>63 == b>>63) && (r>>63 != a>>63),
+	}
+}
+
+func subFlags(a, b, r uint64, noBorrow bool) Flags {
+	return Flags{
+		N: r>>63 == 1,
+		Z: r == 0,
+		C: noBorrow, // ARM convention: C set when no borrow
+		V: (a>>63 != b>>63) && (r>>63 != a>>63),
+	}
+}
+
+func logicFlags(r uint64, c bool) Flags {
+	return Flags{N: r>>63 == 1, Z: r == 0, C: c}
+}
+
+// Exec executes a scalar (non-SIMD, non-memory-resolution) instruction.
+// OpLDR returns ops.MemValue; OpSTR and OpB produce no result. SIMD ops are
+// dispatched to ExecVec.
+func Exec(in *isa.Instruction, ops *Operands) Outcome {
+	if in.Op.IsSIMD() {
+		return ExecVec(in, ops)
+	}
+	switch in.Op {
+	case isa.OpLDR:
+		// Loads pass the memory value through whole (128-bit for vector
+		// destinations); the memory system resolved it.
+		return Outcome{Result: ops.MemValue, ActualWidth: isa.Width64, DelayPS: timing.ClockPS}
+	case isa.OpSTR:
+		// Stores carry their full data value for LSQ forwarding.
+		return Outcome{Result: ops.Src3, ActualWidth: isa.Width64, DelayPS: timing.ClockPS}
+	}
+	a := ops.Src1.Lo
+	b := op2(in, ops)
+	amt := shiftAmt(in, ops)
+	cin := ops.FlagsIn.C
+
+	var (
+		r      uint64
+		fl     Flags
+		wf     = in.SetFlags || in.Op.WritesFlags()
+		carryV bool // whether fl was filled by an add/sub (else logic flags)
+	)
+	switch in.Op {
+	case isa.OpBIC:
+		r = a &^ b
+	case isa.OpMVN:
+		r = ^b
+	case isa.OpAND, isa.OpTST:
+		r = a & b
+	case isa.OpEOR, isa.OpTEQ:
+		r = a ^ b
+	case isa.OpORR:
+		r = a | b
+	case isa.OpMOV:
+		r = b
+	case isa.OpLSR:
+		r = a >> amt
+	case isa.OpASR:
+		r = uint64(int64(a) >> amt)
+	case isa.OpLSL:
+		r = a << amt
+	case isa.OpROR:
+		r = bits.RotateLeft64(a, -int(amt))
+	case isa.OpRRX:
+		r = a >> 1
+		if cin {
+			r |= 1 << 63
+		}
+		fl = logicFlags(r, a&1 == 1)
+		carryV = true
+	case isa.OpADD, isa.OpCMN:
+		var c uint64
+		r, c = bits.Add64(a, b, 0)
+		fl = addFlags(a, b, r, c == 1)
+		carryV = true
+	case isa.OpADC:
+		var c0 uint64
+		if cin {
+			c0 = 1
+		}
+		var c uint64
+		r, c = bits.Add64(a, b, c0)
+		fl = addFlags(a, b, r, c == 1)
+		carryV = true
+	case isa.OpSUB, isa.OpCMP:
+		var brw uint64
+		r, brw = bits.Sub64(a, b, 0)
+		fl = subFlags(a, b, r, brw == 0)
+		carryV = true
+	case isa.OpSBC:
+		var b0 uint64
+		if !cin {
+			b0 = 1
+		}
+		var brw uint64
+		r, brw = bits.Sub64(a, b, b0)
+		fl = subFlags(a, b, r, brw == 0)
+		carryV = true
+	case isa.OpRSB:
+		var brw uint64
+		r, brw = bits.Sub64(b, a, 0)
+		fl = subFlags(b, a, r, brw == 0)
+		carryV = true
+	case isa.OpRSC:
+		var b0 uint64
+		if !cin {
+			b0 = 1
+		}
+		var brw uint64
+		r, brw = bits.Sub64(b, a, b0)
+		fl = subFlags(b, a, r, brw == 0)
+		carryV = true
+	case isa.OpADDLSR:
+		b2 := b >> amt
+		var c uint64
+		r, c = bits.Add64(a, b2, 0)
+		fl = addFlags(a, b2, r, c == 1)
+		carryV = true
+	case isa.OpSUBROR:
+		b2 := bits.RotateLeft64(b, -int(amt))
+		var brw uint64
+		r, brw = bits.Sub64(a, b2, 0)
+		fl = subFlags(a, b2, r, brw == 0)
+		carryV = true
+	case isa.OpMUL:
+		r = a * b
+	case isa.OpMLA:
+		r = a*b + ops.Src3.Lo
+	case isa.OpDIV:
+		if b == 0 {
+			r = 0 // ARM defines x/0 = 0
+		} else {
+			r = a / b
+		}
+	case isa.OpFADD:
+		r = math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	case isa.OpFMUL:
+		r = math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+	case isa.OpFDIV:
+		r = math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+	case isa.OpB, isa.OpNOP:
+		r = 0
+	default:
+		panic(fmt.Sprintf("alu: unhandled opcode %v", in.Op))
+	}
+	if !carryV && wf {
+		fl = logicFlags(r, cin)
+	}
+
+	w := actualWidth(in, a, b, amt)
+	return Outcome{
+		Result:      Value{Lo: r},
+		FlagsOut:    fl,
+		WritesFlags: wf,
+		ActualWidth: w,
+		DelayPS:     timing.OpDelayPS(in.Op, w),
+	}
+}
+
+// actualWidth derives the width class the operands actually exercise. Only
+// carry-chain (arith) ops have data-dependent timing; for shifted-arith the
+// adder sees the post-shift second operand.
+func actualWidth(in *isa.Instruction, a, b uint64, amt uint) isa.WidthClass {
+	switch in.Op.Class() {
+	case isa.ClassArith:
+		return isa.OperandWidthClass(a, b)
+	case isa.ClassShiftArith:
+		if in.Op == isa.OpADDLSR {
+			b >>= amt
+		} else {
+			b = bits.RotateLeft64(b, -int(amt))
+		}
+		return isa.OperandWidthClass(a, b)
+	default:
+		// Width-independent datapaths still report a width for bookkeeping.
+		return isa.OperandWidthClass(a, b)
+	}
+}

@@ -1,0 +1,257 @@
+package alu
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+)
+
+func exec(op isa.Op, a, b uint64) Outcome {
+	in := isa.Instruction{Op: op, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2)}
+	return Exec(&in, &Operands{Src1: Scalar(a), Src2: Scalar(b)})
+}
+
+func TestLogicOps(t *testing.T) {
+	a, b := uint64(0xF0F0), uint64(0xFF00)
+	cases := []struct {
+		op   isa.Op
+		want uint64
+	}{
+		{isa.OpAND, a & b}, {isa.OpORR, a | b}, {isa.OpEOR, a ^ b},
+		{isa.OpBIC, a &^ b}, {isa.OpMVN, ^b}, {isa.OpMOV, b},
+	}
+	for _, c := range cases {
+		if got := exec(c.op, a, b).Result.Lo; got != c.want {
+			t.Errorf("%v(%#x,%#x) = %#x, want %#x", c.op, a, b, got, c.want)
+		}
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpLSR, Dst: isa.R(0), Src1: isa.R(1), ShiftAmt: 4}
+	got := Exec(&in, &Operands{Src1: Scalar(0xFF00)})
+	if got.Result.Lo != 0xFF0 {
+		t.Errorf("LSR #4 = %#x", got.Result.Lo)
+	}
+	in.Op = isa.OpLSL
+	if got := Exec(&in, &Operands{Src1: Scalar(0xFF00)}); got.Result.Lo != 0xFF000 {
+		t.Errorf("LSL #4 = %#x", got.Result.Lo)
+	}
+	in.Op = isa.OpASR
+	if got := Exec(&in, &Operands{Src1: Scalar(0x8000000000000000)}); got.Result.Lo != 0xF800000000000000 {
+		t.Errorf("ASR #4 = %#x", got.Result.Lo)
+	}
+	in.Op = isa.OpROR
+	if got := Exec(&in, &Operands{Src1: Scalar(0xF)}); got.Result.Lo != 0xF000000000000000 {
+		t.Errorf("ROR #4 = %#x", got.Result.Lo)
+	}
+	// Register-specified shift amount.
+	rin := isa.Instruction{Op: isa.OpLSR, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2)}
+	if got := Exec(&rin, &Operands{Src1: Scalar(0x100), Src2: Scalar(8)}); got.Result.Lo != 1 {
+		t.Errorf("LSR by register = %#x", got.Result.Lo)
+	}
+}
+
+func TestRRXUsesCarry(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpRRX, Dst: isa.R(0), Src1: isa.R(1)}
+	withC := Exec(&in, &Operands{Src1: Scalar(2), FlagsIn: Flags{C: true}})
+	if withC.Result.Lo != 1|1<<63 {
+		t.Errorf("RRX with carry = %#x", withC.Result.Lo)
+	}
+	withoutC := Exec(&in, &Operands{Src1: Scalar(2)})
+	if withoutC.Result.Lo != 1 {
+		t.Errorf("RRX without carry = %#x", withoutC.Result.Lo)
+	}
+}
+
+func TestArithOps(t *testing.T) {
+	if got := exec(isa.OpADD, 7, 5).Result.Lo; got != 12 {
+		t.Errorf("ADD = %d", got)
+	}
+	if got := exec(isa.OpSUB, 7, 5).Result.Lo; got != 2 {
+		t.Errorf("SUB = %d", got)
+	}
+	if got := exec(isa.OpRSB, 5, 7).Result.Lo; got != 2 {
+		t.Errorf("RSB = %d", got)
+	}
+}
+
+func TestCarryChainOps(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpADC, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2)}
+	got := Exec(&in, &Operands{Src1: Scalar(7), Src2: Scalar(5), FlagsIn: Flags{C: true}})
+	if got.Result.Lo != 13 {
+		t.Errorf("ADC with carry = %d", got.Result.Lo)
+	}
+	in.Op = isa.OpSBC
+	// SBC: a - b - !C; with C clear, 7-5-1 = 1
+	got = Exec(&in, &Operands{Src1: Scalar(7), Src2: Scalar(5)})
+	if got.Result.Lo != 1 {
+		t.Errorf("SBC without carry = %d", got.Result.Lo)
+	}
+	got = Exec(&in, &Operands{Src1: Scalar(7), Src2: Scalar(5), FlagsIn: Flags{C: true}})
+	if got.Result.Lo != 2 {
+		t.Errorf("SBC with carry = %d", got.Result.Lo)
+	}
+}
+
+func TestCompareFlagSemantics(t *testing.T) {
+	// CMP 5, 5 -> Z set, C set (no borrow)
+	out := exec(isa.OpCMP, 5, 5)
+	if !out.WritesFlags {
+		t.Fatal("CMP must write flags")
+	}
+	if !out.FlagsOut.Z || !out.FlagsOut.C || out.FlagsOut.N {
+		t.Errorf("CMP 5,5 flags = %+v", out.FlagsOut)
+	}
+	// CMP 3, 5 -> N set (negative), C clear (borrow)
+	out = exec(isa.OpCMP, 3, 5)
+	if out.FlagsOut.Z || out.FlagsOut.C || !out.FlagsOut.N {
+		t.Errorf("CMP 3,5 flags = %+v", out.FlagsOut)
+	}
+	// CMN overflow: max int64 + 1
+	out = exec(isa.OpCMN, 0x7FFFFFFFFFFFFFFF, 1)
+	if !out.FlagsOut.V || !out.FlagsOut.N {
+		t.Errorf("CMN overflow flags = %+v", out.FlagsOut)
+	}
+	// TST zero result
+	out = exec(isa.OpTST, 0xF0, 0x0F)
+	if !out.FlagsOut.Z {
+		t.Errorf("TST disjoint bits flags = %+v", out.FlagsOut)
+	}
+}
+
+func TestShiftedArithOps(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpADDLSR, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2), ShiftAmt: 4}
+	got := Exec(&in, &Operands{Src1: Scalar(10), Src2: Scalar(0x160)})
+	if got.Result.Lo != 10+0x16 {
+		t.Errorf("ADD-LSR = %#x", got.Result.Lo)
+	}
+	in.Op = isa.OpSUBROR
+	got = Exec(&in, &Operands{Src1: Scalar(100), Src2: Scalar(0x20)})
+	want := 100 - bits.RotateLeft64(0x20, -4)
+	if got.Result.Lo != want {
+		t.Errorf("SUB-ROR = %#x, want %#x", got.Result.Lo, want)
+	}
+}
+
+func TestImmediateOperand(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpADD, Dst: isa.R(0), Src1: isa.R(1), Imm: 42}
+	got := Exec(&in, &Operands{Src1: Scalar(8)})
+	if got.Result.Lo != 50 {
+		t.Errorf("ADD immediate = %d", got.Result.Lo)
+	}
+}
+
+func TestMultiCycleOps(t *testing.T) {
+	if got := exec(isa.OpMUL, 6, 7).Result.Lo; got != 42 {
+		t.Errorf("MUL = %d", got)
+	}
+	in := isa.Instruction{Op: isa.OpMLA, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2), Src3: isa.R(3)}
+	got := Exec(&in, &Operands{Src1: Scalar(6), Src2: Scalar(7), Src3: Scalar(8)})
+	if got.Result.Lo != 50 {
+		t.Errorf("MLA = %d", got.Result.Lo)
+	}
+	if got := exec(isa.OpDIV, 42, 6).Result.Lo; got != 7 {
+		t.Errorf("DIV = %d", got)
+	}
+	if got := exec(isa.OpDIV, 42, 0).Result.Lo; got != 0 {
+		t.Errorf("DIV by zero = %d, want 0", got)
+	}
+}
+
+func TestLoadReturnsMemValue(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpLDR, Dst: isa.R(0), Src1: isa.R(1), Addr: 0x100}
+	got := Exec(&in, &Operands{MemValue: Scalar(0xDEAD)})
+	if got.Result.Lo != 0xDEAD {
+		t.Errorf("LDR = %#x", got.Result.Lo)
+	}
+}
+
+// Property: ADD/SUB agree with machine arithmetic and ADC/ADD carry
+// composition is consistent.
+func TestArithProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if exec(isa.OpADD, a, b).Result.Lo != a+b {
+			return false
+		}
+		if exec(isa.OpSUB, a, b).Result.Lo != a-b {
+			return false
+		}
+		if exec(isa.OpRSB, a, b).Result.Lo != b-a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flags from ADD match the carry/overflow of 64-bit addition.
+func TestAddFlagsProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		out := exec(isa.OpCMN, a, b)
+		r, c := bits.Add64(a, b, 0)
+		if out.FlagsOut.C != (c == 1) {
+			return false
+		}
+		if out.FlagsOut.Z != (r == 0) {
+			return false
+		}
+		if out.FlagsOut.N != (r>>63 == 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActualWidthTracksOperands(t *testing.T) {
+	if got := exec(isa.OpADD, 3, 5).ActualWidth; got != isa.Width8 {
+		t.Errorf("narrow ADD width = %v", got)
+	}
+	if got := exec(isa.OpADD, 3, 1<<40).ActualWidth; got != isa.Width64 {
+		t.Errorf("wide ADD width = %v", got)
+	}
+	// Shifted arith sees the post-shift operand: 1<<40 >> 32 fits in 16 bits.
+	in := isa.Instruction{Op: isa.OpADDLSR, Dst: isa.R(0), Src1: isa.R(1), Src2: isa.R(2), ShiftAmt: 32}
+	got := Exec(&in, &Operands{Src1: Scalar(3), Src2: Scalar(1 << 40)})
+	if got.ActualWidth != isa.Width16 {
+		t.Errorf("post-shift width = %v, want w16", got.ActualWidth)
+	}
+}
+
+func TestDelayReflectsWidth(t *testing.T) {
+	narrow := exec(isa.OpADD, 3, 5).DelayPS
+	wide := exec(isa.OpADD, 3, 1<<40).DelayPS
+	if narrow >= wide {
+		t.Errorf("narrow ADD (%d ps) must beat wide ADD (%d ps)", narrow, wide)
+	}
+	if wide > timing.ClockPS {
+		t.Errorf("ADD delay %d ps exceeds clock", wide)
+	}
+}
+
+func TestFlagsPackRoundTrip(t *testing.T) {
+	f := func(n, z, c, v bool) bool {
+		fl := Flags{N: n, Z: z, C: c, V: v}
+		return UnpackFlags(fl.Pack()) == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Scalar(0x2a).String(); got != "0x2a" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Value{Lo: 1, Hi: 2}).String(); got != "0x2:0x1" {
+		t.Errorf("String = %q", got)
+	}
+}

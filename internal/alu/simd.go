@@ -1,0 +1,119 @@
+package alu
+
+import (
+	"fmt"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+)
+
+// ExecVec executes a NEON-like sub-word SIMD operation lane-wise over the
+// 128-bit operands. The lane width is the ISA-specified data type, which is
+// also what drives type slack (paper Sec. II-A).
+func ExecVec(in *isa.Instruction, ops *Operands) Outcome {
+	lane := in.Lane
+	if lane == isa.Lane0 {
+		panic(fmt.Sprintf("alu: SIMD op %v without a lane width", in.Op))
+	}
+	a, b, c := ops.Src1, ops.Src2, ops.Src3
+	if in.Src2 == isa.RegNone {
+		b = Value{Lo: splat(in.Imm, lane)}
+		b.Hi = b.Lo
+	}
+	var r Value
+	r.Lo = laneOp(in.Op, lane, a.Lo, b.Lo, c.Lo, uint(in.ShiftAmt))
+	r.Hi = laneOp(in.Op, lane, a.Hi, b.Hi, c.Hi, uint(in.ShiftAmt))
+
+	w := isa.LaneWidthClass(lane)
+	return Outcome{
+		Result:      r,
+		ActualWidth: w,
+		DelayPS:     timing.OpDelayPS(in.Op, w),
+	}
+}
+
+// splat replicates the low lane bits of v across a 64-bit word.
+func splat(v uint64, lane isa.Lane) uint64 {
+	lw := uint(lane)
+	mask := laneMask(lane)
+	v &= mask
+	out := v
+	for sh := lw; sh < 64; sh <<= 1 {
+		out |= out << sh
+	}
+	return out
+}
+
+func laneMask(lane isa.Lane) uint64 {
+	if lane == isa.Lane64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(lane)) - 1
+}
+
+// laneOp applies the operation to each lane of one 64-bit half.
+func laneOp(op isa.Op, lane isa.Lane, a, b, c uint64, amt uint) uint64 {
+	// Bitwise ops need no lane splitting.
+	switch op {
+	case isa.OpVAND:
+		return a & b
+	case isa.OpVORR:
+		return a | b
+	case isa.OpVEOR:
+		return a ^ b
+	case isa.OpVMOV:
+		return b
+	}
+	lw := uint(lane)
+	mask := laneMask(lane)
+	var out uint64
+	for sh := uint(0); sh < 64; sh += lw {
+		x := (a >> sh) & mask
+		y := (b >> sh) & mask
+		z := (c >> sh) & mask
+		var v uint64
+		switch op {
+		case isa.OpVADD:
+			v = (x + y) & mask
+		case isa.OpVSUB:
+			v = (x - y) & mask
+		case isa.OpVMAX:
+			// signed max within the lane
+			if signExtend(x, lw) >= signExtend(y, lw) {
+				v = x
+			} else {
+				v = y
+			}
+		case isa.OpVMIN:
+			if signExtend(x, lw) <= signExtend(y, lw) {
+				v = x
+			} else {
+				v = y
+			}
+		case isa.OpVSHL:
+			v = (x << (amt % lw)) & mask
+		case isa.OpVSHR:
+			v = x >> (amt % lw)
+		case isa.OpVMUL:
+			v = (x * y) & mask
+		case isa.OpVMLA:
+			v = (x*y + z) & mask
+		default:
+			panic(fmt.Sprintf("alu: unhandled SIMD opcode %v", op))
+		}
+		out |= v << sh
+		if lw == 64 {
+			break
+		}
+	}
+	return out
+}
+
+// signExtend interprets the low w bits of v as a signed integer.
+func signExtend(v uint64, w uint) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	sh := 64 - w
+	return int64(v<<sh) >> sh
+}

@@ -1,0 +1,160 @@
+package alu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+)
+
+func execVec(op isa.Op, lane isa.Lane, a, b Value) Outcome {
+	in := isa.Instruction{Op: op, Lane: lane, Dst: isa.V(0), Src1: isa.V(1), Src2: isa.V(2)}
+	return Exec(&in, &Operands{Src1: a, Src2: b})
+}
+
+func TestVAddLanes8(t *testing.T) {
+	a := Value{Lo: 0x01_02_03_04_05_06_07_08, Hi: 0x10_20_30_40_50_60_70_80}
+	b := Value{Lo: 0x01_01_01_01_01_01_01_01, Hi: 0x01_01_01_01_01_01_01_01}
+	got := execVec(isa.OpVADD, isa.Lane8, a, b)
+	want := Value{Lo: 0x02_03_04_05_06_07_08_09, Hi: 0x11_21_31_41_51_61_71_81}
+	if got.Result != want {
+		t.Errorf("VADD.8 = %v, want %v", got.Result, want)
+	}
+}
+
+func TestVAddLaneOverflowWraps(t *testing.T) {
+	a := Value{Lo: 0xFF}
+	b := Value{Lo: 0x02}
+	got := execVec(isa.OpVADD, isa.Lane8, a, b)
+	// 0xFF + 0x02 wraps within the lane: 0x01, no carry into lane 1.
+	if got.Result.Lo != 0x01 {
+		t.Errorf("VADD.8 lane overflow = %#x, want 0x01", got.Result.Lo)
+	}
+}
+
+func TestVSubLanes16(t *testing.T) {
+	a := Value{Lo: 0x0005_0004_0003_0002}
+	b := Value{Lo: 0x0001_0001_0001_0004}
+	got := execVec(isa.OpVSUB, isa.Lane16, a, b)
+	want := uint64(0x0004_0003_0002_FFFE) // last lane wraps
+	if got.Result.Lo != want {
+		t.Errorf("VSUB.16 = %#x, want %#x", got.Result.Lo, want)
+	}
+}
+
+func TestVMaxMinSigned(t *testing.T) {
+	a := Value{Lo: 0x7F_80} // lanes: 0x80 (-128), 0x7F (127)
+	b := Value{Lo: 0x00_00}
+	mx := execVec(isa.OpVMAX, isa.Lane8, a, b)
+	if mx.Result.Lo != 0x7F_00 {
+		t.Errorf("VMAX.8 = %#x, want 0x7F00", mx.Result.Lo)
+	}
+	mn := execVec(isa.OpVMIN, isa.Lane8, a, b)
+	if mn.Result.Lo != 0x00_80 {
+		t.Errorf("VMIN.8 = %#x, want 0x0080", mn.Result.Lo)
+	}
+}
+
+func TestVMulVMla(t *testing.T) {
+	a := Value{Lo: 0x0003_0002}
+	b := Value{Lo: 0x0005_0004}
+	got := execVec(isa.OpVMUL, isa.Lane16, a, b)
+	if got.Result.Lo != 0x000F_0008 {
+		t.Errorf("VMUL.16 = %#x", got.Result.Lo)
+	}
+	in := isa.Instruction{Op: isa.OpVMLA, Lane: isa.Lane16, Dst: isa.V(0),
+		Src1: isa.V(1), Src2: isa.V(2), Src3: isa.V(3)}
+	acc := Value{Lo: 0x0001_0001}
+	mla := Exec(&in, &Operands{Src1: a, Src2: b, Src3: acc})
+	if mla.Result.Lo != 0x0010_0009 {
+		t.Errorf("VMLA.16 = %#x", mla.Result.Lo)
+	}
+}
+
+func TestVShifts(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpVSHR, Lane: isa.Lane16, Dst: isa.V(0), Src1: isa.V(1), ShiftAmt: 4}
+	got := Exec(&in, &Operands{Src1: Value{Lo: 0x0100_F000}})
+	if got.Result.Lo != 0x0010_0F00 {
+		t.Errorf("VSHR.16 = %#x", got.Result.Lo)
+	}
+	in.Op = isa.OpVSHL
+	got = Exec(&in, &Operands{Src1: Value{Lo: 0x0100_F000}})
+	if got.Result.Lo != 0x1000_0000 {
+		t.Errorf("VSHL.16 = %#x", got.Result.Lo)
+	}
+}
+
+func TestVBitwiseIgnoreLanes(t *testing.T) {
+	a := Value{Lo: 0xF0F0, Hi: 0xAAAA}
+	b := Value{Lo: 0xFF00, Hi: 0x5555}
+	if got := execVec(isa.OpVAND, isa.Lane8, a, b).Result; got.Lo != 0xF000 || got.Hi != 0 {
+		t.Errorf("VAND = %v", got)
+	}
+	if got := execVec(isa.OpVEOR, isa.Lane8, a, b).Result; got.Lo != 0x0FF0 || got.Hi != 0xFFFF {
+		t.Errorf("VEOR = %v", got)
+	}
+}
+
+func TestSplatImmediate(t *testing.T) {
+	in := isa.Instruction{Op: isa.OpVADD, Lane: isa.Lane8, Dst: isa.V(0), Src1: isa.V(1), Imm: 1}
+	got := Exec(&in, &Operands{Src1: Value{Lo: 0x05_05, Hi: 0x05}})
+	if got.Result.Lo&0xFFFF != 0x06_06 || got.Result.Hi&0xFF != 0x06 {
+		t.Errorf("VADD immediate splat = %v", got.Result)
+	}
+}
+
+// Property: VADD.64 on the Lo half equals scalar addition.
+func TestVAdd64MatchesScalarProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got := execVec(isa.OpVADD, isa.Lane64, Value{Lo: a}, Value{Lo: b})
+		return got.Result.Lo == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lane decomposition — VADD.8 equals per-byte addition.
+func TestVAdd8LanesProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got := execVec(isa.OpVADD, isa.Lane8, Value{Lo: a}, Value{Lo: b}).Result.Lo
+		for i := 0; i < 8; i++ {
+			sh := uint(i * 8)
+			want := byte(a>>sh) + byte(b>>sh)
+			if byte(got>>sh) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Type slack: narrower SIMD lanes must be faster (paper Sec. II-A).
+func TestSIMDTypeSlack(t *testing.T) {
+	d8 := execVec(isa.OpVADD, isa.Lane8, Value{}, Value{}).DelayPS
+	d32 := execVec(isa.OpVADD, isa.Lane32, Value{}, Value{}).DelayPS
+	d64 := execVec(isa.OpVADD, isa.Lane64, Value{}, Value{}).DelayPS
+	if !(d8 < d32 && d32 < d64) {
+		t.Errorf("SIMD delay must grow with lane width: %d/%d/%d ps", d8, d32, d64)
+	}
+	if d64 > timing.ClockPS {
+		t.Errorf("VADD.64 delay %d ps exceeds the clock", d64)
+	}
+	if !timing.IsHighSlack(d8) {
+		t.Errorf("8-bit SIMD adds must be high slack (%d ps)", d8)
+	}
+}
+
+func TestExecVecPanicsWithoutLane(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SIMD op without lane must panic")
+		}
+	}()
+	in := isa.Instruction{Op: isa.OpVADD, Dst: isa.V(0), Src1: isa.V(1), Src2: isa.V(2)}
+	Exec(&in, &Operands{})
+}

@@ -1,0 +1,67 @@
+// Package alu executes instructions functionally — every Fig. 1 ALU opcode
+// with ARM-style flag semantics, the NEON-like sub-word SIMD operations, and
+// the multi-cycle integer/FP operations — and models each computation's
+// actual data-dependent delay. Functional execution is what lets the test
+// suite prove slack recycling is architecturally invisible: a program's
+// results must be bit-identical under every scheduler.
+package alu
+
+import "fmt"
+
+// Value is a 128-bit register value. Scalar operations use Lo; vector
+// operations use both halves. The flags register packs NZCV into Lo.
+type Value struct {
+	Lo, Hi uint64
+}
+
+// Scalar wraps a 64-bit scalar into a Value.
+func Scalar(v uint64) Value { return Value{Lo: v} }
+
+// Flag bit positions inside a packed flags Value.
+const (
+	FlagV uint64 = 1 << 0
+	FlagC uint64 = 1 << 1
+	FlagZ uint64 = 1 << 2
+	FlagN uint64 = 1 << 3
+)
+
+// Flags is an unpacked NZCV condition-code set.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Pack converts flags to their register representation.
+func (f Flags) Pack() Value {
+	var v uint64
+	if f.N {
+		v |= FlagN
+	}
+	if f.Z {
+		v |= FlagZ
+	}
+	if f.C {
+		v |= FlagC
+	}
+	if f.V {
+		v |= FlagV
+	}
+	return Value{Lo: v}
+}
+
+// UnpackFlags recovers flag bits from a register value.
+func UnpackFlags(v Value) Flags {
+	return Flags{
+		N: v.Lo&FlagN != 0,
+		Z: v.Lo&FlagZ != 0,
+		C: v.Lo&FlagC != 0,
+		V: v.Lo&FlagV != 0,
+	}
+}
+
+// String formats the value as scalar when Hi is zero, else as a 128-bit pair.
+func (v Value) String() string {
+	if v.Hi == 0 {
+		return fmt.Sprintf("%#x", v.Lo)
+	}
+	return fmt.Sprintf("%#x:%#x", v.Hi, v.Lo)
+}

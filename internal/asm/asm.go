@@ -1,0 +1,492 @@
+// Package asm provides a small two-pass assembler and an interpreting
+// tracer for the simulator's ISA. Unlike the workload.Builder (which emits
+// dynamic traces directly), asm lets you write static programs with labels,
+// loops and conditional branches; Assemble parses them, and Trace *executes*
+// the program functionally — resolving every branch direction and memory
+// address — to produce the dynamic instruction stream the core consumes.
+//
+// Syntax (one instruction per line; ';' or '//' start a comment):
+//
+//	        .word  0x1000 42        ; initialize memory[0x1000] = 42
+//	        MOV    r1, #0x1000
+//	        MOV    r10, #0
+//	loop:   LDR    r2, [r1]         ; or [r1, #8]
+//	        ADD    r10, r10, r2
+//	        ADD    r1, r1, #8
+//	        CMP    r1, #0x1040
+//	        BNE    loop
+//	        STR    r10, [r0, #0x2000]
+//	        HALT
+//
+// Registers are r0..r31 (r0 is not special — initialize it yourself) and
+// the 128-bit vector registers v0..v31. SIMD mnemonics take a lane-width
+// suffix: VADD.16 v1, v2, v3; VMLA.8 v1, v2, v3, v1; VSHR.16 v1, v2, #2;
+// VLDR/VSTR move 128-bit values: VLDR v1, [r2, #16].
+// Immediates take #decimal or #0xhex. Shift-class ops take an immediate
+// distance (LSR r1, r2, #3). Conditional branches read the flags set by the
+// most recent CMP/CMN/TST/TEQ (or any S-suffixed op): B, BEQ, BNE, BLT,
+// BGE, BGT, BLE, BCS, BCC, BMI, BPL. CBZ/CBNZ branch on a register.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"redsoc/internal/isa"
+)
+
+// operandKind classifies a parsed operand.
+type operandKind int
+
+const (
+	opdReg operandKind = iota
+	opdImm
+	opdMem   // [rB] or [rB, #imm]
+	opdLabel // branch target
+)
+
+type operand struct {
+	kind  operandKind
+	reg   isa.Reg
+	imm   uint64
+	base  isa.Reg // for opdMem
+	off   int64   // for opdMem
+	label string
+}
+
+// cond is a branch condition over NZCV.
+type cond int
+
+const (
+	condAlways cond = iota
+	condEQ
+	condNE
+	condLT
+	condGE
+	condGT
+	condLE
+	condCS
+	condCC
+	condMI
+	condPL
+	condCBZ  // register == 0
+	condCBNZ // register != 0
+)
+
+// stmt is one assembled statement.
+type stmt struct {
+	line     int
+	op       isa.Op
+	lane     isa.Lane // SIMD lane width (Lane0 for scalar)
+	setFlags bool
+	cond     cond
+	operands []operand
+	isBranch bool
+	isHalt   bool
+	target   int // resolved statement index for branches
+}
+
+// Program is an assembled (static) program, ready to be traced.
+type Program struct {
+	Name  string
+	stmts []stmt
+	mem   map[uint64]uint64
+	// labels maps label name to statement index (exposed for tests/tools).
+	labels map[string]int
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.stmts) }
+
+// Error is an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var mnemonics = map[string]isa.Op{
+	"BIC": isa.OpBIC, "MVN": isa.OpMVN, "AND": isa.OpAND, "EOR": isa.OpEOR,
+	"TST": isa.OpTST, "TEQ": isa.OpTEQ, "ORR": isa.OpORR, "MOV": isa.OpMOV,
+	"LSR": isa.OpLSR, "ASR": isa.OpASR, "LSL": isa.OpLSL, "ROR": isa.OpROR,
+	"RRX": isa.OpRRX,
+	"RSB": isa.OpRSB, "RSC": isa.OpRSC, "SUB": isa.OpSUB, "CMP": isa.OpCMP,
+	"ADD": isa.OpADD, "CMN": isa.OpCMN, "ADC": isa.OpADC, "SBC": isa.OpSBC,
+	"ADDLSR": isa.OpADDLSR, "SUBROR": isa.OpSUBROR,
+	"MUL": isa.OpMUL, "MLA": isa.OpMLA, "DIV": isa.OpDIV,
+	"FADD": isa.OpFADD, "FMUL": isa.OpFMUL, "FDIV": isa.OpFDIV,
+	"LDR": isa.OpLDR, "STR": isa.OpSTR,
+	"VLDR": isa.OpLDR, "VSTR": isa.OpSTR,
+}
+
+var vecMnemonics = map[string]isa.Op{
+	"VADD": isa.OpVADD, "VSUB": isa.OpVSUB, "VAND": isa.OpVAND,
+	"VORR": isa.OpVORR, "VEOR": isa.OpVEOR, "VMAX": isa.OpVMAX,
+	"VMIN": isa.OpVMIN, "VSHL": isa.OpVSHL, "VSHR": isa.OpVSHR,
+	"VMUL": isa.OpVMUL, "VMLA": isa.OpVMLA, "VMOV": isa.OpVMOV,
+}
+
+var laneSuffix = map[string]isa.Lane{
+	"8": isa.Lane8, "16": isa.Lane16, "32": isa.Lane32, "64": isa.Lane64,
+}
+
+var branches = map[string]cond{
+	"B": condAlways, "BEQ": condEQ, "BNE": condNE, "BLT": condLT,
+	"BGE": condGE, "BGT": condGT, "BLE": condLE, "BCS": condCS,
+	"BCC": condCC, "BMI": condMI, "BPL": condPL,
+	"CBZ": condCBZ, "CBNZ": condCBNZ,
+}
+
+// Assemble parses source into a Program.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name, mem: map[uint64]uint64{}, labels: map[string]int{}}
+	type pending struct {
+		stmtIdx int
+		label   string
+		line    int
+	}
+	var fixups []pending
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(text, ":"); i >= 0 && isIdent(strings.TrimSpace(text[:i])) {
+				label := strings.TrimSpace(text[:i])
+				if _, dup := p.labels[label]; dup {
+					return nil, errf(line, "duplicate label %q", label)
+				}
+				p.labels[label] = len(p.stmts)
+				text = strings.TrimSpace(text[i+1:])
+				continue
+			}
+			break
+		}
+		if text == "" {
+			continue
+		}
+		// Directives.
+		if strings.HasPrefix(text, ".word") {
+			fields := strings.Fields(text)
+			if len(fields) != 3 {
+				return nil, errf(line, ".word wants: .word <addr> <value>")
+			}
+			addr, err := parseNum(fields[1])
+			if err != nil {
+				return nil, errf(line, "bad address %q", fields[1])
+			}
+			val, err := parseNum(fields[2])
+			if err != nil {
+				return nil, errf(line, "bad value %q", fields[2])
+			}
+			p.mem[addr&^7] = val
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			return nil, errf(line, "unknown directive %q", strings.Fields(text)[0])
+		}
+
+		mn, rest := splitMnemonic(text)
+		mnUp := strings.ToUpper(mn)
+		if mnUp == "HALT" {
+			p.stmts = append(p.stmts, stmt{line: line, isHalt: true})
+			continue
+		}
+		if c, ok := branches[mnUp]; ok {
+			s := stmt{line: line, op: isa.OpB, cond: c, isBranch: true}
+			ops, err := parseOperands(line, rest)
+			if err != nil {
+				return nil, err
+			}
+			want := 1
+			if c == condCBZ || c == condCBNZ {
+				want = 2
+			}
+			if len(ops) != want {
+				return nil, errf(line, "%s wants %d operand(s)", mnUp, want)
+			}
+			if c == condCBZ || c == condCBNZ {
+				if ops[0].kind != opdReg {
+					return nil, errf(line, "%s wants a register first", mnUp)
+				}
+				s.operands = ops[:1]
+				ops = ops[1:]
+			}
+			if ops[0].kind != opdLabel {
+				return nil, errf(line, "branch target must be a label")
+			}
+			fixups = append(fixups, pending{stmtIdx: len(p.stmts), label: ops[0].label, line: line})
+			p.stmts = append(p.stmts, s)
+			continue
+		}
+		// SIMD mnemonics carry a lane suffix: VADD.16 etc.
+		if dot := strings.Index(mnUp, "."); dot > 0 {
+			vop, okV := vecMnemonics[mnUp[:dot]]
+			ln, okL := laneSuffix[mnUp[dot+1:]]
+			if !okV || !okL {
+				return nil, errf(line, "unknown SIMD mnemonic %q", mn)
+			}
+			ops, err := parseOperands(line, rest)
+			if err != nil {
+				return nil, err
+			}
+			s := stmt{line: line, op: vop, lane: ln, operands: ops}
+			if err := validateVec(&s); err != nil {
+				return nil, err
+			}
+			p.stmts = append(p.stmts, s)
+			continue
+		}
+		setFlags := false
+		if strings.HasSuffix(mnUp, "S") {
+			if _, ok := mnemonics[strings.TrimSuffix(mnUp, "S")]; ok && mnUp != "TEQS" && mnUp != "TSTS" {
+				setFlags = true
+				mnUp = strings.TrimSuffix(mnUp, "S")
+			}
+		}
+		op, ok := mnemonics[mnUp]
+		if !ok {
+			return nil, errf(line, "unknown mnemonic %q", mn)
+		}
+		ops, err := parseOperands(line, rest)
+		if err != nil {
+			return nil, err
+		}
+		s := stmt{line: line, op: op, setFlags: setFlags, operands: ops}
+		if err := validate(&s); err != nil {
+			return nil, err
+		}
+		p.stmts = append(p.stmts, s)
+	}
+
+	for _, f := range fixups {
+		idx, ok := p.labels[f.label]
+		if !ok {
+			return nil, errf(f.line, "undefined label %q", f.label)
+		}
+		p.stmts[f.stmtIdx].target = idx
+	}
+	if len(p.stmts) == 0 {
+		return nil, errf(0, "empty program")
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitMnemonic(s string) (mn, rest string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+func parseNum(s string) (uint64, error) {
+	s = strings.TrimPrefix(s, "#")
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if neg {
+		return -v & ^uint64(0), err
+	}
+	return v, err
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	vec := strings.HasPrefix(s, "v")
+	if !vec && !strings.HasPrefix(s, "r") {
+		return isa.RegNone, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return isa.RegNone, false
+	}
+	if vec {
+		return isa.V(n), true
+	}
+	return isa.R(n), true
+}
+
+// parseOperands splits on commas outside brackets.
+func parseOperands(line int, s string) ([]operand, error) {
+	var out []operand
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	depth := 0
+	start := 0
+	var parts []string
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+			return nil, errf(line, "empty operand")
+		case strings.HasPrefix(part, "#"):
+			v, err := parseNum(part)
+			if err != nil {
+				return nil, errf(line, "bad immediate %q", part)
+			}
+			out = append(out, operand{kind: opdImm, imm: v})
+		case strings.HasPrefix(part, "["):
+			if !strings.HasSuffix(part, "]") {
+				return nil, errf(line, "unterminated memory operand %q", part)
+			}
+			inner := strings.TrimSpace(part[1 : len(part)-1])
+			var baseStr, offStr string
+			if i := strings.Index(inner, ","); i >= 0 {
+				baseStr, offStr = inner[:i], strings.TrimSpace(inner[i+1:])
+			} else {
+				baseStr = inner
+			}
+			base, ok := parseReg(baseStr)
+			if !ok {
+				return nil, errf(line, "bad base register %q", baseStr)
+			}
+			var off int64
+			if offStr != "" {
+				v, err := parseNum(offStr)
+				if err != nil {
+					return nil, errf(line, "bad offset %q", offStr)
+				}
+				off = int64(v)
+			}
+			out = append(out, operand{kind: opdMem, base: base, off: off})
+		default:
+			if r, ok := parseReg(part); ok {
+				out = append(out, operand{kind: opdReg, reg: r})
+				continue
+			}
+			if isIdent(part) {
+				out = append(out, operand{kind: opdLabel, label: part})
+				continue
+			}
+			return nil, errf(line, "unparseable operand %q", part)
+		}
+	}
+	return out, nil
+}
+
+// validateVec checks SIMD operand shapes.
+func validateVec(s *stmt) error {
+	n := len(s.operands)
+	vec := func(i int) bool { return s.operands[i].kind == opdReg && s.operands[i].reg.IsVec() }
+	switch s.op {
+	case isa.OpVMOV:
+		if n != 2 || !vec(0) || !(vec(1) || s.operands[1].kind == opdImm) {
+			return errf(s.line, "VMOV wants: VMOV.L vD, (vS|#imm)")
+		}
+	case isa.OpVSHL, isa.OpVSHR:
+		if n != 3 || !vec(0) || !vec(1) || s.operands[2].kind != opdImm {
+			return errf(s.line, "%v wants: %v.L vD, vS, #amt", s.op, s.op)
+		}
+	case isa.OpVMLA:
+		if n != 4 || !vec(0) || !vec(1) || !vec(2) || !vec(3) {
+			return errf(s.line, "VMLA wants: VMLA.L vD, vA, vB, vAcc")
+		}
+	default:
+		if n != 3 || !vec(0) || !vec(1) || !(vec(2) || s.operands[2].kind == opdImm) {
+			return errf(s.line, "%v wants: %v.L vD, vA, (vB|#imm)", s.op, s.op)
+		}
+	}
+	return nil
+}
+
+// validate checks operand shapes per opcode class.
+func validate(s *stmt) error {
+	n := len(s.operands)
+	kind := func(i int) operandKind { return s.operands[i].kind }
+	switch s.op {
+	case isa.OpLDR:
+		if n != 2 || kind(0) != opdReg || kind(1) != opdMem {
+			return errf(s.line, "LDR wants: LDR rD|vD, [rB(, #off)]")
+		}
+	case isa.OpSTR:
+		if n != 2 || kind(0) != opdReg || kind(1) != opdMem {
+			return errf(s.line, "STR wants: STR rS|vS, [rB(, #off)]")
+		}
+	case isa.OpMOV, isa.OpMVN:
+		if n != 2 || kind(0) != opdReg || (kind(1) != opdReg && kind(1) != opdImm) {
+			return errf(s.line, "%v wants: %v rD, (rS|#imm)", s.op, s.op)
+		}
+	case isa.OpCMP, isa.OpCMN, isa.OpTST, isa.OpTEQ:
+		if n != 2 || kind(0) != opdReg || (kind(1) != opdReg && kind(1) != opdImm) {
+			return errf(s.line, "%v wants: %v rA, (rB|#imm)", s.op, s.op)
+		}
+	case isa.OpRRX:
+		if n != 2 || kind(0) != opdReg || kind(1) != opdReg {
+			return errf(s.line, "RRX wants: RRX rD, rS")
+		}
+	case isa.OpLSR, isa.OpASR, isa.OpLSL, isa.OpROR:
+		if n != 3 || kind(0) != opdReg || kind(1) != opdReg || kind(2) != opdImm {
+			return errf(s.line, "%v wants: %v rD, rS, #amt", s.op, s.op)
+		}
+	case isa.OpADDLSR, isa.OpSUBROR:
+		if n != 4 || kind(0) != opdReg || kind(1) != opdReg || kind(2) != opdReg || kind(3) != opdImm {
+			return errf(s.line, "%v wants: %v rD, rA, rB, #amt", s.op, s.op)
+		}
+	case isa.OpMLA:
+		if n != 4 || kind(0) != opdReg || kind(1) != opdReg || kind(2) != opdReg || kind(3) != opdReg {
+			return errf(s.line, "MLA wants: MLA rD, rA, rB, rAcc")
+		}
+	default: // three-operand ALU/FP/MUL/DIV
+		if n != 3 || kind(0) != opdReg || kind(1) != opdReg || (kind(2) != opdReg && kind(2) != opdImm) {
+			return errf(s.line, "%v wants: %v rD, rA, (rB|#imm)", s.op, s.op)
+		}
+	}
+	return nil
+}

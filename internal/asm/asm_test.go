@@ -1,0 +1,263 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+const sumLoop = `
+        ; sum 8 words starting at 0x1000
+        .word 0x1000 1
+        .word 0x1008 2
+        .word 0x1010 3
+        .word 0x1018 4
+        .word 0x1020 5
+        .word 0x1028 6
+        .word 0x1030 7
+        .word 0x1038 8
+        MOV   r1, #0x1000
+        MOV   r10, #0
+loop:   LDR   r2, [r1]
+        ADD   r10, r10, r2
+        ADD   r1, r1, #8
+        CMP   r1, #0x1040
+        BNE   loop
+        STR   r10, [r0, #0x2000]
+        HALT
+`
+
+func TestAssembleAndTraceSumLoop(t *testing.T) {
+	p, err := Assemble("sum", sumLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Trace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Regs[10] != 36 {
+		t.Fatalf("r10 = %d, want 36", tr.Regs[10])
+	}
+	if tr.Mem[0x2000] != 36 {
+		t.Fatalf("mem[0x2000] = %d", tr.Mem[0x2000])
+	}
+	// 8 iterations x 5 instructions + 2 setup + 1 store = 43 dynamic instrs.
+	if tr.Steps != 43 {
+		t.Fatalf("steps = %d, want 43", tr.Steps)
+	}
+	// Loop back-edge taken 7 times, not taken once.
+	taken := 0
+	for _, in := range tr.Prog.Instrs {
+		if in.Op == isa.OpB && in.Taken {
+			taken++
+		}
+	}
+	if taken != 7 {
+		t.Fatalf("taken branches = %d, want 7", taken)
+	}
+}
+
+// The simulator must agree with the interpreter on architectural results.
+func TestSimulatorMatchesInterpreter(t *testing.T) {
+	tr := MustTrace("sum", sumLoop)
+	for _, pol := range []ooo.Policy{ooo.PolicyBaseline, ooo.PolicyRedsoc, ooo.PolicyMOS} {
+		res, err := ooo.Run(ooo.MediumConfig().WithPolicy(pol), tr.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.FinalMem[0x2000]; got != tr.Mem[0x2000] {
+			t.Fatalf("%v: mem = %d, want %d", pol, got, tr.Mem[0x2000])
+		}
+		if got := res.FinalRegs[isa.R(10)].Lo; got != tr.Regs[10] {
+			t.Fatalf("%v: r10 = %d, want %d", pol, got, tr.Regs[10])
+		}
+	}
+}
+
+func TestCollatz(t *testing.T) {
+	src := `
+        MOV  r1, #27      ; classic long Collatz trajectory
+        MOV  r2, #0       ; step count
+loop:   CMP  r1, #1
+        BEQ  done
+        ADD  r2, r2, #1
+        AND  r3, r1, #1
+        CBZ  r3, even
+        ; odd: r1 = 3*r1 + 1
+        MOV  r4, #3
+        MUL  r1, r1, r4
+        ADD  r1, r1, #1
+        B    loop
+even:   LSR  r1, r1, #1
+        B    loop
+done:   HALT
+`
+	tr := MustTrace("collatz", src)
+	if tr.Regs[2] != 111 {
+		t.Fatalf("collatz(27) = %d steps, want 111", tr.Regs[2])
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint64 // r10
+	}{
+		{"blt-signed", "MOV r1, #0\nSUB r1, r1, #5\nCMP r1, #3\nBLT yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+		{"bge", "MOV r1, #7\nCMP r1, #7\nBGE yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+		{"bgt-not", "MOV r1, #7\nCMP r1, #7\nBGT yes\nMOV r10, #2\nHALT\nyes: MOV r10, #1\nHALT", 2},
+		{"ble", "MOV r1, #6\nCMP r1, #7\nBLE yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+		{"bcs-carry", "MOV r1, #0\nSUB r1, r1, #1\nADDS r2, r1, r1\nBCS yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+		{"bmi", "MOV r1, #0\nSUBS r1, r1, #1\nBMI yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+		{"cbnz", "MOV r1, #3\nCBNZ r1, yes\nMOV r10, #0\nHALT\nyes: MOV r10, #1\nHALT", 1},
+	}
+	for _, c := range cases {
+		tr := MustTrace(c.name, c.src)
+		if tr.Regs[10] != c.want {
+			t.Errorf("%s: r10 = %d, want %d", c.name, tr.Regs[10], c.want)
+		}
+	}
+}
+
+func TestShiftedArithAndFlags(t *testing.T) {
+	src := `
+        MOV    r1, #100
+        MOV    r2, #64
+        ADDLSR r3, r1, r2, #4   ; 100 + (64>>4) = 104
+        SUBS   r4, r3, #104
+        BEQ    ok
+        MOV    r10, #0
+        HALT
+ok:     MOV    r10, #1
+        HALT
+`
+	tr := MustTrace("sharith", src)
+	if tr.Regs[3] != 104 || tr.Regs[10] != 1 {
+		t.Fatalf("r3 = %d, r10 = %d", tr.Regs[3], tr.Regs[10])
+	}
+}
+
+func TestLabelsAndComments(t *testing.T) {
+	src := "start: MOV r1, #1 ; set\n// full-line comment\nB start2\nstart2: HALT"
+	p, err := Assemble("lbl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.labels["start"] != 0 || p.labels["start2"] != 2 {
+		t.Fatalf("labels = %v", p.labels)
+	}
+}
+
+func TestAssemblyErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"FOO r1, r2, r3", "unknown mnemonic"},
+		{"B nowhere\nHALT", "undefined label"},
+		{"x: MOV r1, #1\nx: HALT", "duplicate label"},
+		{"MOV r1", "wants"},
+		{"ADD r1, r2", "wants"},
+		{"LDR r1, r2", "LDR wants"},
+		{"MOV r99, #1", "wants"}, // r99 parses as a label, rejected by shape
+		{"MOV r1, $3", "unparseable operand"},
+		{"MOV r1, #zz", "bad immediate"},
+		{".word 12", ".word wants"},
+		{".bogus 1 2", "unknown directive"},
+		{"LDR r1, [r2", "unterminated"},
+		{"", "empty program"},
+		{"LSR r1, r2, r3", "wants"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("bad", c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestErrorCarriesLine(t *testing.T) {
+	_, err := Assemble("bad", "MOV r1, #1\nFOO\nHALT")
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 2 {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestInfiniteLoopGuard(t *testing.T) {
+	p, err := Assemble("inf", "loop: B loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Trace(1000); err == nil {
+		t.Fatal("runaway loop must be caught")
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	tr := MustTrace("fall", "MOV r1, #5\nADD r1, r1, #1")
+	if tr.Regs[1] != 6 || tr.Steps != 2 {
+		t.Fatalf("r1 = %d steps = %d", tr.Regs[1], tr.Steps)
+	}
+}
+
+func TestStaticPCsStable(t *testing.T) {
+	tr := MustTrace("pcs", sumLoop)
+	// Every dynamic instance of the loop's LDR shares one PC.
+	pcs := map[uint64]int{}
+	for _, in := range tr.Prog.Instrs {
+		if in.Op == isa.OpLDR {
+			pcs[in.PC]++
+		}
+	}
+	if len(pcs) != 1 {
+		t.Fatalf("LDR PCs = %v, want a single static PC", pcs)
+	}
+}
+
+func TestSetFlagsSuffix(t *testing.T) {
+	tr := MustTrace("flags", "MOV r1, #5\nSUBS r2, r1, #5\nBEQ y\nMOV r10, #0\nHALT\ny: MOV r10, #1\nHALT")
+	if tr.Regs[10] != 1 {
+		t.Fatal("SUBS must set flags")
+	}
+	// Plain SUB must NOT touch flags.
+	tr2 := MustTrace("noflags", "MOV r1, #5\nCMP r1, #5\nSUB r2, r1, #5\nSUB r3, r1, #1\nBEQ y\nMOV r10, #0\nHALT\ny: MOV r10, #1\nHALT")
+	if tr2.Regs[10] != 1 {
+		t.Fatal("plain SUB must leave CMP's flags intact")
+	}
+}
+
+// ReDSOC must accelerate an assembly kernel with a high-slack chain.
+func TestRedsocOnAssembledKernel(t *testing.T) {
+	src := `
+        MOV  r1, #0x55
+        MOV  r2, #0x33
+        MOV  r3, #400
+loop:   EOR  r1, r1, r2
+        ORR  r4, r1, r2
+        AND  r1, r1, r4
+        SUB  r3, r3, #1
+        CBNZ r3, loop
+        HALT
+`
+	tr := MustTrace("chain", src)
+	base, err := ooo.Run(ooo.BigConfig(), tr.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ooo.Run(ooo.BigConfig().WithPolicy(ooo.PolicyRedsoc), tr.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := red.SpeedupOver(base); s < 1.15 {
+		t.Fatalf("assembled chain speedup = %.3f", s)
+	}
+}

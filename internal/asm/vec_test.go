@@ -1,0 +1,126 @@
+package asm
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+func TestVectorAssembly(t *testing.T) {
+	src := `
+        .word 0x1000 0x0002000200020002
+        .word 0x1008 0x0002000200020002
+        MOV    r1, #0x1000
+        VLDR   v1, [r1]
+        VMOV.16 v2, #3
+        VADD.16 v3, v1, v2        ; lanes of 5
+        VMUL.16 v3, v3, v3        ; lanes of 25
+        VMLA.16 v4, v3, v2, v3    ; 25*3 + 25 = 100 per lane
+        VSHR.16 v4, v4, #2        ; 25 per lane
+        VSTR   v4, [r1, #0x100]
+        LDR    r2, [r1, #0x100]
+        HALT
+`
+	tr := MustTrace("vec", src)
+	const want = 0x0019_0019_0019_0019
+	if tr.Regs[2] != want {
+		t.Fatalf("r2 = %#x, want %#x", tr.Regs[2], want)
+	}
+	if tr.Mem[0x1100] != want || tr.Mem[0x1108] != want {
+		t.Fatalf("mem = %#x/%#x", tr.Mem[0x1100], tr.Mem[0x1108])
+	}
+	// Vector register state is captured too.
+	if tr.Vecs[4].Lo != want || tr.Vecs[4].Hi != want {
+		t.Fatalf("v4 = %v", tr.Vecs[4])
+	}
+	// And the simulator agrees.
+	for _, pol := range []ooo.Policy{ooo.PolicyBaseline, ooo.PolicyRedsoc} {
+		res, err := ooo.Run(ooo.MediumConfig().WithPolicy(pol), tr.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.FinalRegs[isa.R(2)].Lo; got != want {
+			t.Fatalf("%v: r2 = %#x", pol, got)
+		}
+		if got := res.FinalRegs[isa.V(4)]; got.Lo != want || got.Hi != want {
+			t.Fatalf("%v: v4 = %v", pol, got)
+		}
+	}
+}
+
+func TestVectorMaxLoop(t *testing.T) {
+	// Running VMAX reduction over 8 vectors, with a scalar loop.
+	src := `
+        MOV    r1, #0x2000
+        MOV    r2, #8
+        VMOV.16 v1, #0
+loop:   VLDR   v2, [r1]
+        VMAX.16 v1, v1, v2
+        ADD    r1, r1, #16
+        SUB    r2, r2, #1
+        CBNZ   r2, loop
+        VSTR   v1, [r0, #0x3000]
+        HALT
+`
+	full := src
+	var wantLanes [8]uint16
+	for i := 0; i < 8; i++ {
+		lo := uint64(i*100 + 1)
+		hi := uint64(i*100 + 7)
+		full = sprintfWord(0x2000+16*i, lo) + sprintfWord(0x2008+16*i, hi) + full
+		for l, w := range []uint64{lo, hi} {
+			for k := 0; k < 4; k++ {
+				v := uint16(w >> uint(16*k))
+				if v > wantLanes[l*4+k] {
+					wantLanes[l*4+k] = v
+				}
+			}
+		}
+	}
+	tr := MustTrace("vmaxloop", full)
+	var wantLo, wantHi uint64
+	for k := 0; k < 4; k++ {
+		wantLo |= uint64(wantLanes[k]) << uint(16*k)
+		wantHi |= uint64(wantLanes[4+k]) << uint(16*k)
+	}
+	if tr.Mem[0x3000] != wantLo || tr.Mem[0x3008] != wantHi {
+		t.Fatalf("reduction = %#x/%#x, want %#x/%#x",
+			tr.Mem[0x3000], tr.Mem[0x3008], wantLo, wantHi)
+	}
+}
+
+func sprintfWord(addr int, v uint64) string {
+	return ".word " + hex(uint64(addr)) + " " + hex(v) + "\n"
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var buf [18]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return "0x" + string(buf[i:])
+}
+
+func TestVectorSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"VADD.12 v1, v2, v3", // bad lane
+		"VFOO.16 v1, v2, v3",
+		"VADD.16 r1, v2, v3", // scalar dst
+		"VMLA.16 v1, v2, v3", // missing acc
+		"VSHR.16 v1, v2, v3", // shift wants imm
+		"VMOV.16 v1",         // missing operand
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

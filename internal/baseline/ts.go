@@ -1,0 +1,150 @@
+// Package baseline implements the paper's two comparison points (Sec. VI-D):
+// TS, a Razor-style timing-speculation scheme that statically raises the
+// clock frequency until the data-dependent timing-error rate hits a bound,
+// and MOS, dynamic operation fusion (implemented as a scheduling policy in
+// internal/ooo; this package provides its harness entry point alongside TS).
+package baseline
+
+import (
+	"fmt"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+	"redsoc/internal/timing"
+)
+
+// TSResult describes one timing-speculation operating point.
+type TSResult struct {
+	// PeriodPS is the overclocked period chosen.
+	PeriodPS int
+	// ErrorRate is the fraction of single-cycle computations whose actual
+	// delay exceeds the period (each would be a timing error).
+	ErrorRate float64
+	// Speedup is wall-clock speedup over the 500 ps baseline, accounting for
+	// memory latencies that do not scale with core frequency. Recovery cost
+	// is NOT modeled, so this is optimistic — as in the paper.
+	Speedup float64
+	// Cycles is the cycle count of the re-run at the scaled memory latencies.
+	Cycles int64
+}
+
+// MaxErrorRate and MinErrorRate bound the paper's TS configuration: the
+// frequency is fixed so the error rate lies between 0.01% and 1%.
+const (
+	MaxErrorRate = 0.01
+	MinErrorRate = 0.0001
+)
+
+// ChoosePeriod picks the shortest clock period whose error rate (fraction of
+// single-cycle ops with delay > period) does not exceed maxErr, given the
+// per-picosecond delay histogram of a baseline run. The period is never
+// pushed below the point where errors would exceed the bound, and never
+// above the nominal ClockPS.
+func ChoosePeriod(hist *[timing.ClockPS + 1]int64, maxErr float64) (periodPS int, errRate float64) {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return timing.ClockPS, 0
+	}
+	// tail[t] = ops with delay > t; scan downward keeping the error bound.
+	var tail int64
+	period := timing.ClockPS
+	errAt := 0.0
+	for t := timing.ClockPS; t >= 1; t-- {
+		rate := float64(tail) / float64(total)
+		if rate > maxErr {
+			break
+		}
+		period, errAt = t, rate
+		tail += hist[t]
+	}
+	return period, errAt
+}
+
+// RunTS evaluates timing speculation for a program on a core: run the
+// baseline to collect the actual-delay histogram, choose the overclocked
+// period, then re-run with memory latencies rescaled (DRAM time is constant
+// in nanoseconds, so it costs more of the shorter cycles) and convert the
+// cycle counts to wall-clock speedup.
+func RunTS(cfg ooo.Config, prog *isa.Program) (TSResult, error) {
+	base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), prog)
+	if err != nil {
+		return TSResult{}, fmt.Errorf("baseline run: %w", err)
+	}
+	period, errRate := ChoosePeriod(&base.DelayHistogram, MaxErrorRate)
+	if period >= timing.ClockPS {
+		return TSResult{PeriodPS: timing.ClockPS, ErrorRate: errRate, Speedup: 1, Cycles: base.Cycles}, nil
+	}
+	scaled := cfg.WithPolicy(ooo.PolicyBaseline)
+	scaled.Mem.L2Latency = scaleLatency(scaled.Mem.L2Latency, period)
+	scaled.Mem.DRAMLatency = scaleLatency(scaled.Mem.DRAMLatency, period)
+	res, err := ooo.Run(scaled, prog)
+	if err != nil {
+		return TSResult{}, fmt.Errorf("scaled run: %w", err)
+	}
+	baseWall := float64(base.Cycles) * timing.ClockPS
+	tsWall := float64(res.Cycles) * float64(period)
+	return TSResult{
+		PeriodPS:  period,
+		ErrorRate: errRate,
+		Speedup:   baseWall / tsWall,
+		Cycles:    res.Cycles,
+	}, nil
+}
+
+// scaleLatency converts a latency expressed in nominal 500 ps cycles into
+// the equivalent count of shorter cycles (L1 stays pipelined with the core;
+// L2/DRAM are wall-clock-bound).
+func scaleLatency(cycles, periodPS int) int {
+	ns := cycles * timing.ClockPS
+	return (ns + periodPS - 1) / periodPS
+}
+
+// Comparison bundles the Fig. 15 data for one benchmark × core.
+type Comparison struct {
+	Benchmark string
+	Core      string
+	Baseline  *ooo.Result
+	Redsoc    *ooo.Result
+	MOS       *ooo.Result
+	TS        TSResult
+}
+
+// RedsocSpeedup, MOSSpeedup and TSSpeedup return the three speedups over
+// the shared baseline.
+func (c *Comparison) RedsocSpeedup() float64 { return c.Redsoc.SpeedupOver(c.Baseline) }
+func (c *Comparison) MOSSpeedup() float64    { return c.MOS.SpeedupOver(c.Baseline) }
+func (c *Comparison) TSSpeedup() float64     { return c.TS.Speedup }
+
+// Compare runs all four configurations of one benchmark on one core.
+func Compare(cfg ooo.Config, prog *isa.Program) (*Comparison, error) {
+	base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), prog)
+	if err != nil {
+		return nil, err
+	}
+	red, err := ooo.Run(cfg.WithPolicy(ooo.PolicyRedsoc), prog)
+	if err != nil {
+		return nil, err
+	}
+	mos, err := ooo.Run(cfg.WithPolicy(ooo.PolicyMOS), prog)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := RunTS(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if !red.ArchEqual(base) || !mos.ArchEqual(base) {
+		return nil, fmt.Errorf("baseline: architectural divergence on %s/%s", prog.Name, cfg.Name)
+	}
+	return &Comparison{
+		Benchmark: prog.Name,
+		Core:      cfg.Name,
+		Baseline:  base,
+		Redsoc:    red,
+		MOS:       mos,
+		TS:        ts,
+	}, nil
+}

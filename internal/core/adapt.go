@@ -1,0 +1,88 @@
+package core
+
+// ThresholdController implements the adaptive slack-threshold mechanism the
+// paper leaves as future work (Sec. IV-C): every epoch it observes how much
+// recycling the current threshold produced against how much functional-unit
+// pressure the 2-cycle holds created, and nudges the threshold accordingly.
+// The controller is deliberately simple — a hill-climbing rule over two
+// rates — so its hardware cost would be a pair of counters and a comparator.
+type ThresholdController struct {
+	min, max int
+	epoch    int64
+
+	threshold int
+
+	// Epoch-start snapshots.
+	lastCycle    int64
+	lastRecycled int64
+	lastStalls   int64
+
+	adjustments int
+}
+
+// Default controller bounds: thresholds from 2 ticks (recycle only very
+// early completions) to a full cycle.
+const (
+	MinDynamicThreshold = 2
+	// DefaultAdaptEpoch is the controller's observation window in cycles.
+	DefaultAdaptEpoch = 1024
+)
+
+// NewThresholdController starts at the given threshold with the clock's full
+// cycle as the upper bound.
+func NewThresholdController(start, ticksPerCycle int) *ThresholdController {
+	return &ThresholdController{
+		min:       MinDynamicThreshold,
+		max:       ticksPerCycle,
+		epoch:     DefaultAdaptEpoch,
+		threshold: clampInt(start, MinDynamicThreshold, ticksPerCycle),
+	}
+}
+
+// Threshold returns the current threshold in ticks.
+func (t *ThresholdController) Threshold() int { return t.threshold }
+
+// Adjustments returns how many times the controller moved the threshold.
+func (t *ThresholdController) Adjustments() int { return t.adjustments }
+
+// Observe feeds the running totals (cycles, recycled ops, FU-stall cycles)
+// and adapts at epoch boundaries. It returns true when the threshold moved.
+func (t *ThresholdController) Observe(cycle, recycledOps, fuStallCycles int64) bool {
+	if cycle-t.lastCycle < t.epoch {
+		return false
+	}
+	dCycles := cycle - t.lastCycle
+	dRec := recycledOps - t.lastRecycled
+	dStall := fuStallCycles - t.lastStalls
+	t.lastCycle, t.lastRecycled, t.lastStalls = cycle, recycledOps, fuStallCycles
+
+	stallRate := float64(dStall) / float64(dCycles)
+	recycleRate := float64(dRec) / float64(dCycles)
+
+	prev := t.threshold
+	switch {
+	case stallRate > 0.25 && recycleRate < stallRate:
+		// The 2-cycle holds are congesting the units faster than recycling
+		// is paying: back off.
+		t.threshold--
+	case stallRate < 0.10:
+		// Units are comfortable: recycle more aggressively.
+		t.threshold++
+	}
+	t.threshold = clampInt(t.threshold, t.min, t.max)
+	if t.threshold != prev {
+		t.adjustments++
+		return true
+	}
+	return false
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestControllerRaisesWhenComfortable(t *testing.T) {
+	c := NewThresholdController(4, 8)
+	// Epochs with no FU stalls: the controller should walk to the max.
+	cycle := int64(0)
+	for i := 0; i < 10; i++ {
+		cycle += DefaultAdaptEpoch
+		c.Observe(cycle, int64(i*100), 0)
+	}
+	if c.Threshold() != 8 {
+		t.Fatalf("threshold = %d, want 8", c.Threshold())
+	}
+	if c.Adjustments() == 0 {
+		t.Fatal("adjustments not counted")
+	}
+}
+
+func TestControllerBacksOffUnderPressure(t *testing.T) {
+	c := NewThresholdController(8, 8)
+	cycle, stalls := int64(0), int64(0)
+	for i := 0; i < 10; i++ {
+		cycle += DefaultAdaptEpoch
+		stalls += DefaultAdaptEpoch / 2 // 50% FU-stall cycles, little recycling
+		c.Observe(cycle, int64(i*10), stalls)
+	}
+	if c.Threshold() != MinDynamicThreshold {
+		t.Fatalf("threshold = %d, want %d", c.Threshold(), MinDynamicThreshold)
+	}
+}
+
+func TestControllerHoldsInTheMiddle(t *testing.T) {
+	c := NewThresholdController(6, 8)
+	// 15% stall rate with strong recycling: neither rule fires.
+	cycle, stalls, rec := int64(0), int64(0), int64(0)
+	for i := 0; i < 5; i++ {
+		cycle += DefaultAdaptEpoch
+		stalls += DefaultAdaptEpoch * 15 / 100
+		rec += DefaultAdaptEpoch // recycleRate 1.0 > stallRate
+		c.Observe(cycle, rec, stalls)
+	}
+	if c.Threshold() != 6 {
+		t.Fatalf("threshold drifted to %d", c.Threshold())
+	}
+	if c.Adjustments() != 0 {
+		t.Fatal("no adjustments expected")
+	}
+}
+
+func TestControllerEpochGating(t *testing.T) {
+	c := NewThresholdController(4, 8)
+	if c.Observe(10, 0, 0) {
+		t.Fatal("mid-epoch observation must not adapt")
+	}
+	if !c.Observe(DefaultAdaptEpoch, 0, 0) {
+		t.Fatal("epoch boundary with low stalls must raise the threshold")
+	}
+}
+
+func TestControllerClampsStart(t *testing.T) {
+	if got := NewThresholdController(99, 8).Threshold(); got != 8 {
+		t.Fatalf("start clamped to %d", got)
+	}
+	if got := NewThresholdController(0, 8).Threshold(); got != MinDynamicThreshold {
+		t.Fatalf("start clamped to %d", got)
+	}
+}

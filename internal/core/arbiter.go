@@ -1,0 +1,122 @@
+package core
+
+// The select arbiter of Sec. IV-D, implemented the way Fig. 9 draws it: an
+// age-mask table plus a wakeup array, extended with the P/GP array that skews
+// priority so non-speculative (parent-woken) requests always beat
+// speculative (grandparent-woken) ones while each group keeps oldest-first
+// order among itself. Global arbitration (one window over all entries) is
+// assumed, as in the paper, so a GP-woken child can never be selected ahead
+// of its requesting parent.
+
+// Request is one reservation-station entry asking the select logic for a
+// grant.
+type Request struct {
+	// Age orders entries: smaller is older (higher priority). Ages are
+	// unique (dynamic sequence numbers).
+	Age int64
+	// Spec marks a speculative GP-wakeup request.
+	Spec bool
+}
+
+// Arbiter is the (optionally skewed) oldest-first select logic.
+type Arbiter struct {
+	skewed bool
+}
+
+// NewArbiter returns an arbiter; skewed enables the P-over-GP priority.
+func NewArbiter(skewed bool) *Arbiter { return &Arbiter{skewed: skewed} }
+
+// Skewed reports whether P-over-GP skewing is on.
+func (a *Arbiter) Skewed() bool { return a.skewed }
+
+const wordBits = 64
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+
+func (b bitset) set(i int)      { b[i/wordBits] |= 1 << (i % wordBits) }
+func (b bitset) clear(i int)    { b[i/wordBits] &^= 1 << (i % wordBits) }
+func (b bitset) get(i int) bool { return b[i/wordBits]&(1<<(i%wordBits)) != 0 }
+
+// intersects reports whether b∩c is non-empty.
+func (b bitset) intersects(c bitset) bool {
+	for i := range b {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Grant selects up to m winners from the requests and returns their indices
+// in grant order. It evaluates the Fig. 9 circuit: each entry's age mask has
+// a bit per older entry; a requester wins when its effective mask intersects
+// no awake entry. Skewing ORs every non-speculative requester into a
+// speculative entry's mask and clears speculative bits from a
+// non-speculative entry's mask.
+func (a *Arbiter) Grant(reqs []Request, m int) []int {
+	n := len(reqs)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	// Age masks: older[i] = set of indices with smaller Age.
+	older := make([]bitset, n)
+	for i := range reqs {
+		older[i] = newBitset(n)
+		for j := range reqs {
+			if reqs[j].Age < reqs[i].Age {
+				older[i].set(j)
+			}
+		}
+	}
+	awake := newBitset(n)
+	nonSpecAwake := newBitset(n)
+	for i, r := range reqs {
+		awake.set(i)
+		if !r.Spec {
+			nonSpecAwake.set(i)
+		}
+	}
+	var grants []int
+	eff := newBitset(n)
+	for len(grants) < m {
+		winner := -1
+		for i := range reqs {
+			if !awake.get(i) {
+				continue
+			}
+			// Effective mask per Fig. 9b.
+			for w := range eff {
+				eff[w] = older[i][w]
+				if a.skewed {
+					if reqs[i].Spec {
+						eff[w] |= nonSpecAwake[w]
+						eff[w] &^= bit(i, w) // an entry never masks itself
+					} else {
+						eff[w] &= nonSpecAwake[w]
+					}
+				}
+			}
+			if !eff.intersects(awake) {
+				winner = i
+				break
+			}
+		}
+		if winner < 0 {
+			break
+		}
+		grants = append(grants, winner)
+		awake.clear(winner)
+		nonSpecAwake.clear(winner)
+	}
+	return grants
+}
+
+// bit returns the mask word w with only index i's bit (when it lives in w).
+func bit(i, w int) uint64 {
+	if i/wordBits != w {
+		return 0
+	}
+	return 1 << (i % wordBits)
+}

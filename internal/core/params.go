@@ -1,0 +1,101 @@
+// Package core implements the paper's primary contribution: the ReDSOC
+// slack-recycling machinery layered on an out-of-order scheduler —
+// per-instruction slack estimation through the 14-bucket LUT and the
+// data-width predictor (Sec. II), the transparent-dataflow timing rules that
+// start a consumer at its producer's completion instant and hold a functional
+// unit two cycles when evaluation crosses a clock edge (Sec. III), the
+// Eager Grandparent Wakeup and skewed selection optimizations to the
+// scheduling loop (Sec. IV), and the transparent-sequence accounting behind
+// Fig. 11.
+//
+// The package is deliberately free of pipeline plumbing: internal/ooo owns
+// the machine model and calls into these components, so everything specific
+// to the paper is in one place.
+package core
+
+import (
+	"fmt"
+
+	"redsoc/internal/timing"
+)
+
+// RSEDesign selects between the paper's two slack-aware reservation-station
+// designs (Sec. IV-C).
+type RSEDesign uint8
+
+const (
+	// Operational is the practical design: each RSE tracks only the
+	// predicted last-arriving parent and grandparent tags, validated by a
+	// register scoreboard. This is the paper's default.
+	Operational RSEDesign = iota
+	// Illustrative is the full design: all parent and grandparent tags are
+	// tracked explicitly. It is ~equivalent in performance (within 1%) but
+	// far more expensive in hardware.
+	Illustrative
+)
+
+// String names the design.
+func (d RSEDesign) String() string {
+	if d == Illustrative {
+		return "illustrative"
+	}
+	return "operational"
+}
+
+// Params configures the ReDSOC mechanism. The zero value disables recycling
+// entirely (pure baseline); use DefaultParams for the paper's configuration.
+type Params struct {
+	// Recycle enables slack recycling (transparent dataflow + CI tracking).
+	Recycle bool
+	// EGPW enables Eager Grandparent Wakeup; without it only conventionally
+	// woken consumers can recycle (first-hop slack is lost).
+	EGPW bool
+	// SkewedSelect prioritizes non-speculative over GP-speculative requests
+	// in the select arbiter (Sec. IV-D).
+	SkewedSelect bool
+	// Design picks the Operational or Illustrative RSE.
+	Design RSEDesign
+	// ThresholdTicks is the slack threshold of Sec. IV-C step 10: a consumer
+	// issues into its producer's completion cycle only if the producer's
+	// completion instant (sub-cycle fraction) is at most this many ticks —
+	// i.e. only if at least TicksPerCycle-Threshold ticks of slack remain.
+	// Tuned per application set via a design sweep (Sec. VI-C).
+	ThresholdTicks int
+	// WidthPrediction routes width slack through the data-width predictor;
+	// when false every scalar op is scheduled at its full (conservative)
+	// width and only opcode/type slack is recycled.
+	WidthPrediction bool
+	// DynamicThreshold enables the adaptive threshold controller the paper
+	// sketches as future work in Sec. IV-C ("a simple but intelligent
+	// dynamic mechanism can be used to increase or decrease this threshold
+	// based on overall observed benefits"): ThresholdTicks becomes the
+	// starting point and the controller walks it up when recycling is cheap
+	// (low FU pressure) and down when 2-cycle holds congest the units.
+	DynamicThreshold bool
+}
+
+// DefaultParams returns the paper's operating point for a clock: everything
+// on, Operational design, threshold at 6/8 of the cycle (a producer
+// completing later than tick 6 leaves too little slack to be worth a 2-cycle
+// FU hold).
+func DefaultParams(clock timing.Clock) Params {
+	return Params{
+		Recycle:         true,
+		EGPW:            true,
+		SkewedSelect:    true,
+		Design:          Operational,
+		ThresholdTicks:  clock.TicksPerCycle() * 3 / 4,
+		WidthPrediction: true,
+	}
+}
+
+// Validate checks internal consistency against a clock.
+func (p Params) Validate(clock timing.Clock) error {
+	if p.ThresholdTicks < 0 || p.ThresholdTicks > clock.TicksPerCycle() {
+		return fmt.Errorf("core: threshold %d ticks outside [0,%d]", p.ThresholdTicks, clock.TicksPerCycle())
+	}
+	if !p.Recycle && p.EGPW {
+		return fmt.Errorf("core: EGPW requires recycling")
+	}
+	return nil
+}

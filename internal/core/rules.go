@@ -1,0 +1,99 @@
+package core
+
+import (
+	"redsoc/internal/timing"
+)
+
+// Schedule is the planned execution window of one issued operation: the
+// instant evaluation begins, the instant the result stabilizes, whether the
+// operation started mid-cycle off a transparent bypass (recycled), and how
+// many cycles its functional unit is held — two when evaluation crosses a
+// clock edge, the paper's IT3 rule.
+type Schedule struct {
+	Start    timing.Ticks
+	Comp     timing.Ticks
+	Recycled bool
+	FUCycles int
+}
+
+// PlanSynchronous schedules a conventional ("true synchronous") evaluation:
+// the operation clocks at the first cycle boundary at or after both its FU
+// arrival and its last parent's completion, and runs for a whole number of
+// cycles. Baseline cores schedule every operation this way; ReDSOC still
+// schedules multi-cycle, memory and FP operations this way.
+func PlanSynchronous(clock timing.Clock, arrival, parentReady, exTicks timing.Ticks) Schedule {
+	start := arrival
+	if pr := clock.CeilCycle(parentReady); pr > start {
+		start = pr
+	}
+	tpc := timing.Ticks(clock.TicksPerCycle())
+	cycles := int((exTicks + tpc - 1) / tpc)
+	if cycles < 1 {
+		cycles = 1
+	}
+	return Schedule{
+		Start:    start,
+		Comp:     start + timing.Ticks(cycles)*tpc,
+		FUCycles: cycles,
+	}
+}
+
+// PlanTransparent schedules a single-cycle evaluation under ReDSOC: the
+// operation begins the instant its last parent's value stabilizes (or at its
+// FU arrival edge if the parents are already done), runs for its estimated
+// EX-TIME, and holds the FU for a second cycle if that window crosses a
+// clock edge. The ok result is false when the parents do not complete within
+// the operation's arrival cycle — the speculative issue must be replayed
+// (latency-misprediction style), which the scheduler's eligibility check
+// makes rare.
+func PlanTransparent(clock timing.Clock, arrival, parentReady, exTicks timing.Ticks) (Schedule, bool) {
+	tpc := timing.Ticks(clock.TicksPerCycle())
+	start := arrival
+	recycled := false
+	if parentReady > arrival {
+		if parentReady >= arrival+tpc {
+			return Schedule{}, false
+		}
+		start = parentReady
+		recycled = true
+	}
+	comp := start + exTicks
+	fuCycles := 1
+	if clock.CrossesBoundary(start, exTicks) {
+		fuCycles = 2
+	}
+	return Schedule{Start: start, Comp: comp, Recycled: recycled, FUCycles: fuCycles}, true
+}
+
+// RecycleEligible is the select-time gate of Sec. IV-C step 10: a consumer
+// may issue into the cycle its producer completes in only if (a) recycling is
+// on, (b) the producer's completion instant falls strictly inside the
+// consumer's execution cycle, and (c) the completion fraction is at or below
+// the slack threshold (enough of the cycle remains to be worth a possible
+// 2-cycle FU hold).
+func (p Params) RecycleEligible(clock timing.Clock, execCycleStart, parentCI timing.Ticks) bool {
+	if !p.Recycle {
+		return false
+	}
+	tpc := timing.Ticks(clock.TicksPerCycle())
+	if parentCI <= execCycleStart || parentCI >= execCycleStart+tpc {
+		return false
+	}
+	return clock.FracOf(parentCI) <= p.ThresholdTicks
+}
+
+// IssueEligible reports whether an operation whose parents complete at
+// parentReady can be issued at the cycle whose execution window starts at
+// execCycleStart: either the conventional condition (parents done by the
+// window's start) or the recycling condition holds. transparent marks
+// operations capable of transparent evaluation (single-cycle on the ALU/SIMD
+// bypass network).
+func (p Params) IssueEligible(clock timing.Clock, execCycleStart, parentReady timing.Ticks, transparent bool) bool {
+	if parentReady <= execCycleStart {
+		return true
+	}
+	if !transparent {
+		return false
+	}
+	return p.RecycleEligible(clock, execCycleStart, parentReady)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"redsoc/internal/isa"
+	"redsoc/internal/predict"
+	"redsoc/internal/timing"
+)
+
+// Estimate is the decode-time slack information attached to an instruction:
+// the LUT address it mapped to, the width class used (predicted for scalar
+// arithmetic, ISA-specified for SIMD), and the conservative EX-TIME in ticks
+// that the reservation station carries (3-bit at the default precision).
+type Estimate struct {
+	Addr      timing.Address
+	Width     isa.WidthClass
+	Predicted bool // width came from the predictor (needs validation)
+	ExTicks   timing.Ticks
+}
+
+// Estimator produces EX-TIME estimates at decode: opcode and type slack come
+// straight from the instruction, width slack goes through the data-width
+// predictor (Sec. II-B).
+type Estimator struct {
+	lut    *timing.LUT
+	widths *predict.WidthPredictor
+	params Params
+	clock  timing.Clock
+}
+
+// NewEstimator wires the LUT and predictor together.
+func NewEstimator(lut *timing.LUT, widths *predict.WidthPredictor, params Params) *Estimator {
+	return &Estimator{lut: lut, widths: widths, params: params, clock: lut.Clock()}
+}
+
+// widthSensitive reports whether the opcode's delay depends on operand width
+// (the carry-chain classes), i.e. whether width prediction buys anything.
+func widthSensitive(op isa.Op) bool {
+	c := op.Class()
+	return c == isa.ClassArith || c == isa.ClassShiftArith
+}
+
+// Estimate classifies one single-cycle instruction. Multi-cycle classes get
+// a full-cycle EX-TIME: they are "true synchronous" and recycle nothing.
+func (e *Estimator) Estimate(in *isa.Instruction) Estimate {
+	tpc := timing.Ticks(e.clock.TicksPerCycle())
+	if !in.Op.SingleCycle() {
+		return Estimate{Width: isa.Width64, ExTicks: tpc}
+	}
+	w := isa.Width64
+	predicted := false
+	switch {
+	case in.Op.IsSIMD():
+		w = isa.LaneWidthClass(in.Lane) // type slack: specified by the ISA
+	case e.params.WidthPrediction && widthSensitive(in.Op):
+		w = e.widths.Predict(in.PC)
+		predicted = true
+	}
+	addr := timing.InstrAddress(in.Op, w, in.Lane)
+	return Estimate{
+		Addr:      addr,
+		Width:     w,
+		Predicted: predicted,
+		ExTicks:   e.lut.CompTicks(addr),
+	}
+}
+
+// Validate checks a width-predicted estimate against the width the operands
+// actually exercised (done at execute by inspecting high-order bits).
+// It trains the predictor and reports whether the prediction was aggressive —
+// an under-estimate that requires selective reissue.
+func (e *Estimator) Validate(in *isa.Instruction, est Estimate, actual isa.WidthClass) (aggressive bool) {
+	if !est.Predicted {
+		return false
+	}
+	e.widths.Update(in.PC, est.Width, actual)
+	return est.Width < actual
+}
+
+// CorrectedTicks returns the EX-TIME the instruction should have carried,
+// given its actual width — used when replaying an aggressive misprediction.
+func (e *Estimator) CorrectedTicks(in *isa.Instruction, actual isa.WidthClass) timing.Ticks {
+	if !in.Op.SingleCycle() {
+		return timing.Ticks(e.clock.TicksPerCycle())
+	}
+	return e.lut.CompTicks(timing.InstrAddress(in.Op, actual, in.Lane))
+}
+
+// Clock returns the estimator's clock.
+func (e *Estimator) Clock() timing.Clock { return e.clock }

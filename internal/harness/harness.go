@@ -1,0 +1,282 @@
+// Package harness drives the paper's full evaluation: it builds the fifteen
+// benchmarks (five SPEC-calibrated synthetics, five MiBench kernels, five
+// Table II ML kernels), runs them across the three Table I cores under every
+// scheduler (baseline, ReDSOC, TS, MOS), applies the per-application-class
+// slack-threshold sweep of Sec. VI-C, and renders each of the paper's
+// figures and tables as text (Fig. 1–3, Table I/II, Fig. 10–15, the
+// precision sweep, the power conversion, and the overhead accounting).
+package harness
+
+import (
+	"fmt"
+
+	"redsoc/internal/baseline"
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+	"redsoc/internal/workload/extra"
+	"redsoc/internal/workload/mibench"
+	"redsoc/internal/workload/ml"
+	"redsoc/internal/workload/spec"
+)
+
+// Class labels a benchmark suite, matching the paper's three groups.
+type Class string
+
+const (
+	ClassSPEC Class = "SPEC"
+	ClassMiB  Class = "MiBench"
+	ClassML   Class = "ML"
+)
+
+// Classes lists the three suites in the paper's reporting order.
+func Classes() []Class { return []Class{ClassSPEC, ClassMiB, ClassML} }
+
+// Benchmark is one workload plus its verification data.
+type Benchmark struct {
+	Class Class
+	Name  string
+	Prog  *isa.Program
+	// WantMem maps result addresses to required final values (empty for the
+	// synthetic traces, which are verified by cross-scheduler equivalence).
+	WantMem map[uint64]uint64
+}
+
+// Scale selects evaluation sizes: Quick for tests/benches, Full for the
+// redsoc-bench command.
+type Scale int
+
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Benchmarks builds all fifteen workloads at the given scale.
+func Benchmarks(s Scale) []Benchmark {
+	specN := 20000
+	if s == Quick {
+		specN = 5000
+	}
+	var out []Benchmark
+	for _, p := range spec.Suite(specN) {
+		out = append(out, Benchmark{Class: ClassSPEC, Name: p.Name, Prog: p})
+	}
+	mib := mibench.Suite()
+	if s == Quick {
+		mib = []mibench.Kernel{
+			{Name: "corners", Build: func() (*isa.Program, mibench.Expected) { return mibench.Corners(20, 16, 11) }},
+			{Name: "strsearch", Build: func() (*isa.Program, mibench.Expected) { return mibench.StrSearch(800, 12) }},
+			{Name: "gsm", Build: func() (*isa.Program, mibench.Expected) { return mibench.GSM(150, 13) }},
+			{Name: "crc", Build: func() (*isa.Program, mibench.Expected) { return mibench.CRC(600, 14) }},
+			{Name: "bitcnt", Build: func() (*isa.Program, mibench.Expected) { return mibench.Bitcount(450, 15) }},
+		}
+	}
+	for _, k := range mib {
+		p, exp := k.Build()
+		out = append(out, Benchmark{Class: ClassMiB, Name: k.Name, Prog: p, WantMem: exp.Mem})
+	}
+	mlk := ml.Suite()
+	if s == Quick {
+		mlk = []ml.Kernel{
+			{Name: "act", Build: func() (*isa.Program, ml.Expected) { return ml.Act(700, 21) }},
+			{Name: "pool0", Build: func() (*isa.Program, ml.Expected) { return ml.Pool0(64, 32, 22) }},
+			{Name: "conv", Build: func() (*isa.Program, ml.Expected) { return ml.Conv(48, 32, 23) }},
+			{Name: "pool1", Build: func() (*isa.Program, ml.Expected) { return ml.Pool1(64, 32, 24) }},
+			{Name: "softmax", Build: func() (*isa.Program, ml.Expected) { return ml.Softmax(250, 25) }},
+		}
+	}
+	for _, k := range mlk {
+		p, exp := k.Build()
+		out = append(out, Benchmark{Class: ClassML, Name: k.Name, Prog: p, WantMem: exp.Mem})
+	}
+	return out
+}
+
+// ClassExtra labels the beyond-the-paper kernels (sha256, dijkstra, qsort);
+// they are not part of the Fig. 13 grid but are available to the tools.
+const ClassExtra Class = "Extra"
+
+// Extras returns the beyond-the-paper kernels.
+func Extras() []Benchmark {
+	var out []Benchmark
+	for _, k := range extra.Suite() {
+		p, exp := k.Build()
+		out = append(out, Benchmark{Class: ClassExtra, Name: k.Name, Prog: p, WantMem: exp.Mem})
+	}
+	return out
+}
+
+// Cores returns the three Table I cores, Big first (the paper's ordering).
+func Cores() []ooo.Config {
+	return []ooo.Config{ooo.BigConfig(), ooo.MediumConfig(), ooo.SmallConfig()}
+}
+
+// Cell is the full comparison for one benchmark on one core, at the
+// class-tuned slack threshold.
+type Cell struct {
+	Benchmark Benchmark
+	Core      string
+	Threshold int
+	Cmp       *baseline.Comparison
+}
+
+// Grid holds the entire evaluation.
+type Grid struct {
+	Cells []Cell
+	// ChosenThreshold[class][core] is the Sec. VI-C design-sweep result.
+	ChosenThreshold map[Class]map[string]int
+}
+
+// ThresholdCandidates is the Sec. VI-C design-sweep range.
+var ThresholdCandidates = []int{4, 5, 6, 7}
+
+// Options tunes a grid run.
+type Options struct {
+	// SweepThreshold enables the per-class × per-core threshold sweep; when
+	// false the default (6/8 cycle) is used everywhere.
+	SweepThreshold bool
+	// Progress, if non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// Run executes the grid.
+func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error) {
+	g := &Grid{ChosenThreshold: map[Class]map[string]int{}}
+	byClass := map[Class][]Benchmark{}
+	for _, b := range benchmarks {
+		byClass[b.Class] = append(byClass[b.Class], b)
+	}
+	for _, class := range Classes() {
+		bs := byClass[class]
+		if len(bs) == 0 {
+			continue
+		}
+		g.ChosenThreshold[class] = map[string]int{}
+		for _, cfg := range cores {
+			th, err := chooseThreshold(bs, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			g.ChosenThreshold[class][cfg.Name] = th
+			for _, b := range bs {
+				c := cfg
+				cmp, err := compareAt(c, b, th)
+				if err != nil {
+					return nil, fmt.Errorf("harness: %s on %s: %w", b.Name, cfg.Name, err)
+				}
+				if err := verify(b, cmp); err != nil {
+					return nil, err
+				}
+				g.Cells = append(g.Cells, Cell{Benchmark: b, Core: cfg.Name, Threshold: th, Cmp: cmp})
+				if opts.Progress != nil {
+					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
+						class, b.Name, cfg.Name,
+						100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1)))
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// chooseThreshold runs the Sec. VI-C design sweep: pick the slack threshold
+// that maximizes the class's mean speedup on this core.
+func chooseThreshold(bs []Benchmark, cfg ooo.Config, opts Options) (int, error) {
+	if !opts.SweepThreshold {
+		return cfg.WithPolicy(ooo.PolicyRedsoc).Redsoc.ThresholdTicks, nil
+	}
+	best, bestGain := ThresholdCandidates[0], -1.0
+	for _, th := range ThresholdCandidates {
+		total := 0.0
+		for _, b := range bs {
+			base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
+			if err != nil {
+				return 0, err
+			}
+			rc := cfg.WithPolicy(ooo.PolicyRedsoc)
+			rc.Redsoc.ThresholdTicks = th
+			red, err := ooo.Run(rc, b.Prog)
+			if err != nil {
+				return 0, err
+			}
+			total += red.SpeedupOver(base)
+		}
+		if total > bestGain {
+			best, bestGain = th, total
+		}
+	}
+	return best, nil
+}
+
+// compareAt runs the four schedulers with the given ReDSOC threshold.
+func compareAt(cfg ooo.Config, b Benchmark, threshold int) (*baseline.Comparison, error) {
+	c := cfg
+	cmp, err := baselineCompareWithThreshold(c, b.Prog, threshold)
+	return cmp, err
+}
+
+func baselineCompareWithThreshold(cfg ooo.Config, prog *isa.Program, threshold int) (*baseline.Comparison, error) {
+	base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), prog)
+	if err != nil {
+		return nil, err
+	}
+	rc := cfg.WithPolicy(ooo.PolicyRedsoc)
+	rc.Redsoc.ThresholdTicks = threshold
+	red, err := ooo.Run(rc, prog)
+	if err != nil {
+		return nil, err
+	}
+	mos, err := ooo.Run(cfg.WithPolicy(ooo.PolicyMOS), prog)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := baseline.RunTS(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if !red.ArchEqual(base) || !mos.ArchEqual(base) {
+		return nil, fmt.Errorf("harness: architectural divergence on %s/%s", prog.Name, cfg.Name)
+	}
+	return &baseline.Comparison{
+		Benchmark: prog.Name, Core: cfg.Name,
+		Baseline: base, Redsoc: red, MOS: mos, TS: ts,
+	}, nil
+}
+
+// verify checks a kernel's reference results on every scheduler's final
+// memory.
+func verify(b Benchmark, cmp *baseline.Comparison) error {
+	for addr, want := range b.WantMem {
+		for _, res := range []*ooo.Result{cmp.Baseline, cmp.Redsoc, cmp.MOS} {
+			if got := res.FinalMem[addr]; got != want {
+				return fmt.Errorf("harness: %s/%s/%s mem[%#x] = %#x, want %#x",
+					b.Name, cmp.Core, res.Config.Policy, addr, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CellsOf filters the grid by class and/or core ("" = all).
+func (g *Grid) CellsOf(class Class, core string) []Cell {
+	var out []Cell
+	for _, c := range g.Cells {
+		if (class == "" || c.Benchmark.Class == class) && (core == "" || c.Core == core) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClassMeanSpeedup returns the arithmetic-mean ReDSOC speedup (in percent
+// over baseline) for a class × core, as Fig. 13 reports.
+func (g *Grid) ClassMeanSpeedup(class Class, core string) float64 {
+	cells := g.CellsOf(class, core)
+	if len(cells) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cells {
+		sum += 100 * (c.Cmp.RedsocSpeedup() - 1)
+	}
+	return sum / float64(len(cells))
+}

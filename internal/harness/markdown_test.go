@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	g := miniGrid(t)
+	var sb strings.Builder
+	if err := g.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Fig. 13", "## Fig. 15", "## Fig. 11 / Fig. 12 / Fig. 14",
+		"## Sec. VI-C", "SPEC-MEAN", "MiBench-MEAN", "ML-MEAN",
+		"(paper +23%)", "| Big:SPEC |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Every grid benchmark must appear.
+	for _, n := range g.benchmarkNames() {
+		if !strings.Contains(out, "| "+n+" |") {
+			t.Errorf("markdown missing benchmark row %q", n)
+		}
+	}
+}

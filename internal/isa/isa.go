@@ -1,0 +1,263 @@
+// Package isa defines the miniature ARM-style instruction set used by the
+// ReDSOC simulator: the opcodes of Fig. 1 of the paper (logic, shift,
+// arithmetic and shifted-arithmetic ALU operations), NEON-like sub-word SIMD
+// operations, and the multi-cycle, memory and control operations needed to
+// model whole programs.
+//
+// Instructions are represented in their dynamic (trace) form: branches are
+// pre-resolved, so a program is simply the sequence of instructions a core
+// would see on the correct path. The simulator executes them functionally,
+// which lets tests assert that slack recycling never changes architectural
+// results.
+package isa
+
+import "fmt"
+
+// Op identifies an operation. The first block mirrors the 23 ALU operations
+// characterized in Fig. 1 of the paper.
+type Op uint8
+
+const (
+	// OpNOP performs no work; it is also the zero value of Op.
+	OpNOP Op = iota
+
+	// Logic operations (no carry chain: bit-parallel, width-independent).
+	OpBIC // Rd = Rn &^ Op2
+	OpMVN // Rd = ^Op2
+	OpAND // Rd = Rn & Op2
+	OpEOR // Rd = Rn ^ Op2
+	OpTST // flags(Rn & Op2)
+	OpTEQ // flags(Rn ^ Op2)
+	OpORR // Rd = Rn | Op2
+	OpMOV // Rd = Op2
+
+	// Shift/rotate operations (barrel shifter).
+	OpLSR // Rd = Rn >> amt (logical)
+	OpASR // Rd = Rn >> amt (arithmetic)
+	OpLSL // Rd = Rn << amt
+	OpROR // Rd = rotate-right(Rn, amt)
+	OpRRX // Rd = rotate-right-extend(Rn) through carry
+
+	// Arithmetic operations (carry chain: width-dependent delay).
+	OpRSB // Rd = Op2 - Rn
+	OpRSC // Rd = Op2 - Rn - !C
+	OpSUB // Rd = Rn - Op2
+	OpCMP // flags(Rn - Op2)
+	OpADD // Rd = Rn + Op2
+	OpCMN // flags(Rn + Op2)
+	OpADC // Rd = Rn + Op2 + C   (paper: ADDC)
+	OpSBC // Rd = Rn - Op2 - !C  (paper: SUBC)
+
+	// Shifted-arithmetic operations: the flexible second operand is shifted
+	// before the add/sub. These trigger the unit's critical path.
+	OpADDLSR // Rd = Rn + (Op2 >> amt)
+	OpSUBROR // Rd = Rn - ror(Op2, amt)
+
+	// Multi-cycle integer operations.
+	OpMUL // Rd = Rn * Op2 (low 64 bits)
+	OpMLA // Rd = Rn * Op2 + Ra (multiply-accumulate)
+	OpDIV // Rd = Rn / Op2 (unsigned; long latency)
+
+	// Floating point (modeled as multi-cycle bit-pattern transforms).
+	OpFADD
+	OpFMUL
+	OpFDIV
+
+	// Memory operations. Effective addresses are carried in the instruction
+	// (trace form); LDR consumes Src1 as the base for dependency purposes.
+	OpLDR
+	OpSTR
+
+	// Control. Branches are pre-resolved in trace form; OpB consumes Src1 as
+	// its condition input to preserve dependency structure.
+	OpB
+
+	// SIMD (NEON-like) operations over 128-bit vector registers split into
+	// Lane-sized elements. Integer element ops are single cycle and support
+	// transparent flow; VMUL/VMLA are multi-cycle with late accumulation.
+	OpVADD
+	OpVSUB
+	OpVAND
+	OpVORR
+	OpVEOR
+	OpVMAX
+	OpVMIN
+	OpVSHL
+	OpVSHR
+	OpVMUL
+	OpVMLA
+	OpVMOV
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes, for table sizing.
+const NumOps = int(numOps)
+
+// Class partitions opcodes by execution resource and timing behaviour.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	// ClassLogic: single-cycle bit-parallel ALU ops; width-independent delay.
+	ClassLogic
+	// ClassShift: single-cycle barrel-shifter ops.
+	ClassShift
+	// ClassArith: single-cycle carry-chain ALU ops; width-dependent delay.
+	ClassArith
+	// ClassShiftArith: shift feeding the adder; the unit's critical path.
+	ClassShiftArith
+	// ClassMul: pipelined multi-cycle integer multiply.
+	ClassMul
+	// ClassDiv: long-latency unpipelined divide.
+	ClassDiv
+	// ClassFP: pipelined floating point.
+	ClassFP
+	// ClassLoad and ClassStore: memory operations through the LSQ.
+	ClassLoad
+	ClassStore
+	// ClassBranch: control; single cycle on an ALU port.
+	ClassBranch
+	// ClassSIMD: single-cycle integer vector ops (slack depends on lane type).
+	ClassSIMD
+	// ClassSIMDMul: multi-cycle vector multiply/accumulate.
+	ClassSIMDMul
+	numClasses
+)
+
+// NumClasses is the number of defined classes, for table sizing.
+const NumClasses = int(numClasses)
+
+var opClass = [NumOps]Class{
+	OpNOP: ClassNop,
+	OpBIC: ClassLogic, OpMVN: ClassLogic, OpAND: ClassLogic, OpEOR: ClassLogic,
+	OpTST: ClassLogic, OpTEQ: ClassLogic, OpORR: ClassLogic, OpMOV: ClassLogic,
+	OpLSR: ClassShift, OpASR: ClassShift, OpLSL: ClassShift, OpROR: ClassShift,
+	OpRRX: ClassShift,
+	OpRSB: ClassArith, OpRSC: ClassArith, OpSUB: ClassArith, OpCMP: ClassArith,
+	OpADD: ClassArith, OpCMN: ClassArith, OpADC: ClassArith, OpSBC: ClassArith,
+	OpADDLSR: ClassShiftArith, OpSUBROR: ClassShiftArith,
+	OpMUL: ClassMul, OpMLA: ClassMul, OpDIV: ClassDiv,
+	OpFADD: ClassFP, OpFMUL: ClassFP, OpFDIV: ClassFP,
+	OpLDR: ClassLoad, OpSTR: ClassStore,
+	OpB:    ClassBranch,
+	OpVADD: ClassSIMD, OpVSUB: ClassSIMD, OpVAND: ClassSIMD, OpVORR: ClassSIMD,
+	OpVEOR: ClassSIMD, OpVMAX: ClassSIMD, OpVMIN: ClassSIMD, OpVSHL: ClassSIMD,
+	OpVSHR: ClassSIMD, OpVMOV: ClassSIMD,
+	OpVMUL: ClassSIMDMul,
+	// VMLA supports late forwarding of the accumulate operand (Cortex-A57
+	// optimization guide; paper Sec. V): the multiply pipelines off the
+	// early operands while the accumulate add is a single-cycle step, so
+	// back-to-back accumulations execute sequentially and expose type slack.
+	OpVMLA: ClassSIMD,
+}
+
+// Class reports the execution class of the opcode.
+func (o Op) Class() Class {
+	if int(o) < len(opClass) {
+		return opClass[o]
+	}
+	return ClassNop
+}
+
+// IsALU reports whether the opcode is a single-cycle scalar ALU operation
+// (the only scalar ops eligible for slack recycling).
+func (o Op) IsALU() bool {
+	switch o.Class() {
+	case ClassLogic, ClassShift, ClassArith, ClassShiftArith:
+		return true
+	}
+	return false
+}
+
+// IsSIMD reports whether the opcode executes on the SIMD pipes.
+func (o Op) IsSIMD() bool {
+	c := o.Class()
+	return c == ClassSIMD || c == ClassSIMDMul
+}
+
+// IsMem reports whether the opcode is a memory operation.
+func (o Op) IsMem() bool {
+	c := o.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// SingleCycle reports whether the opcode completes in one clock in the
+// baseline design. Only single-cycle operations participate in transparent
+// dataflow (paper Sec. IV: multi-cycle ops are "true synchronous").
+func (o Op) SingleCycle() bool {
+	switch o.Class() {
+	case ClassLogic, ClassShift, ClassArith, ClassShiftArith, ClassBranch, ClassSIMD:
+		return true
+	}
+	return false
+}
+
+// WritesFlags reports whether the opcode's only architectural effect is the
+// flags register.
+func (o Op) WritesFlags() bool {
+	switch o {
+	case OpTST, OpTEQ, OpCMP, OpCMN:
+		return true
+	}
+	return false
+}
+
+// ReadsCarry reports whether the opcode consumes the carry flag.
+func (o Op) ReadsCarry() bool {
+	switch o {
+	case OpADC, OpSBC, OpRSC, OpRRX:
+		return true
+	}
+	return false
+}
+
+var opNames = [NumOps]string{
+	OpNOP: "NOP",
+	OpBIC: "BIC", OpMVN: "MVN", OpAND: "AND", OpEOR: "EOR", OpTST: "TST",
+	OpTEQ: "TEQ", OpORR: "ORR", OpMOV: "MOV",
+	OpLSR: "LSR", OpASR: "ASR", OpLSL: "LSL", OpROR: "ROR", OpRRX: "RRX",
+	OpRSB: "RSB", OpRSC: "RSC", OpSUB: "SUB", OpCMP: "CMP", OpADD: "ADD",
+	OpCMN: "CMN", OpADC: "ADC", OpSBC: "SBC",
+	OpADDLSR: "ADD-LSR", OpSUBROR: "SUB-ROR",
+	OpMUL: "MUL", OpMLA: "MLA", OpDIV: "DIV",
+	OpFADD: "FADD", OpFMUL: "FMUL", OpFDIV: "FDIV",
+	OpLDR: "LDR", OpSTR: "STR", OpB: "B",
+	OpVADD: "VADD", OpVSUB: "VSUB", OpVAND: "VAND", OpVORR: "VORR",
+	OpVEOR: "VEOR", OpVMAX: "VMAX", OpVMIN: "VMIN", OpVSHL: "VSHL",
+	OpVSHR: "VSHR", OpVMUL: "VMUL", OpVMLA: "VMLA", OpVMOV: "VMOV",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+var classNames = [NumClasses]string{
+	ClassNop: "nop", ClassLogic: "logic", ClassShift: "shift",
+	ClassArith: "arith", ClassShiftArith: "shift-arith", ClassMul: "mul",
+	ClassDiv: "div", ClassFP: "fp", ClassLoad: "load", ClassStore: "store",
+	ClassBranch: "branch", ClassSIMD: "simd", ClassSIMDMul: "simd-mul",
+}
+
+// String returns a short lowercase name for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) && classNames[c] != "" {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ALUOps lists the 23 single-cycle ALU opcodes in the order of the paper's
+// Fig. 1 x-axis.
+func ALUOps() []Op {
+	return []Op{
+		OpBIC, OpMVN, OpAND, OpEOR, OpTST, OpTEQ, OpORR, OpMOV,
+		OpLSR, OpASR, OpLSL, OpROR, OpRRX,
+		OpRSB, OpRSC, OpSUB, OpCMP, OpADD, OpCMN, OpADC, OpSBC,
+		OpADDLSR, OpSUBROR,
+	}
+}

@@ -1,0 +1,90 @@
+package isa
+
+import "math/bits"
+
+// WidthClass buckets an operation's effective data width into the four
+// classes the slack LUT distinguishes (paper Fig. 3: 2 Width/Type bits).
+type WidthClass uint8
+
+const (
+	Width8          WidthClass = iota // effective width <= 8 bits
+	Width16                           // <= 16 bits
+	Width32                           // <= 32 bits
+	Width64                           // <= 64 bits
+	NumWidthClasses = 4
+)
+
+// Bits returns the nominal bit count of the class.
+func (w WidthClass) Bits() int {
+	switch w {
+	case Width8:
+		return 8
+	case Width16:
+		return 16
+	case Width32:
+		return 32
+	}
+	return 64
+}
+
+// String returns e.g. "w16".
+func (w WidthClass) String() string {
+	switch w {
+	case Width8:
+		return "w8"
+	case Width16:
+		return "w16"
+	case Width32:
+		return "w32"
+	}
+	return "w64"
+}
+
+// EffectiveWidth returns the number of significant low-order bits of v, i.e.
+// 64 minus the count of leading zeros. A zero value has width 1 (the circuit
+// still propagates through bit 0).
+func EffectiveWidth(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return bits.Len64(v)
+}
+
+// ClassifyWidth maps a bit width to its WidthClass. Detection hardware checks
+// the high-order bits of the operands at the FU input ports (paper Sec. II-A,
+// after Brooks & Martonosi).
+func ClassifyWidth(w int) WidthClass {
+	switch {
+	case w <= 8:
+		return Width8
+	case w <= 16:
+		return Width16
+	case w <= 32:
+		return Width32
+	}
+	return Width64
+}
+
+// OperandWidthClass classifies the joint effective width of an operation's
+// operands: the carry chain is exercised up to the widest operand.
+func OperandWidthClass(a, b uint64) WidthClass {
+	wa, wb := EffectiveWidth(a), EffectiveWidth(b)
+	if wb > wa {
+		wa = wb
+	}
+	return ClassifyWidth(wa)
+}
+
+// LaneWidthClass maps a SIMD lane width to the Width/Type bits of the slack
+// LUT (paper: data type comes from the ISA, not from value inspection).
+func LaneWidthClass(l Lane) WidthClass {
+	switch l {
+	case Lane8:
+		return Width8
+	case Lane16:
+		return Width16
+	case Lane32:
+		return Width32
+	}
+	return Width64
+}

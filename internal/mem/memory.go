@@ -1,0 +1,61 @@
+package mem
+
+// Memory is the functional backing store: a sparse 64-bit word store keyed by
+// 8-byte-aligned addresses. The trace builders lay data out at aligned
+// addresses, so sub-word packing is not needed; vector accesses use two
+// consecutive words.
+type Memory struct {
+	words map[uint64]uint64
+}
+
+// NewMemory returns an empty store.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint64]uint64)}
+}
+
+// NewMemoryFrom copies an initial image (so a Program can be rerun).
+func NewMemoryFrom(image map[uint64]uint64) *Memory {
+	m := NewMemory()
+	for a, v := range image {
+		m.words[align8(a)] = v
+	}
+	return m
+}
+
+func align8(addr uint64) uint64 { return addr &^ 7 }
+
+// Read64 returns the word at the (aligned) address; unwritten memory is zero.
+func (m *Memory) Read64(addr uint64) uint64 {
+	return m.words[align8(addr)]
+}
+
+// Write64 stores a word.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	m.words[align8(addr)] = v
+}
+
+// Read128 returns the 128-bit value at addr (lo word first).
+func (m *Memory) Read128(addr uint64) (lo, hi uint64) {
+	a := align8(addr)
+	return m.words[a], m.words[a+8]
+}
+
+// Write128 stores a 128-bit value.
+func (m *Memory) Write128(addr uint64, lo, hi uint64) {
+	a := align8(addr)
+	m.words[a] = lo
+	m.words[a+8] = hi
+}
+
+// Snapshot copies the current contents (for end-of-run architectural
+// comparison between schedulers).
+func (m *Memory) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		out[a] = v
+	}
+	return out
+}
+
+// Len returns the number of touched words.
+func (m *Memory) Len() int { return len(m.words) }

@@ -1,0 +1,55 @@
+package ooo
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload"
+)
+
+// TestDynamicThresholdAdapts: on a long high-slack chain with idle FUs the
+// controller should raise the threshold toward the full cycle; results must
+// stay architecturally identical.
+func TestDynamicThresholdAdapts(t *testing.T) {
+	b := workload.NewBuilder("adapt")
+	b.MovImm(isa.R(1), 0x55)
+	b.MovImm(isa.R(2), 0x33)
+	b.At(0x2000)
+	for i := 0; i < 6000; i++ {
+		b.Op3(isa.OpEOR, isa.R(1), isa.R(1), isa.R(2))
+	}
+	p := b.Build()
+
+	base := run(t, BigConfig(), p)
+	cfg := BigConfig().WithPolicy(PolicyRedsoc)
+	cfg.Redsoc.ThresholdTicks = 4 // start low
+	cfg.Redsoc.DynamicThreshold = true
+	dyn := run(t, cfg, p)
+	if !dyn.ArchEqual(base) {
+		t.Fatal("dynamic threshold changed architectural results")
+	}
+	if dyn.ThresholdAdjustments == 0 {
+		t.Fatal("controller never adapted on a long run")
+	}
+	if dyn.FinalThreshold <= 4 {
+		t.Fatalf("final threshold = %d, want raised above the starting 4", dyn.FinalThreshold)
+	}
+	// The adapted run should at least match the static low threshold.
+	static := BigConfig().WithPolicy(PolicyRedsoc)
+	static.Redsoc.ThresholdTicks = 4
+	st := run(t, static, p)
+	if dyn.Cycles > st.Cycles {
+		t.Fatalf("adaptation hurt: dynamic %d vs static %d cycles", dyn.Cycles, st.Cycles)
+	}
+}
+
+func TestDynamicThresholdOffByDefault(t *testing.T) {
+	p := longChain(isa.OpEOR, 200)
+	res := run(t, BigConfig().WithPolicy(PolicyRedsoc), p)
+	if res.ThresholdAdjustments != 0 {
+		t.Fatal("controller must be off unless requested")
+	}
+	if res.FinalThreshold != BigConfig().WithPolicy(PolicyRedsoc).Redsoc.ThresholdTicks {
+		t.Fatalf("final threshold = %d", res.FinalThreshold)
+	}
+}

@@ -1,0 +1,530 @@
+package ooo
+
+import (
+	"fmt"
+	"sort"
+
+	"redsoc/internal/alu"
+	"redsoc/internal/core"
+	"redsoc/internal/isa"
+	"redsoc/internal/mem"
+	"redsoc/internal/timing"
+)
+
+// issueParams returns the slack parameters the scheduler's eligibility logic
+// runs with: the configured ones under ReDSOC, none otherwise.
+func (s *Simulator) issueParams() core.Params {
+	if s.cfg.Policy == PolicyRedsoc {
+		return s.params
+	}
+	return core.Params{}
+}
+
+// awake reports whether a producer's (tag, CI) broadcast is visible to
+// selection at the given cycle: broadcasts are visible from the cycle after
+// they happen (same-cycle visibility is exactly what EGPW exists for).
+func awake(p *entry, cycle int64) bool {
+	return p != nil && p.broadcastCycle >= 0 && p.broadcastCycle < cycle
+}
+
+// tracksAllParents reports whether this entry's wakeup monitors every parent
+// tag: baseline/MOS cores do (2 tags per RSE), the ReDSOC Illustrative
+// design does, and the Operational design falls back to it after a
+// last-arrival misprediction.
+func (s *Simulator) tracksAllParents(e *entry) bool {
+	if s.cfg.Policy != PolicyRedsoc {
+		return true
+	}
+	return s.params.Design == core.Illustrative || e.validated
+}
+
+// canTransparent reports whether the op may evaluate through the transparent
+// bypass under the current policy.
+func (s *Simulator) canTransparent(e *entry) bool {
+	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && transparentCapable(e.in.Op)
+}
+
+// trackedReady returns whether the entry's tracked parents have all
+// broadcast, and the latest tracked completion instant. This is the
+// hardware's view at wakeup; untracked operands are validated at issue.
+func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
+	var ready timing.Ticks
+	consider := func(p *entry) bool {
+		if p == nil {
+			return true
+		}
+		if !awake(p, cycle) {
+			return false
+		}
+		if p.estComp > ready {
+			ready = p.estComp
+		}
+		return true
+	}
+	if s.tracksAllParents(e) {
+		for i := 0; i < e.nsrc; i++ {
+			if !consider(e.srcs[i].producer) {
+				return false, 0
+			}
+		}
+	} else if e.lastIdx >= 0 {
+		if !consider(e.srcs[e.lastIdx].producer) {
+			return false, 0
+		}
+	}
+	// Loads additionally respect their memory dependence.
+	if e.isLoad && len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
+		if forwardable(dep, e) {
+			if !consider(dep) {
+				return false, 0
+			}
+		} else if dep.state != stCommitted {
+			return false, 0
+		}
+	}
+	return true, ready
+}
+
+// specEligible reports whether the entry can place a speculative EGPW
+// request: parent not yet awake, grandparent tag seen (Sec. IV-B).
+func (s *Simulator) specEligible(e *entry, cycle int64) bool {
+	if s.cfg.Policy != PolicyRedsoc || !s.params.EGPW || !s.canTransparent(e) {
+		return false
+	}
+	if e.lastIdx < 0 {
+		return false
+	}
+	p := e.srcs[e.lastIdx].producer
+	if awake(p, cycle) {
+		return false // conventional wakeup covers it
+	}
+	return awake(e.gp, cycle)
+}
+
+// issue runs one wakeup–select–execute round.
+func (s *Simulator) issue(cycle int64) {
+	window := s.clock.CycleStart(cycle + 1)
+	params := s.issueParams()
+
+	type request struct {
+		e    *entry
+		spec bool
+	}
+	var reqs [numFUKinds][]request
+	for _, e := range s.rs {
+		if e.state != stWaiting {
+			continue
+		}
+		if ok, ready := s.trackedReady(e, cycle); ok {
+			if params.IssueEligible(s.clock, window, ready, s.canTransparent(e)) {
+				reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: false})
+			}
+			continue
+		}
+		if s.specEligible(e, cycle) {
+			reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: true})
+		}
+	}
+
+	var granted []request
+	stalled := false
+	for k := fuKind(0); k < numFUKinds; k++ {
+		rk := reqs[k]
+		if len(rk) == 0 {
+			continue
+		}
+		free := s.fus[k].free(cycle + 1)
+		conv := 0
+		arb := make([]core.Request, len(rk))
+		for i, r := range rk {
+			arb[i] = core.Request{Age: r.e.seq, Spec: r.spec}
+			if !r.spec {
+				conv++
+			}
+		}
+		if conv > free {
+			stalled = true
+		}
+		for _, gi := range s.arbiter.Grant(arb, free) {
+			granted = append(granted, rk[gi])
+		}
+	}
+	if stalled {
+		s.res.FUStallCycles++
+	}
+
+	// Process grants in age order so producers execute before same-cycle
+	// (EGPW-woken) consumers.
+	sort.Slice(granted, func(a, b int) bool { return granted[a].e.seq < granted[b].e.seq })
+	issuedAny := false
+	for _, g := range granted {
+		if s.issueEntry(g.e, cycle, g.spec) {
+			issuedAny = true
+		}
+	}
+	if issuedAny {
+		s.res.IssueCycles++
+	}
+
+	// Compact the reservation stations.
+	live := s.rs[:0]
+	for _, e := range s.rs {
+		if e.state == stWaiting {
+			live = append(live, e)
+		}
+	}
+	s.rs = live
+}
+
+// issueEntry consumes one select grant: validate operand availability, plan
+// the execution window, allocate the FU, execute functionally, and broadcast
+// (tag, CI). Returns false if the grant was cancelled (wasted).
+func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
+	window := s.clock.CycleStart(cycle + 1)
+	tpc := timing.Ticks(s.clock.TicksPerCycle())
+	params := s.issueParams()
+
+	if spec {
+		// A GP-woken child may only issue alongside its parent: the grant is
+		// wasted if the parent was not selected this very cycle (skewed
+		// selection makes this rare), or if there is no slack to recycle.
+		p := e.srcs[e.lastIdx].producer
+		if p == nil || p.broadcastCycle != cycle {
+			s.res.GPWakeupWasted++
+			return false
+		}
+	}
+
+	// Gather the true readiness over every operand (the register-read /
+	// scoreboard validation of the Operational design).
+	var trueReady timing.Ticks
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i].producer
+		if p == nil {
+			continue
+		}
+		if p.broadcastCycle < 0 {
+			// An untracked operand is not even in flight towards a value:
+			// last-arrival misprediction. Cancel and fall back to all-tag
+			// wakeup for this entry.
+			return s.cancelGrant(e, spec)
+		}
+		if p.estComp > trueReady {
+			trueReady = p.estComp
+		}
+	}
+	var fwdDep *entry
+	if e.isLoad && len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
+		if dep.state != stCommitted {
+			fwdDep = dep
+			if dep.estComp > trueReady {
+				trueReady = dep.estComp
+			}
+		}
+	}
+	transparent := s.canTransparent(e)
+	if !params.IssueEligible(s.clock, window, trueReady, transparent) {
+		return s.cancelGrant(e, spec)
+	}
+
+	// Plan the execution window and FU occupancy.
+	var (
+		sched     core.Schedule
+		occupancy int
+	)
+	class := e.in.Op.Class()
+	switch {
+	case transparent:
+		var ok bool
+		sched, ok = core.PlanTransparent(s.clock, window, trueReady, e.exTicks)
+		if !ok {
+			return s.cancelGrant(e, spec)
+		}
+		occupancy = sched.FUCycles
+	case e.isLoad:
+		lat := s.loadLatency(e, fwdDep)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		occupancy = 1 // address-generation slot; the cache is pipelined
+	case e.isStore:
+		s.hier.Access(e.in.Addr) // write-allocate; buffered, latency hidden
+		s.res.Mix.MemLL++
+		sched = core.PlanSynchronous(s.clock, window, trueReady, tpc)
+		occupancy = 1
+	case class == isa.ClassDiv:
+		lat := timing.MultiCycleLatency(class)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		occupancy = lat // unpipelined
+	default:
+		lat := timing.MultiCycleLatency(class)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		occupancy = 1 // pipelined
+	}
+	if !s.fus[e.fu].allocate(cycle+1, occupancy) {
+		panic(fmt.Sprintf("ooo: FU overcommit on %v at cycle %d", e.fu, cycle))
+	}
+
+	out := s.execute(e, fwdDep)
+
+	// Width-prediction validation (Sec. II-B): aggressive mispredictions are
+	// replayed via selective reissue — the op re-executes synchronously two
+	// cycles later with its corrected EX-TIME.
+	if e.est.Predicted && e.in.Op.SingleCycle() {
+		if s.estimator.Validate(e.in, e.est, out.ActualWidth) {
+			s.res.WidthReplays++
+			e.exTicks = s.estimator.CorrectedTicks(e.in, out.ActualWidth)
+			sched = core.PlanSynchronous(s.clock, window+2*tpc, trueReady, tpc)
+			e.replays++
+		}
+	}
+
+	// Transparent-sequence accounting.
+	if sched.Recycled {
+		s.res.RecycledOps++
+		if sched.FUCycles == 2 {
+			s.res.TwoCycleHolds++
+		}
+		if prod := s.producerAt(e, sched.Start); prod != nil {
+			e.chainLen = prod.chainLen + 1
+			prod.extended = true
+		} else {
+			e.chainLen = 1
+		}
+	} else {
+		e.chainLen = 1
+	}
+	if spec {
+		s.res.GPWakeupGrants++
+	}
+
+	s.trainLastArrival(e)
+	s.classify(e, out)
+
+	e.sched = sched
+	e.estComp = sched.Comp
+	e.broadcastCycle = cycle
+	e.state = stIssued
+	if s.tracer != nil {
+		s.tracer.issue(cycle, e, spec)
+	}
+
+	if s.cfg.Policy == PolicyMOS {
+		s.tryFuse(e, cycle)
+	}
+	return true
+}
+
+// cancelGrant handles a validation failure at issue: the grant is wasted and
+// the entry reverts to all-tag wakeup (replaying like a latency
+// misprediction, at lower cost). The recovery also trains the last-arrival
+// predictor — the cancel itself identifies the operand that was late.
+func (s *Simulator) cancelGrant(e *entry, spec bool) bool {
+	if spec {
+		s.res.GPWakeupWasted++
+	} else {
+		s.res.TagMispredicts++
+		s.trainLastArrival(e)
+	}
+	if s.tracer != nil {
+		s.tracer.cancel(e.dispatchCycle, e, spec)
+	}
+	e.validated = true
+	return false
+}
+
+// producerAt finds the source producer whose completion instant the recycled
+// op started at.
+func (s *Simulator) producerAt(e *entry, start timing.Ticks) *entry {
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.estComp == start {
+			return p
+		}
+	}
+	return nil
+}
+
+// loadLatency resolves a load's latency: store-forwarded loads cost an L1
+// hit; others probe the hierarchy. Classification for Fig. 10 happens here.
+func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
+	if fwdDep != nil && forwardable(fwdDep, e) {
+		s.res.Mix.MemLL++
+		e.memLat = s.cfg.Mem.L1Latency
+		return e.memLat
+	}
+	lat, level := s.hier.Access(e.in.Addr)
+	if level == mem.LevelL1 {
+		s.res.Mix.MemLL++
+	} else {
+		s.res.Mix.MemHL++
+	}
+	e.memLat = lat
+	return lat
+}
+
+// execute computes the entry's architectural result.
+func (s *Simulator) execute(e *entry, fwdDep *entry) alu.Outcome {
+	var ops alu.Operands
+	if e.iSrc1 >= 0 {
+		ops.Src1 = e.srcValue(int(e.iSrc1))
+	}
+	if e.iSrc2 >= 0 {
+		ops.Src2 = e.srcValue(int(e.iSrc2))
+	}
+	if e.iSrc3 >= 0 {
+		ops.Src3 = e.srcValue(int(e.iSrc3))
+	}
+	if e.iFlags >= 0 {
+		ops.FlagsIn = alu.UnpackFlags(e.srcValue(int(e.iFlags)))
+	}
+	if e.isLoad {
+		ops.MemValue = s.loadValue(e, fwdDep)
+	}
+	out := alu.Exec(e.in, &ops)
+	e.result = out.Result
+	e.flagsOut = out.FlagsOut
+	e.writesFlags = out.WritesFlags
+	e.actualWidth = out.ActualWidth
+	e.delayPS = out.DelayPS
+	return out
+}
+
+// loadValue resolves a load's data: forwarded from the youngest overlapping
+// in-flight store, or read from (committed) memory.
+func (s *Simulator) loadValue(e *entry, fwdDep *entry) alu.Value {
+	if fwdDep != nil {
+		sLo, _ := addrRange(fwdDep.in)
+		lLo, lHi := addrRange(e.in)
+		v := fwdDep.result
+		if lHi-lLo == 16 {
+			return v // 128-bit load fully covered by a 128-bit store
+		}
+		if lLo == sLo {
+			return alu.Value{Lo: v.Lo}
+		}
+		return alu.Value{Lo: v.Hi} // second word of a 128-bit store
+	}
+	if e.in.Dst.IsVec() {
+		lo, hi := s.memory.Read128(e.in.Addr)
+		return alu.Value{Lo: lo, Hi: hi}
+	}
+	return alu.Value{Lo: s.memory.Read64(e.in.Addr)}
+}
+
+// trainLastArrival updates the last-arrival predictor with the operand that
+// actually arrived last (Fig. 12's accuracy statistic). A prediction is
+// correct when no *other* operand arrives strictly later than the tracked
+// one — a tie means both values were available at register read, which is
+// exactly what the scoreboard validates.
+func (s *Simulator) trainLastArrival(e *entry) {
+	if !e.multiSrc {
+		return
+	}
+	var cands []int
+	for i := 0; i < e.nsrc; i++ {
+		if e.srcs[i].producer != nil {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) < 2 {
+		return
+	}
+	comp := func(i int) timing.Ticks {
+		p := e.srcs[i].producer
+		if p.broadcastCycle < 0 {
+			return timing.Ticks(1 << 62) // not yet issued: arrives last for sure
+		}
+		return p.estComp
+	}
+	pred := 0
+	if e.lastIdx == cands[1] {
+		pred = 1
+	}
+	actual := pred
+	if comp(cands[1-pred]) > comp(cands[pred]) {
+		actual = 1 - pred
+	}
+	s.lastPred.Update(e.in.PC, pred, actual)
+}
+
+// classify buckets the op for Fig. 10 and records the actual-delay histogram
+// consumed by the timing-speculation comparator. Memory ops were classified
+// at latency resolution.
+func (s *Simulator) classify(e *entry, out alu.Outcome) {
+	op := e.in.Op
+	switch {
+	case op.IsMem():
+		// counted in loadLatency / the store path
+	case op.Class() == isa.ClassSIMD:
+		s.res.Mix.SIMD++
+	case !op.SingleCycle():
+		s.res.Mix.OtherMulti++
+	case timing.IsHighSlack(out.DelayPS):
+		s.res.Mix.ALUHS++
+	default:
+		s.res.Mix.ALULS++
+	}
+	if op.SingleCycle() && out.DelayPS <= timing.ClockPS {
+		s.res.DelayHistogram[out.DelayPS]++
+	} else if !op.SingleCycle() {
+		// Multi-cycle and memory pipeline stages bound timing speculation
+		// (they can err on every cycle too); record their limiting stage.
+		s.res.DelayHistogram[timing.StageDelayPS(op.Class())]++
+	}
+}
+
+// tryFuse implements the MOS comparator: after issuing a single-cycle
+// producer, look for the oldest waiting single-cycle dependent whose delay
+// fits in the producer's remaining cycle budget and execute it piggybacked
+// in the same cycle on the same unit.
+func (s *Simulator) tryFuse(e *entry, cycle int64) {
+	if !transparentCapable(e.in.Op) || e.in.Op.IsMem() {
+		return
+	}
+	tpc := timing.Ticks(s.clock.TicksPerCycle())
+	window := s.clock.CycleStart(cycle + 1)
+	for _, b := range s.rs {
+		if b.state != stWaiting || b.fused || !transparentCapable(b.in.Op) || b.fu != e.fu {
+			continue
+		}
+		if e.exTicks+b.exTicks > tpc {
+			continue
+		}
+		dependsOnE := false
+		ok := true
+		for i := 0; i < b.nsrc; i++ {
+			p := b.srcs[i].producer
+			if p == nil {
+				continue
+			}
+			if p == e {
+				dependsOnE = true
+				continue
+			}
+			if p.broadcastCycle < 0 || p.broadcastCycle >= cycle || p.estComp > window {
+				ok = false
+				break
+			}
+		}
+		if !dependsOnE || !ok {
+			continue
+		}
+		out := s.execute(b, nil)
+		if b.est.Predicted && s.estimator.Validate(b.in, b.est, out.ActualWidth) {
+			// The fused pair would miss timing: abandon this fusion.
+			s.res.WidthReplays++
+			b.exTicks = s.estimator.CorrectedTicks(b.in, out.ActualWidth)
+			continue
+		}
+		b.sched = core.Schedule{Start: window, Comp: window + tpc, FUCycles: 0}
+		b.estComp = b.sched.Comp
+		b.broadcastCycle = cycle
+		b.state = stIssued
+		b.fused = true
+		b.chainLen = 1
+		s.res.FusedOps++
+		s.trainLastArrival(b)
+		s.classify(b, out)
+		return
+	}
+}

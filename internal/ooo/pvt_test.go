@@ -1,0 +1,38 @@
+package ooo
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+)
+
+// TestPVTGuardBandAddsSlack: under nominal PVT conditions the recalibrated
+// LUT exposes extra slack, so a ReDSOC run with the CPM model enabled should
+// match or beat the worst-case-corner run — with identical architecture.
+func TestPVTGuardBandAddsSlack(t *testing.T) {
+	p := longChain(isa.OpADD, 4000) // wide adds: tight at the worst corner
+	worst := run(t, BigConfig().WithPolicy(PolicyRedsoc), p)
+
+	cfg := BigConfig().WithPolicy(PolicyRedsoc)
+	cfg.PVT = timing.PVTConfig{Enable: true}
+	nominal := run(t, cfg, p)
+
+	if !nominal.ArchEqual(worst) {
+		t.Fatal("PVT recalibration changed architectural results")
+	}
+	if nominal.PVTRecalibrations == 0 {
+		t.Fatal("CPM never recalibrated")
+	}
+	if nominal.Cycles > worst.Cycles {
+		t.Fatalf("nominal PVT run slower than worst-case corner: %d vs %d",
+			nominal.Cycles, worst.Cycles)
+	}
+}
+
+func TestPVTOffByDefault(t *testing.T) {
+	res := run(t, BigConfig().WithPolicy(PolicyRedsoc), longChain(isa.OpEOR, 100))
+	if res.PVTRecalibrations != 0 {
+		t.Fatal("PVT model must be off by default")
+	}
+}

@@ -1,0 +1,407 @@
+package ooo
+
+import (
+	"fmt"
+
+	"redsoc/internal/alu"
+	"redsoc/internal/core"
+	"redsoc/internal/isa"
+	"redsoc/internal/mem"
+	"redsoc/internal/predict"
+	"redsoc/internal/timing"
+)
+
+// Simulator executes one Program on one core configuration. Create a fresh
+// Simulator per run; it is not reusable or safe for concurrent use.
+type Simulator struct {
+	cfg    Config
+	clock  timing.Clock
+	prog   *isa.Program
+	memory *mem.Memory
+	hier   *mem.Hierarchy
+
+	lut        *timing.LUT
+	widthPred  *predict.WidthPredictor
+	lastPred   *predict.LastArrivalPredictor
+	branchPred *predict.BranchPredictor
+	estimator  *core.Estimator
+	arbiter    *core.Arbiter
+	params     core.Params
+
+	// redirect, when set, is a mispredicted branch: dispatch is stalled
+	// until it resolves and the front end refills.
+	redirect *entry
+
+	// adapt drives the optional dynamic slack-threshold controller.
+	adapt *core.ThresholdController
+	// cpm drives the optional PVT guard-band recalibration.
+	cpm *timing.CPM
+	// tracer, when set, receives pipeline events.
+	tracer *Tracer
+
+	rat      [isa.NumRenamedRegs]*entry
+	archRegs [isa.NumRenamedRegs]alu.Value
+
+	rob []*entry // FIFO, head first
+	rs  []*entry // dispatch order (ascending seq)
+	lsq []*entry // memory ops, dispatch order
+
+	fus [numFUKinds]*fuPool
+
+	pc      int // trace cursor
+	nextSeq int64
+
+	res Result
+}
+
+// New builds a simulator for the program under the configuration.
+func New(cfg Config, prog *isa.Program) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock := timing.NewClock(cfg.PrecisionBits)
+	params := core.Params{}
+	if cfg.Policy == PolicyRedsoc {
+		params = cfg.Redsoc
+	}
+	lut := timing.NewLUT(clock)
+	wp := predict.NewWidthPredictor(cfg.WidthPredictorEntries, predict.DefaultConfidenceBits)
+	s := &Simulator{
+		cfg:        cfg,
+		clock:      clock,
+		prog:       prog,
+		memory:     mem.NewMemoryFrom(prog.Mem),
+		hier:       mem.NewHierarchy(cfg.Mem),
+		lut:        lut,
+		widthPred:  wp,
+		lastPred:   predict.NewLastArrivalPredictor(cfg.LastArrivalEntries),
+		branchPred: predict.NewBranchPredictor(predict.DefaultBranchEntries, predict.DefaultHistoryBits),
+		estimator:  core.NewEstimator(lut, wp, estimatorParams(cfg, clock)),
+		arbiter:    core.NewArbiter(cfg.Policy == PolicyRedsoc && params.SkewedSelect),
+		params:     params,
+	}
+	s.fus[fuALU] = newFUPool(cfg.NumALU)
+	s.fus[fuSIMD] = newFUPool(cfg.NumSIMD)
+	s.fus[fuFP] = newFUPool(cfg.NumFP)
+	s.fus[fuMEM] = newFUPool(cfg.NumMemPorts)
+	if cfg.Policy == PolicyRedsoc && params.DynamicThreshold {
+		s.adapt = core.NewThresholdController(params.ThresholdTicks, clock.TicksPerCycle())
+	}
+	if cfg.PVT.Enable {
+		s.cpm = timing.NewCPM(cfg.PVT, lut)
+	}
+	s.res.Config = cfg
+	s.res.Sequences = core.NewSeqTracker()
+	return s, nil
+}
+
+// estimatorParams: the baseline core does not carry slack hardware, but the
+// estimator still runs (to classify ops for Fig. 10 and to feed MOS fusion
+// windows); width prediction is only meaningful under ReDSOC.
+func estimatorParams(cfg Config, clock timing.Clock) core.Params {
+	if cfg.Policy == PolicyRedsoc {
+		return cfg.Redsoc
+	}
+	p := core.DefaultParams(clock)
+	p.Recycle = false
+	p.EGPW = false
+	p.WidthPrediction = cfg.Policy == PolicyMOS // MOS needs width estimates too
+	return p
+}
+
+// Run simulates to completion and returns the results.
+func (s *Simulator) Run() (*Result, error) {
+	limit := s.cfg.MaxCycles
+	if limit == 0 {
+		limit = 64*int64(len(s.prog.Instrs)) + 100000
+	}
+	for cycle := int64(0); ; cycle++ {
+		if cycle > limit {
+			return nil, fmt.Errorf("ooo: %s/%s exceeded %d cycles at seq %d (rob %d, rs %d) — deadlock?",
+				s.cfg.Name, s.cfg.Policy, limit, s.nextSeq, len(s.rob), len(s.rs))
+		}
+		s.commit(cycle)
+		if s.pc >= len(s.prog.Instrs) && len(s.rob) == 0 {
+			s.res.Cycles = cycle
+			break
+		}
+		if s.cpm != nil && s.cpm.Tick(cycle) {
+			s.res.PVTRecalibrations++
+		}
+		s.dispatch(cycle)
+		s.issue(cycle)
+		if s.adapt != nil && s.adapt.Observe(cycle, s.res.RecycledOps, s.res.FUStallCycles) {
+			s.params.ThresholdTicks = s.adapt.Threshold()
+			s.res.ThresholdAdjustments++
+		}
+	}
+	s.capture()
+	return &s.res, nil
+}
+
+// commit retires completed instructions in order, up to the front-end width.
+func (s *Simulator) commit(cycle int64) {
+	now := s.clock.CycleStart(cycle)
+	for n := 0; n < s.cfg.FrontEndWidth && len(s.rob) > 0; n++ {
+		e := s.rob[0]
+		if e.state != stIssued || e.sched.Comp > now {
+			if n == 0 && len(s.rob) >= s.cfg.ROBSize {
+				if s.res.HeadWait == nil {
+					s.res.HeadWait = make(map[string]int64)
+				}
+				key := e.in.Op.Class().String()
+				if e.state != stIssued {
+					key += "/unissued"
+				}
+				s.res.HeadWait[key]++
+			}
+			return
+		}
+		in := e.in
+		if e.isStore {
+			if in.Src3.IsVec() {
+				s.memory.Write128(in.Addr, e.result.Lo, e.result.Hi)
+			} else {
+				s.memory.Write64(in.Addr, e.result.Lo)
+			}
+		}
+		if d := in.DestReg(); d.Valid() {
+			s.writeArch(d, e)
+		}
+		if in.SetFlags && !in.Op.WritesFlags() {
+			s.writeArch(isa.Flags, e)
+		}
+		if !e.extended {
+			s.res.Sequences.Record(int(e.chainLen))
+		}
+		if s.tracer != nil {
+			s.tracer.commit(cycle, e)
+		}
+		e.state = stCommitted
+		s.rob = s.rob[1:]
+		if e.isLoad || e.isStore {
+			// Memory ops leave the LSQ at commit; in-order commit keeps the
+			// LSQ head aligned.
+			s.lsq = s.lsq[1:]
+		}
+		s.res.Instructions++
+	}
+}
+
+// writeArch retires a destination into architectural state and releases the
+// RAT mapping if it still points at this entry.
+func (s *Simulator) writeArch(d isa.Reg, e *entry) {
+	idx := d.RenameIndex()
+	if d.IsFlags() {
+		s.archRegs[idx] = e.flagsOut.Pack()
+	} else {
+		s.archRegs[idx] = e.result
+	}
+	if s.rat[idx] == e {
+		s.rat[idx] = nil
+	}
+}
+
+// RedirectPenalty is the front-end refill time, in cycles, after a
+// mispredicted branch resolves.
+const RedirectPenalty = 2
+
+// dispatch renames and inserts instructions from the trace, up to the
+// front-end width, while ROB/RSE/LSQ space lasts. A pending mispredicted
+// branch stalls dispatch until it resolves plus the refill penalty — so a
+// branch whose compare chain finishes earlier (e.g. via slack recycling)
+// redirects the front end earlier.
+func (s *Simulator) dispatch(cycle int64) {
+	if s.redirect != nil {
+		e := s.redirect
+		if e.state == stWaiting {
+			s.res.StallRedirect++
+			return
+		}
+		resume := s.clock.CycleOf(s.clock.CeilCycle(e.sched.Comp)) + RedirectPenalty
+		if cycle < resume {
+			s.res.StallRedirect++
+			return
+		}
+		s.redirect = nil
+	}
+	for n := 0; n < s.cfg.FrontEndWidth && s.pc < len(s.prog.Instrs); n++ {
+		if len(s.rob) >= s.cfg.ROBSize {
+			s.res.StallROB++
+			return
+		}
+		if len(s.rs) >= s.cfg.RSESize {
+			s.res.StallRSE++
+			return
+		}
+		in := &s.prog.Instrs[s.pc]
+		isMem := in.Op.IsMem()
+		if isMem && len(s.lsq) >= s.cfg.LSQSize {
+			s.res.StallLSQ++
+			return
+		}
+		s.pc++
+
+		e := &entry{
+			in:             in,
+			seq:            s.nextSeq,
+			broadcastCycle: -1,
+			lastIdx:        -1,
+			isLoad:         in.Op == isa.OpLDR,
+			isStore:        in.Op == isa.OpSTR,
+			fu:             fuKindOf(in.Op.Class()),
+			dispatchCycle:  cycle,
+		}
+		s.nextSeq++
+		e.est = s.estimator.Estimate(in)
+		e.exTicks = e.est.ExTicks
+
+		s.rename(e)
+		s.linkMemDep(e)
+
+		// Destination renaming (including the implicit flags destination).
+		if d := in.DestReg(); d.Valid() {
+			s.rat[d.RenameIndex()] = e
+		}
+		if in.SetFlags && !in.Op.WritesFlags() {
+			s.rat[isa.Flags.RenameIndex()] = e
+		}
+
+		s.rob = append(s.rob, e)
+		s.rs = append(s.rs, e)
+		if isMem {
+			s.lsq = append(s.lsq, e)
+		}
+		if s.tracer != nil {
+			s.tracer.dispatch(cycle, e)
+		}
+		if in.Op == isa.OpB && s.branchPred.Update(in.PC, in.Taken) {
+			// Mispredicted: everything younger is a front-end bubble until
+			// this branch resolves.
+			s.redirect = e
+			if s.tracer != nil {
+				s.tracer.redirect(cycle, e)
+			}
+			return
+		}
+	}
+}
+
+// rename resolves the entry's sources against the RAT and picks the
+// predicted last-arriving parent and its grandparent tag (Operational
+// design: the grandparent tag travels parent→child through the RAT).
+func (s *Simulator) rename(e *entry) {
+	e.iSrc1, e.iSrc2, e.iSrc3, e.iFlags = -1, -1, -1, -1
+	addSrc := func(r isa.Reg) int8 {
+		ref := srcRef{reg: r}
+		idx := r.RenameIndex()
+		if p := s.rat[idx]; p != nil {
+			ref.producer = p
+		} else {
+			ref.value = s.archRegs[idx]
+		}
+		e.srcs[e.nsrc] = ref
+		e.nsrc++
+		return int8(e.nsrc - 1)
+	}
+	in := e.in
+	if in.Src1 != isa.RegNone {
+		e.iSrc1 = addSrc(in.Src1)
+	}
+	if in.Src2 != isa.RegNone {
+		e.iSrc2 = addSrc(in.Src2)
+	}
+	if in.Src3 != isa.RegNone {
+		e.iSrc3 = addSrc(in.Src3)
+	}
+	if in.Op.ReadsCarry() {
+		e.iFlags = addSrc(isa.Flags)
+	}
+
+	// Find in-flight producers.
+	var cands []int
+	for i := 0; i < e.nsrc; i++ {
+		if e.srcs[i].producer != nil {
+			cands = append(cands, i)
+		}
+	}
+	switch len(cands) {
+	case 0:
+		// All operands ready at rename.
+	case 1:
+		e.lastIdx = cands[0]
+	default:
+		e.multiSrc = true
+		pi := s.lastPred.Predict(in.PC)
+		if pi >= len(cands) {
+			pi = len(cands) - 1
+		}
+		e.lastIdx = cands[pi]
+	}
+	if e.lastIdx >= 0 {
+		p := e.srcs[e.lastIdx].producer
+		if p.lastIdx >= 0 {
+			e.gp = p.srcs[p.lastIdx].producer
+		}
+	}
+}
+
+// linkMemDep points a load at the youngest older overlapping store still in
+// the LSQ. Addresses are exact in trace form, so this is perfect (oracle)
+// memory disambiguation; the latency rules still respect store completion.
+func (s *Simulator) linkMemDep(e *entry) {
+	if !e.isLoad {
+		return
+	}
+	lo, hi := addrRange(e.in)
+	for i := len(s.lsq) - 1; i >= 0; i-- {
+		st := s.lsq[i]
+		if !st.isStore {
+			continue
+		}
+		sLo, sHi := addrRange(st.in)
+		if rangesOverlap(lo, hi, sLo, sHi) {
+			e.memDeps = append(e.memDeps, st)
+			return
+		}
+	}
+}
+
+// forwardable reports whether the load can take its value straight from the
+// store's queue entry (the store's data covers the load's range).
+func forwardable(st, ld *entry) bool {
+	sLo, sHi := addrRange(st.in)
+	lLo, lHi := addrRange(ld.in)
+	return sLo <= lLo && lHi <= sHi
+}
+
+// capture snapshots final architectural state for equivalence checks.
+func (s *Simulator) capture() {
+	s.res.FinalRegs = make(map[isa.Reg]alu.Value)
+	for i := 0; i < isa.NumIntRegs; i++ {
+		s.res.FinalRegs[isa.R(i)] = s.archRegs[isa.R(i).RenameIndex()]
+	}
+	for i := 0; i < isa.NumVecRegs; i++ {
+		s.res.FinalRegs[isa.V(i)] = s.archRegs[isa.V(i).RenameIndex()]
+	}
+	s.res.FinalFlags = alu.UnpackFlags(s.archRegs[isa.Flags.RenameIndex()])
+	s.res.FinalMem = s.memory.Snapshot()
+	s.res.WidthPredictor = s.widthPred.Stats()
+	s.res.LastArrival = s.lastPred.Stats()
+	s.res.Branches = s.branchPred.Stats()
+	s.res.MemStats = s.hier.Stats()
+	s.res.FinalThreshold = s.params.ThresholdTicks
+}
+
+// Clock exposes the simulator's clock (for harness reporting).
+func (s *Simulator) Clock() timing.Clock { return s.clock }
+
+// Run is a convenience: build and run in one call.
+func Run(cfg Config, prog *isa.Program) (*Result, error) {
+	s, err := New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,65 @@
+package ooo
+
+import (
+	"fmt"
+	"io"
+
+	"redsoc/internal/timing"
+)
+
+// Tracer receives pipeline events as they happen — a textual cousin of
+// gem5's O3 pipeline viewer, with sub-cycle instants visible so transparent
+// flows can be read off the trace. Attach one with Simulator.SetTracer
+// before Run.
+type Tracer struct {
+	w     io.Writer
+	clock timing.Clock
+}
+
+// SetTracer attaches an event tracer; pass nil to detach.
+func (s *Simulator) SetTracer(w io.Writer) {
+	if w == nil {
+		s.tracer = nil
+		return
+	}
+	s.tracer = &Tracer{w: w, clock: s.clock}
+}
+
+func (t *Tracer) instant(tk timing.Ticks) string {
+	return fmt.Sprintf("%d.%d", t.clock.CycleOf(tk), t.clock.FracOf(tk))
+}
+
+func (t *Tracer) dispatch(cycle int64, e *entry) {
+	fmt.Fprintf(t.w, "c%-5d dispatch seq=%-5d %s\n", cycle, e.seq, e.in)
+}
+
+func (t *Tracer) issue(cycle int64, e *entry, spec bool) {
+	tag := ""
+	if spec {
+		tag = " egpw"
+	}
+	if e.sched.Recycled {
+		tag += " RECYCLED"
+	}
+	if e.sched.FUCycles == 2 {
+		tag += " hold2"
+	}
+	fmt.Fprintf(t.w, "c%-5d issue    seq=%-5d %-24s exec[%s..%s)%s\n",
+		cycle, e.seq, e.in, t.instant(e.sched.Start), t.instant(e.sched.Comp), tag)
+}
+
+func (t *Tracer) cancel(cycle int64, e *entry, spec bool) {
+	why := "tag-mispredict"
+	if spec {
+		why = "gp-wasted"
+	}
+	fmt.Fprintf(t.w, "c%-5d cancel   seq=%-5d %s (%s)\n", cycle, e.seq, e.in, why)
+}
+
+func (t *Tracer) commit(cycle int64, e *entry) {
+	fmt.Fprintf(t.w, "c%-5d commit   seq=%-5d %s\n", cycle, e.seq, e.in)
+}
+
+func (t *Tracer) redirect(cycle int64, e *entry) {
+	fmt.Fprintf(t.w, "c%-5d redirect seq=%-5d mispredicted branch stalls the front end\n", cycle, e.seq)
+}

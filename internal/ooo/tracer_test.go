@@ -1,0 +1,86 @@
+package ooo
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload"
+)
+
+func TestTracerEmitsPipelineEvents(t *testing.T) {
+	b := workload.NewBuilder("traced")
+	b.MovImm(isa.R(1), 0x55)
+	b.MovImm(isa.R(2), 0x33)
+	b.At(0x2000)
+	for i := 0; i < 8; i++ {
+		b.Op3(isa.OpEOR, isa.R(1), isa.R(1), isa.R(2))
+	}
+	p := b.Build()
+
+	sim, err := New(BigConfig().WithPolicy(PolicyRedsoc), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sim.SetTracer(&sb)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dispatch", "issue", "commit", "RECYCLED", "EOR R1, R1, R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Every instruction dispatches, issues and commits exactly once.
+	if got := strings.Count(out, "dispatch"); got != p.Len() {
+		t.Errorf("dispatch events = %d, want %d", got, p.Len())
+	}
+	if got := strings.Count(out, "commit"); got != p.Len() {
+		t.Errorf("commit events = %d, want %d", got, p.Len())
+	}
+	// Sub-cycle instants are printed as cycle.frac.
+	if !strings.Contains(out, "exec[") {
+		t.Error("trace missing execution windows")
+	}
+}
+
+func TestTracerRedirectEvent(t *testing.T) {
+	b := workload.NewBuilder("br")
+	b.MovImm(isa.R(1), 1)
+	for i := 0; i < 20; i++ {
+		b.At(0x3000)
+		b.CmpImm(isa.R(1), 0)
+		b.At(0x3004)
+		b.Branch(i%2 == 0) // alternating: mispredicts often
+	}
+	sim, err := New(SmallConfig(), b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sim.SetTracer(&sb)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "redirect") {
+		t.Error("alternating branches must produce redirect events")
+	}
+}
+
+func TestTracerDetach(t *testing.T) {
+	sim, err := New(SmallConfig(), longChain(isa.OpEOR, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sim.SetTracer(&sb)
+	sim.SetTracer(nil)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("detached tracer must receive nothing")
+	}
+}

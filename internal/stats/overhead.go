@@ -1,0 +1,64 @@
+package stats
+
+// Hardware overhead estimates for the ReDSOC additions, following the
+// accounting of Sec. II-B (LUT + width predictor) and Sec. IV-E (RSE
+// extensions, slack arithmetic, skewed selection). These are static design
+// numbers, not simulation outputs; the tests pin them to the paper's claims.
+
+// RSEOverhead describes the per-reservation-station-entry additions of the
+// Operational design (Fig. 8).
+type RSEOverhead struct {
+	// ExtraBits per RSE: one 3-bit EX-TIME for the entry, one for its last
+	// parent, the 3-bit COMP.INST field, and the P-vs-GP select bit.
+	ExtraBits int
+	// Adders counts the 3-bit adders (with overflow) per entry.
+	Adders int
+	// AreaPct and EnergyPct are the estimated core-level overheads.
+	AreaPct, EnergyPct float64
+}
+
+// OperationalRSEOverhead returns the paper's Sec. IV-E accounting: 10 extra
+// bits per RSE, two 3-bit adders, 0.3% area and 0.8% energy.
+func OperationalRSEOverhead() RSEOverhead {
+	return RSEOverhead{
+		ExtraBits: 3 + 3 + 3 + 1,
+		Adders:    2,
+		AreaPct:   0.3,
+		EnergyPct: 0.8,
+	}
+}
+
+// SelectOverhead describes the skewed-selection delay cost.
+type SelectOverhead struct {
+	// BaselinePS is the baseline select-arbiter delay; ExtraPS the skew cost.
+	BaselinePS, ExtraPS int
+}
+
+// SkewedSelectOverhead returns Sec. IV-E's synthesis result: +3 ps on a
+// 100 ps select arbiter.
+func SkewedSelectOverhead() SelectOverhead {
+	return SelectOverhead{BaselinePS: 100, ExtraPS: 3}
+}
+
+// EstimationOverhead describes the slack-estimation hardware of Sec. II-B.
+type EstimationOverhead struct {
+	// LUTEntries × LUTBitsPerEntry is the slack look-up table.
+	LUTEntries, LUTBitsPerEntry int
+	// PredictorBytes is the width predictor's state (4K entries).
+	PredictorBytes int
+	// AreaPct and AccessEnergyPct relative to the OOO core.
+	AreaPct, AccessEnergyPct float64
+}
+
+// SlackEstimationOverhead returns the paper's numbers: a 14-entry LUT of
+// 3-bit computation times, a ~1.5KB predictor (paper quotes total state
+// including tags), 0.52% area and 0.5% access energy.
+func SlackEstimationOverhead() EstimationOverhead {
+	return EstimationOverhead{
+		LUTEntries:      14,
+		LUTBitsPerEntry: 3,
+		PredictorBytes:  1536,
+		AreaPct:         0.52,
+		AccessEnergyPct: 0.5,
+	}
+}

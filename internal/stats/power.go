@@ -1,0 +1,60 @@
+// Package stats converts raw simulation results into the paper's reported
+// metrics: iso-performance power savings through an ARM A57-style DVFS model
+// (Sec. VI-C), the hardware overhead estimates of Sec. II-B/IV-E, and the
+// aligned text tables the benchmark harness prints.
+package stats
+
+// DVFSPoint is one frequency/voltage operating point.
+type DVFSPoint struct {
+	FreqGHz float64
+	VoltV   float64
+}
+
+// A57Curve models the Cortex-A57 (Exynos 5433 class) DVFS ladder the paper
+// scales against.
+func A57Curve() []DVFSPoint {
+	return []DVFSPoint{
+		{0.8, 0.90},
+		{1.0, 0.92},
+		{1.2, 0.97},
+		{1.4, 1.02},
+		{1.6, 1.08},
+		{1.8, 1.15},
+		{1.9, 1.20},
+	}
+}
+
+// voltageAt linearly interpolates the curve (clamped at the ends).
+func voltageAt(curve []DVFSPoint, f float64) float64 {
+	if f <= curve[0].FreqGHz {
+		return curve[0].VoltV
+	}
+	for i := 1; i < len(curve); i++ {
+		if f <= curve[i].FreqGHz {
+			lo, hi := curve[i-1], curve[i]
+			t := (f - lo.FreqGHz) / (hi.FreqGHz - lo.FreqGHz)
+			return lo.VoltV + t*(hi.VoltV-lo.VoltV)
+		}
+	}
+	return curve[len(curve)-1].VoltV
+}
+
+// dynamicPower is the CV²f proxy (normalized capacitance).
+func dynamicPower(f, v float64) float64 { return f * v * v }
+
+// PowerSavings converts a ReDSOC speedup into iso-performance power savings:
+// run the accelerated core at frequency nominal/speedup (same wall-clock
+// performance as the baseline at nominal) and compare CV²f. This is the
+// paper's Sec. VI-C methodology.
+func PowerSavings(speedup, nominalGHz float64) float64 {
+	if speedup <= 1 {
+		return 0
+	}
+	curve := A57Curve()
+	v0 := voltageAt(curve, nominalGHz)
+	f1 := nominalGHz / speedup
+	v1 := voltageAt(curve, f1)
+	p0 := dynamicPower(nominalGHz, v0)
+	p1 := dynamicPower(f1, v1)
+	return 1 - p1/p0
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerSavingsBasics(t *testing.T) {
+	if got := PowerSavings(1.0, 2.0); got != 0 {
+		t.Fatalf("no speedup -> no savings, got %v", got)
+	}
+	if got := PowerSavings(0.9, 2.0); got != 0 {
+		t.Fatalf("slowdown -> no savings, got %v", got)
+	}
+	s := PowerSavings(1.2, 2.0)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("savings %v out of (0,1)", s)
+	}
+	// More speedup, more savings (until the voltage floor flattens it).
+	if PowerSavings(1.3, 2.0) <= s {
+		t.Fatal("savings must grow with speedup")
+	}
+	// A 20% speedup must save more than 1-1/1.2 (frequency alone), because
+	// the voltage drops too.
+	if s <= 1-1/1.2 {
+		t.Fatalf("V^2 term missing: savings %v", s)
+	}
+}
+
+// Property: savings are always in [0, 1) and monotone in speedup.
+func TestPowerSavingsProperty(t *testing.T) {
+	f := func(x uint8) bool {
+		sp := 1 + float64(x)/100 // 1.00 .. 3.55
+		s := PowerSavings(sp, 2.0)
+		return s >= 0 && s < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageInterpolation(t *testing.T) {
+	curve := A57Curve()
+	lo := voltageAt(curve, 0.1)
+	hi := voltageAt(curve, 5.0)
+	if lo != curve[0].VoltV || hi != curve[len(curve)-1].VoltV {
+		t.Fatal("clamping broken")
+	}
+	mid := voltageAt(curve, 1.5)
+	if mid <= voltageAt(curve, 1.2) || mid >= voltageAt(curve, 1.8) {
+		t.Fatalf("interpolation not monotone: %v", mid)
+	}
+}
+
+func TestOverheadNumbersMatchPaper(t *testing.T) {
+	rse := OperationalRSEOverhead()
+	if rse.ExtraBits != 10 {
+		t.Fatalf("paper Sec. IV-E: 10 extra bits per RSE, got %d", rse.ExtraBits)
+	}
+	if rse.Adders != 2 || rse.AreaPct != 0.3 || rse.EnergyPct != 0.8 {
+		t.Fatalf("RSE overheads = %+v", rse)
+	}
+	sel := SkewedSelectOverhead()
+	if sel.ExtraPS != 3 || sel.BaselinePS != 100 {
+		t.Fatalf("select overheads = %+v", sel)
+	}
+	est := SlackEstimationOverhead()
+	if est.LUTEntries != 14 || est.AreaPct != 0.52 || est.AccessEnergyPct != 0.5 {
+		t.Fatalf("estimation overheads = %+v", est)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Row("alpha", 1.2345)
+	tb.Row("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha  1.23") {
+		t.Fatalf("float formatting/alignment broken:\n%s", out)
+	}
+	if !strings.Contains(out, "-----") {
+		t.Fatal("missing separator")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.1234))
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty inputs must give 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive values must give 0")
+	}
+}

@@ -1,0 +1,109 @@
+// Package timing models the circuit-level timing the paper obtains from
+// synthesis (Synopsys DC, TSMC 45 nm, 500 ps clock): per-opcode computation
+// times (Fig. 1), their dependence on effective data width (Fig. 2), the
+// 14-bucket slack look-up table addressed by 5 bits (Fig. 3), and the
+// sub-cycle "completion instant" arithmetic the slack-aware scheduler uses
+// (3-bit fractional timestamps at the paper's operating point).
+package timing
+
+import "fmt"
+
+const (
+	// ClockPS is the clock period in picoseconds (2 GHz target, paper Sec. V).
+	ClockPS = 500
+	// FrequencyGHz is the corresponding clock frequency.
+	FrequencyGHz = 2.0
+
+	// DefaultPrecisionBits is the slack-tracking precision the paper settles
+	// on: 3 bits, i.e. 1/8th of the clock period (Sec. V).
+	DefaultPrecisionBits = 3
+	// MaxPrecisionBits bounds the precision sweep (Sec. V quantized up to 8).
+	MaxPrecisionBits = 8
+)
+
+// Ticks is an absolute point in time (or a duration) measured in sub-cycle
+// ticks. The tick size is set by a Clock: 2^precision ticks per cycle.
+type Ticks int64
+
+// Clock converts between picoseconds, cycles and sub-cycle ticks at a given
+// slack-tracking precision. The zero value is not valid; use NewClock.
+type Clock struct {
+	bits int   // precision bits
+	tpc  int   // ticks per cycle = 1 << bits
+	psPT int64 // picoseconds per tick, numerator (ClockPS) kept exact via mul/div
+}
+
+// NewClock returns a Clock with 2^precisionBits ticks per cycle.
+// precisionBits must be in [1, MaxPrecisionBits].
+func NewClock(precisionBits int) Clock {
+	if precisionBits < 1 || precisionBits > MaxPrecisionBits {
+		panic(fmt.Sprintf("timing: precision %d bits out of range [1,%d]", precisionBits, MaxPrecisionBits))
+	}
+	return Clock{bits: precisionBits, tpc: 1 << precisionBits}
+}
+
+// PrecisionBits returns the configured slack precision in bits.
+func (c Clock) PrecisionBits() int { return c.bits }
+
+// TicksPerCycle returns the number of sub-cycle ticks in one clock period.
+func (c Clock) TicksPerCycle() int { return c.tpc }
+
+// PSToTicks converts a circuit delay to ticks, rounding up. Rounding up is
+// what keeps the design timing non-speculative: an estimate may overstate but
+// never understate a computation time.
+func (c Clock) PSToTicks(ps int) Ticks {
+	if ps <= 0 {
+		return 0
+	}
+	t := (int64(ps)*int64(c.tpc) + ClockPS - 1) / ClockPS
+	return Ticks(t)
+}
+
+// TicksToPS converts ticks back to picoseconds (exact when tpc divides
+// ClockPS·t evenly; used for reporting).
+func (c Clock) TicksToPS(t Ticks) int {
+	return int(int64(t) * ClockPS / int64(c.tpc))
+}
+
+// CycleOf returns the cycle index containing absolute time t.
+func (c Clock) CycleOf(t Ticks) int64 { return int64(t) / int64(c.tpc) }
+
+// FracOf returns the sub-cycle fraction of absolute time t, in ticks
+// [0, TicksPerCycle).
+func (c Clock) FracOf(t Ticks) int { return int(int64(t) % int64(c.tpc)) }
+
+// CycleStart returns the absolute tick at the start of the given cycle.
+func (c Clock) CycleStart(cycle int64) Ticks { return Ticks(cycle * int64(c.tpc)) }
+
+// CeilCycle rounds t up to the next cycle boundary (identity if already on
+// a boundary). This is where a "true synchronous" consumer clocks.
+func (c Clock) CeilCycle(t Ticks) Ticks {
+	tpc := int64(c.tpc)
+	return Ticks((int64(t) + tpc - 1) / tpc * tpc)
+}
+
+// CrossesBoundary reports whether an evaluation spanning [start, start+dur)
+// crosses a clock edge — the paper's IT3 condition for holding a functional
+// unit two cycles.
+func (c Clock) CrossesBoundary(start, dur Ticks) bool {
+	if dur <= 0 {
+		return false
+	}
+	return c.CycleOf(start) != c.CycleOf(start+dur-1)
+}
+
+// SlackTicks returns the data slack of an operation with the given execution
+// ticks: the unused remainder of its final cycle.
+func (c Clock) SlackTicks(execTicks Ticks) Ticks {
+	tpc := Ticks(c.tpc)
+	rem := execTicks % tpc
+	if rem == 0 {
+		return 0
+	}
+	return tpc - rem
+}
+
+// String describes the clock, e.g. "2GHz/8 ticks-per-cycle".
+func (c Clock) String() string {
+	return fmt.Sprintf("%.0fGHz/%d ticks-per-cycle", FrequencyGHz, c.tpc)
+}

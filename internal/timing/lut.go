@@ -1,0 +1,216 @@
+package timing
+
+import (
+	"fmt"
+
+	"redsoc/internal/isa"
+)
+
+// Address is the 5-bit slack-LUT address of Fig. 3:
+//
+//	bit 4: SIMD (sub-word parallel) — when set, bits 3 and 2 are don't-cares
+//	bit 3: Arith (1) / Logic (0)
+//	bit 2: Shift component present
+//	bits 1..0: Width (predicted data width) or Type (SIMD data type)
+type Address uint8
+
+// MakeAddress assembles a LUT address from its fields.
+func MakeAddress(simd, arith, shift bool, w isa.WidthClass) Address {
+	var a Address
+	if simd {
+		a |= 1 << 4
+	}
+	if arith {
+		a |= 1 << 3
+	}
+	if shift {
+		a |= 1 << 2
+	}
+	return a | Address(w&3)
+}
+
+// SIMD, Arith, Shift and Width unpack the address fields.
+func (a Address) SIMD() bool            { return a&(1<<4) != 0 }
+func (a Address) Arith() bool           { return a&(1<<3) != 0 }
+func (a Address) Shift() bool           { return a&(1<<2) != 0 }
+func (a Address) Width() isa.WidthClass { return isa.WidthClass(a & 3) }
+
+// String renders the address as its fields, e.g. "arith|shift|w32".
+func (a Address) String() string {
+	s := ""
+	if a.SIMD() {
+		s = "simd|"
+	} else if a.Arith() {
+		s = "arith|"
+	} else {
+		s = "logic|"
+	}
+	if a.Shift() {
+		s += "shift|"
+	}
+	return s + a.Width().String()
+}
+
+// Bucket identifies one of the paper's 14 slack categories:
+//
+//	1  logic (width-independent)
+//	1  logic+shift (the barrel-shift ops)
+//	4  arith × width class
+//	4  arith+shift × width class
+//	4  SIMD × data type
+type Bucket uint8
+
+// NumBuckets is the paper's bucket count (Sec. II-B).
+const NumBuckets = 14
+
+const (
+	bucketLogic      Bucket = 0
+	bucketLogicShift Bucket = 1
+	bucketArithBase  Bucket = 2 // +width (4)
+	bucketArShBase   Bucket = 6 // +width (4)
+	bucketSIMDBase   Bucket = 10
+)
+
+// BucketOf collapses a LUT address onto its slack bucket: logic ops ignore
+// the width bits (bit-parallel datapaths), SIMD ops ignore the arith/shift
+// bits (don't-cares per Fig. 3).
+func BucketOf(a Address) Bucket {
+	switch {
+	case a.SIMD():
+		return bucketSIMDBase + Bucket(a.Width())
+	case !a.Arith() && !a.Shift():
+		return bucketLogic
+	case !a.Arith():
+		return bucketLogicShift
+	case !a.Shift():
+		return bucketArithBase + Bucket(a.Width())
+	default:
+		return bucketArShBase + Bucket(a.Width())
+	}
+}
+
+// String names the bucket, e.g. "arith/w16" or "simd/t8".
+func (b Bucket) String() string {
+	switch {
+	case b == bucketLogic:
+		return "logic"
+	case b == bucketLogicShift:
+		return "logic+shift"
+	case b >= bucketSIMDBase && b < bucketSIMDBase+4:
+		return fmt.Sprintf("simd/t%d", isa.WidthClass(b-bucketSIMDBase).Bits())
+	case b >= bucketArShBase:
+		return fmt.Sprintf("arith+shift/%s", isa.WidthClass(b-bucketArShBase))
+	default:
+		return fmt.Sprintf("arith/%s", isa.WidthClass(b-bucketArithBase))
+	}
+}
+
+// InstrAddress derives the LUT address of a single-cycle instruction given
+// its width class (predicted for scalar ops, from the ISA data type for
+// SIMD). It panics for non-single-cycle classes, which the slack machinery
+// never consults.
+func InstrAddress(op isa.Op, w isa.WidthClass, lane isa.Lane) Address {
+	switch op.Class() {
+	case isa.ClassLogic:
+		return MakeAddress(false, false, false, w)
+	case isa.ClassShift:
+		return MakeAddress(false, false, true, w)
+	case isa.ClassArith:
+		return MakeAddress(false, true, false, w)
+	case isa.ClassShiftArith:
+		return MakeAddress(false, true, true, w)
+	case isa.ClassSIMD:
+		return MakeAddress(true, false, false, isa.LaneWidthClass(lane))
+	case isa.ClassBranch:
+		return MakeAddress(false, true, false, isa.Width32)
+	}
+	panic(fmt.Sprintf("timing: no slack LUT address for %v (class %v)", op, op.Class()))
+}
+
+// LUT is the slack look-up table: per-bucket computation times measured by
+// static timing analysis at design time and quantized to the scheduler's
+// precision (Sec. II-B). Recalibrate rescales all entries, modeling the
+// CPM-driven PVT recalibration of Sec. V.
+type LUT struct {
+	clock Clock
+	// ticks[b] is the conservative (worst-in-bucket) computation time.
+	ticks [NumBuckets]Ticks
+	// ps[b] keeps the unquantized worst-case delay for recalibration.
+	ps [NumBuckets]int
+}
+
+// NewLUT builds the LUT for a clock by sweeping every opcode × width class
+// and keeping the worst delay that maps to each bucket — exactly what static
+// timing analysis of the synthesized unit would tabulate.
+func NewLUT(clock Clock) *LUT {
+	l := &LUT{clock: clock}
+	consider := func(a Address, ps int) {
+		b := BucketOf(a)
+		if ps > l.ps[b] {
+			l.ps[b] = ps
+		}
+	}
+	widths := []isa.WidthClass{isa.Width8, isa.Width16, isa.Width32, isa.Width64}
+	for _, op := range isa.ALUOps() {
+		for _, w := range widths {
+			consider(InstrAddress(op, w, isa.Lane0), OpDelayPS(op, w))
+		}
+	}
+	simdOps := []isa.Op{isa.OpVADD, isa.OpVSUB, isa.OpVAND, isa.OpVORR,
+		isa.OpVEOR, isa.OpVMAX, isa.OpVMIN, isa.OpVSHL, isa.OpVSHR, isa.OpVMOV}
+	lanes := []isa.Lane{isa.Lane8, isa.Lane16, isa.Lane32, isa.Lane64}
+	for _, op := range simdOps {
+		for _, ln := range lanes {
+			consider(InstrAddress(op, isa.Width64, ln), OpDelayPS(op, isa.LaneWidthClass(ln)))
+		}
+	}
+	for b := range l.ticks {
+		l.ticks[b] = l.clock.PSToTicks(l.ps[b])
+	}
+	return l
+}
+
+// Clock returns the clock the LUT was quantized for.
+func (l *LUT) Clock() Clock { return l.clock }
+
+// CompTicks returns the conservative computation time, in ticks, of an
+// operation with the given LUT address. The value is capped at one full
+// cycle: a bucket that fills its cycle simply has no recyclable slack.
+func (l *LUT) CompTicks(a Address) Ticks {
+	t := l.ticks[BucketOf(a)]
+	if max := Ticks(l.clock.TicksPerCycle()); t > max {
+		return max
+	}
+	return t
+}
+
+// SlackTicks returns the per-cycle data slack of the address's bucket.
+func (l *LUT) SlackTicks(a Address) Ticks {
+	return Ticks(l.clock.TicksPerCycle()) - l.CompTicks(a)
+}
+
+// BucketPS returns the unquantized worst-case delay of a bucket (reporting).
+func (l *LUT) BucketPS(b Bucket) int { return l.ps[b] }
+
+// Recalibrate scales every bucket's delay by num/den, modeling a CPM-guided
+// PVT guard-band update (e.g. 95/100 under nominal conditions). Entries are
+// re-quantized conservatively.
+func (l *LUT) Recalibrate(num, den int) {
+	if num <= 0 || den <= 0 {
+		panic("timing: Recalibrate requires a positive scale")
+	}
+	for b := range l.ticks {
+		scaled := (l.ps[b]*num + den - 1) / den
+		l.ticks[b] = l.clock.PSToTicks(scaled)
+	}
+}
+
+// HighSlackPct is Fig. 10's threshold: an ALU op is "high slack" (ALU-HS)
+// when its data slack exceeds 20% of the clock period.
+const HighSlackPct = 20
+
+// IsHighSlack classifies a single-cycle op delay against the Fig. 10
+// threshold.
+func IsHighSlack(delayPS int) bool {
+	return (ClockPS-delayPS)*100 > HighSlackPct*ClockPS
+}

@@ -1,0 +1,104 @@
+package timing
+
+import "math"
+
+// PVT models the paper's Sec. V treatment of process/voltage/temperature
+// variation: the pure data-slack numbers correspond to the worst-case
+// design corner, and executing under nominal conditions leaves an
+// additional, slowly-varying guard band. Critical Path Monitors (CPMs)
+// placed near the ALUs and bypass network measure that band, and the slack
+// LUT is recalibrated on the fly at a fixed cadence (10,000 cycles,
+// following Tribeca), adding the measured PVT slack to the recyclable total.
+//
+// The environment is modeled as a deterministic waveform: a slow thermal
+// drift plus a faster voltage ripple, both bounded, so a small safety margin
+// on top of each CPM measurement keeps the design timing non-speculative
+// between recalibrations.
+
+// PVTConfig parameterizes the model. The zero value is a disabled model.
+type PVTConfig struct {
+	// Enable turns the model on.
+	Enable bool
+	// RecalibrationInterval is the CPM sampling cadence in cycles
+	// (default 10,000, per Tribeca).
+	RecalibrationInterval int64
+	// MarginPct is the safety margin, in percent of the clock period, kept
+	// on top of each CPM measurement (default 2).
+	MarginPct int
+	// ThermalPeriod and RipplePeriod set the environmental waveform periods
+	// in cycles (defaults 400,000 and 37,000).
+	ThermalPeriod, RipplePeriod int64
+}
+
+// withDefaults fills unset fields.
+func (c PVTConfig) withDefaults() PVTConfig {
+	if c.RecalibrationInterval == 0 {
+		c.RecalibrationInterval = 10000
+	}
+	if c.MarginPct == 0 {
+		c.MarginPct = 2
+	}
+	if c.ThermalPeriod == 0 {
+		c.ThermalPeriod = 400000
+	}
+	if c.RipplePeriod == 0 {
+		c.RipplePeriod = 37000
+	}
+	return c
+}
+
+// CPM is the critical-path-monitor model: it evaluates the environmental
+// guard band and recalibrates a LUT at the configured cadence.
+type CPM struct {
+	cfg     PVTConfig
+	lut     *LUT
+	nextAt  int64
+	lastPct int
+	recals  int
+}
+
+// NewCPM attaches a monitor to a LUT. Returns nil if the model is disabled.
+func NewCPM(cfg PVTConfig, lut *LUT) *CPM {
+	if !cfg.Enable {
+		return nil
+	}
+	c := &CPM{cfg: cfg.withDefaults(), lut: lut, lastPct: 100}
+	return c
+}
+
+// GuardBandPct returns the environmental delay scale, in percent of the
+// worst-case corner, at the given cycle: 100 means worst case, lower means
+// paths run faster. The waveform stays within [88, 100].
+func (c *CPM) GuardBandPct(cycle int64) int {
+	th := 4 * math.Sin(2*math.Pi*float64(cycle)/float64(c.cfg.ThermalPeriod))
+	rp := 2 * math.Sin(2*math.Pi*float64(cycle)/float64(c.cfg.RipplePeriod))
+	pct := 94 + th + rp // 88 .. 100
+	return int(math.Round(pct))
+}
+
+// Tick advances the monitor; at each recalibration boundary it measures the
+// guard band and rescales the LUT (with the safety margin). It reports
+// whether a recalibration happened.
+func (c *CPM) Tick(cycle int64) bool {
+	if cycle < c.nextAt {
+		return false
+	}
+	c.nextAt = cycle + c.cfg.RecalibrationInterval
+	pct := c.GuardBandPct(cycle) + c.cfg.MarginPct
+	if pct > 100 {
+		pct = 100
+	}
+	if pct == c.lastPct {
+		return false
+	}
+	c.lastPct = pct
+	c.lut.Recalibrate(pct, 100)
+	c.recals++
+	return true
+}
+
+// Recalibrations returns how many times the LUT was rescaled.
+func (c *CPM) Recalibrations() int { return c.recals }
+
+// CurrentPct returns the last applied delay scale.
+func (c *CPM) CurrentPct() int { return c.lastPct }

@@ -1,0 +1,82 @@
+package timing
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+)
+
+func TestGuardBandWaveformBounded(t *testing.T) {
+	cpm := NewCPM(PVTConfig{Enable: true}, NewLUT(NewClock(3)))
+	lo, hi := 200, 0
+	for cyc := int64(0); cyc < 1_000_000; cyc += 777 {
+		pct := cpm.GuardBandPct(cyc)
+		if pct < lo {
+			lo = pct
+		}
+		if pct > hi {
+			hi = pct
+		}
+	}
+	if lo < 88 || hi > 100 {
+		t.Fatalf("guard band out of [88,100]: [%d,%d]", lo, hi)
+	}
+	if hi-lo < 6 {
+		t.Fatalf("waveform too flat: [%d,%d]", lo, hi)
+	}
+}
+
+func TestCPMRecalibratesLUT(t *testing.T) {
+	clock := NewClock(3)
+	lut := NewLUT(clock)
+	// The critical-path bucket (shifted-arith w64, 480 ps) gains a full tick
+	// once the guard band dips below ~91%.
+	addr := MakeAddress(false, true, true, isa.Width64)
+	worst := lut.CompTicks(addr)
+	cpm := NewCPM(PVTConfig{Enable: true}, lut)
+	recals := 0
+	var minTicks Ticks = worst
+	for cyc := int64(0); cyc < 500_000; cyc += 100 {
+		if cpm.Tick(cyc) {
+			recals++
+		}
+		if ticks := lut.CompTicks(addr); ticks < minTicks {
+			minTicks = ticks
+		}
+		if lut.CompTicks(addr) > worst {
+			t.Fatal("recalibration must never exceed the worst-case corner")
+		}
+	}
+	if recals == 0 || cpm.Recalibrations() == 0 {
+		t.Fatal("CPM never recalibrated over half a million cycles")
+	}
+	if minTicks >= worst {
+		t.Fatalf("favourable PVT must shorten estimates: min %d vs worst %d", minTicks, worst)
+	}
+}
+
+func TestCPMCadence(t *testing.T) {
+	lut := NewLUT(NewClock(3))
+	cpm := NewCPM(PVTConfig{Enable: true, RecalibrationInterval: 10000}, lut)
+	cpm.Tick(0)
+	if cpm.Tick(5000) {
+		t.Fatal("mid-interval tick must not recalibrate")
+	}
+}
+
+func TestCPMDisabled(t *testing.T) {
+	if NewCPM(PVTConfig{}, NewLUT(NewClock(3))) != nil {
+		t.Fatal("disabled config must return nil")
+	}
+}
+
+func TestCPMMarginConservative(t *testing.T) {
+	lut := NewLUT(NewClock(3))
+	cpm := NewCPM(PVTConfig{Enable: true, MarginPct: 2}, lut)
+	cpm.Tick(0)
+	// The applied scale must always sit at or above the instantaneous guard
+	// band (margin keeps estimates safe until the next recalibration).
+	if cpm.CurrentPct() < cpm.GuardBandPct(0) {
+		t.Fatalf("applied %d%% below measured %d%%", cpm.CurrentPct(), cpm.GuardBandPct(0))
+	}
+}

@@ -1,0 +1,346 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redsoc/internal/isa"
+)
+
+func TestClockConstruction(t *testing.T) {
+	c := NewClock(3)
+	if c.TicksPerCycle() != 8 {
+		t.Fatalf("3-bit clock has %d ticks/cycle, want 8", c.TicksPerCycle())
+	}
+	if c.PrecisionBits() != 3 {
+		t.Fatalf("PrecisionBits = %d", c.PrecisionBits())
+	}
+	for _, bad := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewClock(%d) must panic", bad)
+				}
+			}()
+			NewClock(bad)
+		}()
+	}
+}
+
+func TestPSToTicksRoundsUp(t *testing.T) {
+	c := NewClock(3) // tick = 62.5 ps
+	cases := []struct {
+		ps int
+		tk Ticks
+	}{
+		{0, 0}, {1, 1}, {62, 1}, {63, 2}, {125, 2}, {126, 3},
+		{500, 8}, {501, 9},
+	}
+	for _, cse := range cases {
+		if got := c.PSToTicks(cse.ps); got != cse.tk {
+			t.Errorf("PSToTicks(%d) = %d, want %d", cse.ps, got, cse.tk)
+		}
+	}
+}
+
+// Property: quantization is conservative — the tick estimate never precedes
+// the real delay (this is what makes the design timing non-speculative).
+func TestQuantizationConservativeProperty(t *testing.T) {
+	for bits := 1; bits <= MaxPrecisionBits; bits++ {
+		c := NewClock(bits)
+		f := func(ps uint16) bool {
+			d := int(ps % 2000)
+			tk := c.PSToTicks(d)
+			return c.TicksToPS(tk) >= d
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("precision %d: %v", bits, err)
+		}
+	}
+}
+
+func TestCycleArithmetic(t *testing.T) {
+	c := NewClock(3)
+	if c.CycleOf(0) != 0 || c.CycleOf(7) != 0 || c.CycleOf(8) != 1 {
+		t.Error("CycleOf boundaries wrong")
+	}
+	if c.FracOf(13) != 5 {
+		t.Errorf("FracOf(13) = %d, want 5", c.FracOf(13))
+	}
+	if c.CycleStart(3) != 24 {
+		t.Errorf("CycleStart(3) = %d, want 24", c.CycleStart(3))
+	}
+	if c.CeilCycle(0) != 0 || c.CeilCycle(1) != 8 || c.CeilCycle(8) != 8 || c.CeilCycle(9) != 16 {
+		t.Error("CeilCycle wrong")
+	}
+}
+
+func TestCrossesBoundary(t *testing.T) {
+	c := NewClock(3)
+	cases := []struct {
+		start, dur Ticks
+		want       bool
+	}{
+		{0, 8, false},  // exactly one cycle starting at the edge
+		{0, 9, true},   // spills into the next cycle
+		{5, 3, false},  // finishes exactly at the edge
+		{5, 4, true},   // crosses
+		{8, 1, false},  // single tick
+		{10, 0, false}, // empty interval
+	}
+	for _, cse := range cases {
+		if got := c.CrossesBoundary(cse.start, cse.dur); got != cse.want {
+			t.Errorf("CrossesBoundary(%d,%d) = %v, want %v", cse.start, cse.dur, got, cse.want)
+		}
+	}
+}
+
+func TestSlackTicks(t *testing.T) {
+	c := NewClock(3)
+	if got := c.SlackTicks(3); got != 5 {
+		t.Errorf("SlackTicks(3) = %d, want 5", got)
+	}
+	if got := c.SlackTicks(8); got != 0 {
+		t.Errorf("SlackTicks(8) = %d, want 0", got)
+	}
+}
+
+// TestFig1DelayShape verifies the ordering structure of Fig. 1: logic ops are
+// cheapest, shifts sit in the middle, arithmetic is width-dependent, and the
+// shifted-arithmetic ops define the critical path.
+func TestFig1DelayShape(t *testing.T) {
+	logicMax, shiftMin, shiftMax := 0, 1<<30, 0
+	arithMin := 1 << 30
+	for _, op := range isa.ALUOps() {
+		d := OpDelayPS(op, isa.Width64)
+		switch op.Class() {
+		case isa.ClassLogic:
+			if d > logicMax {
+				logicMax = d
+			}
+		case isa.ClassShift:
+			if d < shiftMin {
+				shiftMin = d
+			}
+			if d > shiftMax {
+				shiftMax = d
+			}
+		case isa.ClassArith:
+			if d < arithMin {
+				arithMin = d
+			}
+		}
+	}
+	if logicMax >= shiftMin {
+		t.Errorf("logic (max %d ps) must undercut shifts (min %d ps)", logicMax, shiftMin)
+	}
+	if shiftMax >= arithMin {
+		t.Errorf("shifts (max %d ps) must undercut 64-bit arith (min %d ps)", shiftMax, arithMin)
+	}
+	for _, op := range []isa.Op{isa.OpADDLSR, isa.OpSUBROR} {
+		d := OpDelayPS(op, isa.Width64)
+		if d <= OpDelayPS(isa.OpADC, isa.Width64) {
+			t.Errorf("%v (%d ps) must exceed every plain arith op", op, d)
+		}
+		if d > ClockPS {
+			t.Errorf("%v (%d ps) exceeds the clock period", op, d)
+		}
+	}
+}
+
+func TestCriticalPathFitsClock(t *testing.T) {
+	cp := CriticalPathPS()
+	if cp > ClockPS {
+		t.Fatalf("critical path %d ps exceeds %d ps clock", cp, ClockPS)
+	}
+	// The unit must be timed by the clock with only a small margin: a large
+	// margin would mean the model is not timing-conservative in the way the
+	// paper's synthesized ALU is.
+	if cp < ClockPS*9/10 {
+		t.Fatalf("critical path %d ps leaves an implausible margin at a %d ps clock", cp, ClockPS)
+	}
+}
+
+// TestFig2WidthScaling: arithmetic delay is monotone in width class and grows
+// ~log2(width) — consecutive width classes add one prefix level.
+func TestFig2WidthScaling(t *testing.T) {
+	widths := []isa.WidthClass{isa.Width8, isa.Width16, isa.Width32, isa.Width64}
+	prev := 0
+	for _, w := range widths {
+		d := OpDelayPS(isa.OpADD, w)
+		if d <= prev {
+			t.Errorf("ADD delay not strictly increasing at %v: %d <= %d", w, d, prev)
+		}
+		if prev != 0 && d-prev != adderStagePS {
+			t.Errorf("width step to %v adds %d ps, want one prefix level (%d ps)", w, d-prev, adderStagePS)
+		}
+		prev = d
+	}
+	// Logic delay must be width-independent.
+	if OpDelayPS(isa.OpAND, isa.Width8) != OpDelayPS(isa.OpAND, isa.Width64) {
+		t.Error("logic delay must not depend on width")
+	}
+}
+
+func TestPrefixLevels(t *testing.T) {
+	cases := []struct{ w, l int }{{1, 0}, {2, 1}, {3, 2}, {8, 3}, {16, 4}, {32, 5}, {64, 6}}
+	for _, c := range cases {
+		if got := prefixLevels(c.w); got != c.l {
+			t.Errorf("prefixLevels(%d) = %d, want %d", c.w, got, c.l)
+		}
+	}
+}
+
+func TestMultiCycleLatencies(t *testing.T) {
+	if MultiCycleLatency(isa.ClassMul) != 3 ||
+		MultiCycleLatency(isa.ClassFP) != 4 ||
+		MultiCycleLatency(isa.ClassDiv) != 12 ||
+		MultiCycleLatency(isa.ClassSIMDMul) != 3 {
+		t.Error("unexpected multi-cycle latencies")
+	}
+	if MultiCycleLatency(isa.ClassLogic) != 1 {
+		t.Error("single-cycle classes must report latency 1")
+	}
+}
+
+func TestAddressFields(t *testing.T) {
+	a := MakeAddress(false, true, true, isa.Width16)
+	if a.SIMD() || !a.Arith() || !a.Shift() || a.Width() != isa.Width16 {
+		t.Errorf("address fields wrong: %v", a)
+	}
+	if a >= 1<<5 {
+		t.Errorf("address %#x does not fit in 5 bits", uint8(a))
+	}
+	s := MakeAddress(true, false, false, isa.Width8)
+	if !s.SIMD() {
+		t.Error("SIMD bit lost")
+	}
+}
+
+// TestFourteenBuckets verifies the paper's bucket count: sweeping all 32
+// addresses must reach exactly 14 distinct buckets (Sec. II-B).
+func TestFourteenBuckets(t *testing.T) {
+	seen := map[Bucket]bool{}
+	for a := Address(0); a < 32; a++ {
+		b := BucketOf(a)
+		if b >= NumBuckets {
+			t.Fatalf("bucket %d out of range for address %v", b, a)
+		}
+		seen[b] = true
+	}
+	if len(seen) != NumBuckets {
+		t.Fatalf("address sweep reaches %d buckets, want %d", len(seen), NumBuckets)
+	}
+}
+
+func TestBucketDontCares(t *testing.T) {
+	// SIMD addresses ignore arith/shift bits.
+	for _, w := range []isa.WidthClass{isa.Width8, isa.Width64} {
+		b0 := BucketOf(MakeAddress(true, false, false, w))
+		b1 := BucketOf(MakeAddress(true, true, true, w))
+		if b0 != b1 {
+			t.Errorf("SIMD bucket must ignore arith/shift bits (width %v)", w)
+		}
+	}
+	// Logic buckets ignore the width bits (bit-parallel datapath).
+	if BucketOf(MakeAddress(false, false, false, isa.Width8)) !=
+		BucketOf(MakeAddress(false, false, false, isa.Width64)) {
+		t.Error("logic bucket must ignore width bits")
+	}
+	// Arith buckets must NOT ignore width.
+	if BucketOf(MakeAddress(false, true, false, isa.Width8)) ==
+		BucketOf(MakeAddress(false, true, false, isa.Width64)) {
+		t.Error("arith buckets must distinguish widths")
+	}
+}
+
+func TestLUTConservative(t *testing.T) {
+	clock := NewClock(DefaultPrecisionBits)
+	lut := NewLUT(clock)
+	// Every op × width estimate from the LUT must cover the op's actual delay.
+	widths := []isa.WidthClass{isa.Width8, isa.Width16, isa.Width32, isa.Width64}
+	for _, op := range isa.ALUOps() {
+		for _, w := range widths {
+			addr := InstrAddress(op, w, isa.Lane0)
+			est := lut.CompTicks(addr)
+			actual := clock.PSToTicks(OpDelayPS(op, w))
+			if est < actual {
+				t.Errorf("%v/%v: LUT estimate %d ticks < actual %d ticks", op, w, est, actual)
+			}
+		}
+	}
+}
+
+func TestLUTSlackStructure(t *testing.T) {
+	lut := NewLUT(NewClock(DefaultPrecisionBits))
+	logic := lut.SlackTicks(MakeAddress(false, false, false, isa.Width64))
+	arith64 := lut.SlackTicks(MakeAddress(false, true, false, isa.Width64))
+	arith8 := lut.SlackTicks(MakeAddress(false, true, false, isa.Width8))
+	shArith64 := lut.SlackTicks(MakeAddress(false, true, true, isa.Width64))
+	if !(logic >= arith8 && arith8 > arith64) {
+		t.Errorf("slack ordering wrong: logic=%d arith8=%d arith64=%d", logic, arith8, arith64)
+	}
+	if shArith64 != 0 {
+		t.Errorf("64-bit shifted-arith defines the critical path; slack = %d, want 0", shArith64)
+	}
+	if logic < 3 {
+		t.Errorf("logic ops should expose >= 3/8 cycle slack, got %d ticks", logic)
+	}
+}
+
+func TestLUTRecalibrate(t *testing.T) {
+	lut := NewLUT(NewClock(DefaultPrecisionBits))
+	addr := MakeAddress(false, true, false, isa.Width64)
+	before := lut.CompTicks(addr)
+	lut.Recalibrate(80, 100) // nominal PVT: paths 20% faster
+	after := lut.CompTicks(addr)
+	if after > before {
+		t.Errorf("recalibrating faster must not raise estimates: %d -> %d", before, after)
+	}
+	lut.Recalibrate(100, 100)
+	if lut.CompTicks(addr) != before {
+		t.Error("recalibrating back to worst case must restore estimates")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Recalibrate(0, x) must panic")
+			}
+		}()
+		lut.Recalibrate(0, 1)
+	}()
+}
+
+func TestInstrAddressPanicsOnMultiCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InstrAddress must panic for multi-cycle classes")
+		}
+	}()
+	InstrAddress(isa.OpMUL, isa.Width64, isa.Lane0)
+}
+
+func TestIsHighSlack(t *testing.T) {
+	if !IsHighSlack(OpDelayPS(isa.OpMOV, isa.Width64)) {
+		t.Error("MOV must be high slack")
+	}
+	if IsHighSlack(OpDelayPS(isa.OpADDLSR, isa.Width64)) {
+		t.Error("ADD-LSR at w64 must be low slack")
+	}
+	if IsHighSlack(401) { // 401 ps leaves 99/500 = 19.8% < 20%
+		t.Error("19.8% slack must classify as low slack")
+	}
+	if !IsHighSlack(399) {
+		t.Error("20.2% slack must classify as high slack")
+	}
+}
+
+func TestTicksToPSRoundTrip(t *testing.T) {
+	c := NewClock(3)
+	if c.TicksToPS(8) != ClockPS {
+		t.Errorf("8 ticks = %d ps, want %d", c.TicksToPS(8), ClockPS)
+	}
+	if c.TicksToPS(1) != ClockPS/8 {
+		t.Errorf("1 tick = %d ps", c.TicksToPS(1))
+	}
+}

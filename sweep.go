@@ -1,0 +1,82 @@
+package redsoc
+
+import "fmt"
+
+// SweepPoint is one configuration tried by a sweep.
+type SweepPoint struct {
+	// Value is the swept knob's value (threshold ticks or precision bits).
+	Value int
+	// Speedup is cycles(baseline)/cycles(this point).
+	Speedup float64
+	Metrics *Metrics
+}
+
+// SweepThreshold runs the Sec. VI-C slack-threshold design sweep for a
+// program on a core: ReDSOC at each candidate threshold against the shared
+// baseline.
+func SweepThreshold(core CoreSize, p *Program, candidates []int) ([]SweepPoint, error) {
+	if len(candidates) == 0 {
+		candidates = []int{2, 3, 4, 5, 6, 7, 8}
+	}
+	base, err := Run(Config{Core: core}, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(candidates))
+	for _, th := range candidates {
+		if th < 1 {
+			return nil, fmt.Errorf("redsoc: threshold %d out of range", th)
+		}
+		m, err := Run(Config{Core: core, Scheduler: ReDSOC, SlackThreshold: th}, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Value:   th,
+			Speedup: float64(base.Cycles) / float64(m.Cycles),
+			Metrics: m,
+		})
+	}
+	return out, nil
+}
+
+// SweepPrecision runs the Sec. V slack-precision sweep (1..8 bits).
+func SweepPrecision(core CoreSize, p *Program, bits []int) ([]SweepPoint, error) {
+	if len(bits) == 0 {
+		bits = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	out := make([]SweepPoint, 0, len(bits))
+	for _, bt := range bits {
+		if bt < 1 || bt > 8 {
+			return nil, fmt.Errorf("redsoc: precision %d bits out of range [1,8]", bt)
+		}
+		base, err := Run(Config{Core: core, PrecisionBits: bt}, p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Run(Config{Core: core, Scheduler: ReDSOC, PrecisionBits: bt}, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Value:   bt,
+			Speedup: float64(base.Cycles) / float64(m.Cycles),
+			Metrics: m,
+		})
+	}
+	return out, nil
+}
+
+// Best returns the sweep point with the highest speedup (the first on ties).
+func Best(points []SweepPoint) (SweepPoint, error) {
+	if len(points) == 0 {
+		return SweepPoint{}, fmt.Errorf("redsoc: empty sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Speedup > best.Speedup {
+			best = p
+		}
+	}
+	return best, nil
+}

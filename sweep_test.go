@@ -1,0 +1,73 @@
+package redsoc
+
+import "testing"
+
+func TestSweepThreshold(t *testing.T) {
+	p := chainProgram(400)
+	pts, err := SweepThreshold(Big, p, []int{2, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// A logic chain recycles more as the threshold loosens.
+	if !(pts[0].Speedup <= pts[1].Speedup && pts[1].Speedup <= pts[2].Speedup+1e-9) {
+		t.Fatalf("speedups not monotone on a logic chain: %+v", pts)
+	}
+	best, err := Best(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Speedup < pts[0].Speedup {
+		t.Fatal("Best lost")
+	}
+	if _, err := SweepThreshold(Big, p, []int{0}); err == nil {
+		t.Fatal("invalid threshold must error")
+	}
+}
+
+func TestSweepPrecision(t *testing.T) {
+	p := chainProgram(300)
+	pts, err := SweepPrecision(Medium, p, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Speedup < pts[0].Speedup {
+		t.Fatalf("3-bit precision must not lose to 1-bit: %+v", pts)
+	}
+	if _, err := SweepPrecision(Medium, p, []int{9}); err == nil {
+		t.Fatal("invalid precision must error")
+	}
+	if _, err := Best(nil); err == nil {
+		t.Fatal("empty sweep must error")
+	}
+}
+
+func TestPVTKnob(t *testing.T) {
+	p := chainProgram(4000)
+	worst, err := Run(Config{Core: Big, Scheduler: ReDSOC}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := chainProgram(4000)
+	nominal, err := Run(Config{Core: Big, Scheduler: ReDSOC, PVT: true}, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nominal.Cycles > worst.Cycles {
+		t.Fatalf("nominal-PVT run slower than the worst-case corner: %d vs %d",
+			nominal.Cycles, worst.Cycles)
+	}
+}
+
+func TestDynamicThresholdKnob(t *testing.T) {
+	p := chainProgram(6000)
+	m, err := Run(Config{Core: Big, Scheduler: ReDSOC, SlackThreshold: 4, DynamicThreshold: true}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RecycledOps == 0 {
+		t.Fatal("no recycling under the dynamic controller")
+	}
+}
