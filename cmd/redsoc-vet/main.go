@@ -1,0 +1,90 @@
+// Command redsoc-vet is the repository's correctness lint suite: a
+// multichecker over the custom analyzers in internal/analysis. It enforces
+// the invariants the simulator's claims rest on — tick/picosecond/cycle unit
+// discipline, deterministic simulation, panic placement, and conservative
+// rounding of delay arithmetic.
+//
+// Usage:
+//
+//	go run ./cmd/redsoc-vet ./...
+//	go run ./cmd/redsoc-vet -run tickunits,panicpolicy ./internal/ooo
+//
+// Exit status is 1 when any diagnostic is reported. Audited,
+// intentional sites are suppressed in source with a
+// `//lint:allow <analyzer> <reason>` annotation on (or directly above) the
+// offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"redsoc/internal/analysis/conservativeround"
+	"redsoc/internal/analysis/framework"
+	"redsoc/internal/analysis/panicpolicy"
+	"redsoc/internal/analysis/simdeterminism"
+	"redsoc/internal/analysis/tickunits"
+)
+
+var analyzers = []*framework.Analyzer{
+	tickunits.Analyzer,
+	simdeterminism.Analyzer,
+	panicpolicy.Analyzer,
+	conservativeround.Analyzer,
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "print the available analyzers and exit")
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: redsoc-vet [-run names] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *run != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "redsoc-vet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	pkgs, err := framework.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "redsoc-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := framework.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "redsoc-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "redsoc-vet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

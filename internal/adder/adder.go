@@ -148,7 +148,7 @@ func (ad *Adder) Add(a, b uint64) Result {
 	if ad.width < 64 {
 		mask := (uint64(1) << ad.width) - 1
 		if a&mask != a || b&mask != b {
-			panic(fmt.Sprintf("adder: operands %#x,%#x exceed width %d", a, b, ad.width))
+			panic(fmt.Sprintf("adder: operands %#x,%#x exceed width %d", a, b, ad.width)) //lint:allow panicpolicy audited invariant: the ALU masks operands to the adder width
 		}
 	}
 	gs := ad.gates

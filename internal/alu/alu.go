@@ -202,7 +202,7 @@ func Exec(in *isa.Instruction, ops *Operands) Outcome {
 	case isa.OpB, isa.OpNOP:
 		r = 0
 	default:
-		panic(fmt.Sprintf("alu: unhandled opcode %v", in.Op))
+		panic(fmt.Sprintf("alu: unhandled opcode %v", in.Op)) //lint:allow panicpolicy audited invariant: unreachable for any opcode the decoder accepts
 	}
 	if !carryV && wf {
 		fl = logicFlags(r, cin)

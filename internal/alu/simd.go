@@ -13,7 +13,7 @@ import (
 func ExecVec(in *isa.Instruction, ops *Operands) Outcome {
 	lane := in.Lane
 	if lane == isa.Lane0 {
-		panic(fmt.Sprintf("alu: SIMD op %v without a lane width", in.Op))
+		panic(fmt.Sprintf("alu: SIMD op %v without a lane width", in.Op)) //lint:allow panicpolicy audited invariant: decode guarantees SIMD ops carry a lane width
 	}
 	a, b, c := ops.Src1, ops.Src2, ops.Src3
 	if in.Src2 == isa.RegNone {
@@ -99,7 +99,7 @@ func laneOp(op isa.Op, lane isa.Lane, a, b, c uint64, amt uint) uint64 {
 		case isa.OpVMLA:
 			v = (x*y + z) & mask
 		default:
-			panic(fmt.Sprintf("alu: unhandled SIMD opcode %v", op))
+			panic(fmt.Sprintf("alu: unhandled SIMD opcode %v", op)) //lint:allow panicpolicy audited invariant: unreachable for any opcode ExecVec dispatches
 		}
 		out |= v << sh
 		if lw == 64 {

@@ -1,0 +1,104 @@
+// Package conservativeround polices the rounding direction of tick
+// arithmetic. ReDSOC's safety argument is one-sided: a slack estimate "may
+// overstate but never understate a computation time" (HPCA'19 Sec. III), so
+// any integer division of a delay/slack quantity that truncates toward zero
+// shaves real time off an estimate and silently re-introduces timing
+// speculation. Divisions of timing.Ticks must therefore use the ceiling
+// idiom `(x + d - 1) / d` (which the analyzer recognizes) or carry an
+// audited `//lint:allow conservativeround <why>` annotation (e.g. for
+// flooring that is provably on the reporting path, not the estimate path).
+package conservativeround
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"redsoc/internal/analysis/framework"
+	"redsoc/internal/analysis/timingtypes"
+)
+
+// Analyzer flags truncating division and right-shift on timing.Ticks.
+var Analyzer = &framework.Analyzer{
+	Name: "conservativeround",
+	Doc: "flags integer `/` and `>>` on timing.Ticks operands, which round toward zero " +
+		"and can understate a delay; use the ceiling idiom (x + d - 1) / d or annotate " +
+		"an audited floor",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.AssignStmt:
+				if n.Tok == token.QUO_ASSIGN && len(n.Lhs) == 1 && isTicksExpr(pass, n.Lhs[0]) {
+					pass.Reportf(n.Pos(), "/= on timing.Ticks truncates toward zero and can understate a delay; use the ceiling idiom or annotate an audited floor")
+				}
+				if n.Tok == token.SHR_ASSIGN && len(n.Lhs) == 1 && isTicksExpr(pass, n.Lhs[0]) {
+					pass.Reportf(n.Pos(), ">>= on timing.Ticks floors and can understate a delay; use the ceiling idiom or annotate an audited floor")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *framework.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.QUO && b.Op != token.SHR {
+		return
+	}
+	if !isTicksExpr(pass, b.X) && !isTicksExpr(pass, b.Y) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[b]; ok && tv.Value != nil {
+		return // constant-folded at compile time: rounding is visible in review
+	}
+	if b.Op == token.QUO && isCeilIdiom(b) {
+		return
+	}
+	op, verb := "/", "truncates"
+	if b.Op == token.SHR {
+		op, verb = ">>", "floors"
+	}
+	pass.Reportf(b.Pos(), "%s on timing.Ticks %s toward zero and can understate a delay; use the ceiling idiom (x + d - 1) / d or annotate an audited floor", op, verb)
+}
+
+func isTicksExpr(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && timingtypes.IsTicks(tv.Type)
+}
+
+// isCeilIdiom recognizes (x + d - 1) / d, the conservative round-up pattern:
+// the numerator parses as (x + d) - 1 with d syntactically identical to the
+// divisor.
+func isCeilIdiom(div *ast.BinaryExpr) bool {
+	num, ok := stripParens(div.X).(*ast.BinaryExpr)
+	if !ok || num.Op != token.SUB || !isIntLiteral(num.Y, "1") {
+		return false
+	}
+	sum, ok := stripParens(num.X).(*ast.BinaryExpr)
+	if !ok || sum.Op != token.ADD {
+		return false
+	}
+	d := types.ExprString(stripParens(div.Y))
+	return types.ExprString(stripParens(sum.Y)) == d || types.ExprString(stripParens(sum.X)) == d
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isIntLiteral(e ast.Expr, text string) bool {
+	lit, ok := stripParens(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == text
+}

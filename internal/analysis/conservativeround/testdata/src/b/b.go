@@ -1,0 +1,42 @@
+package b
+
+import "timing"
+
+func bad(t, d timing.Ticks) timing.Ticks {
+	return t / d // want `/ on timing\.Ticks truncates toward zero`
+}
+
+func badConstDivisor(t timing.Ticks) timing.Ticks {
+	return t / 2 // want `/ on timing\.Ticks truncates toward zero`
+}
+
+func badShift(t timing.Ticks) timing.Ticks {
+	return t >> 1 // want `>> on timing\.Ticks floors`
+}
+
+func badAssign(t, d timing.Ticks) timing.Ticks {
+	t /= d  // want `/= on timing\.Ticks truncates`
+	t >>= 1 // want `>>= on timing\.Ticks floors`
+	return t
+}
+
+func ceil(t, d timing.Ticks) timing.Ticks {
+	return (t + d - 1) / d // the conservative round-up idiom: allowed
+}
+
+func ceilSwapped(t, d timing.Ticks) timing.Ticks {
+	return (d + t - 1) / d // idiom with operands swapped: still recognized
+}
+
+func reporting(t, d timing.Ticks) timing.Ticks {
+	return t / d //lint:allow conservativeround testdata: audited reporting-path floor
+}
+
+func constFolded() timing.Ticks {
+	const whole = timing.Ticks(8)
+	return whole / 2 // constant expression: rounding is visible at the call site
+}
+
+func plainInts(a, b int64) int64 {
+	return a / b // not Ticks: out of scope
+}

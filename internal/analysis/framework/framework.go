@@ -1,0 +1,162 @@
+// Package framework is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a name, a doc
+// string and a Run function; a Pass hands the Run function one type-checked
+// package and collects Diagnostics. It exists because this repository is
+// standard-library-only, and the correctness properties ReDSOC depends on
+// (unit discipline between picoseconds/cycles/ticks, deterministic
+// simulation, conservative rounding) want machine checking, not code review.
+//
+// Deliberate deviations from x/tools:
+//   - no Facts, no Requires graph — each analyzer is independent;
+//   - suppression is built in: a diagnostic is dropped when the offending
+//     line (or the line above it) carries a `//lint:allow <analyzer> <why>`
+//     annotation, so audited-and-intentional sites stay visible in the code.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// annotations. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run performs the check on one package, reporting findings via
+	// pass.Reportf. A non-nil error aborts the whole vet run (reserve it for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow allowIndex
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless the site carries a matching
+// //lint:allow annotation.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRE matches `lint:allow name1,name2 optional reason`. The reason is
+// not optional by policy — reviewers should reject annotations without one —
+// but the matcher tolerates its absence so the missing reason can itself be
+// flagged in review rather than silently changing suppression behavior.
+var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9_,]*)\b`)
+
+// allowIndex maps file → line → analyzer names suppressed on that line.
+type allowIndex map[string]map[int][]string
+
+// buildAllowIndex scans every comment in the files for lint:allow markers.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(m[1], ",")...)
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic from the named analyzer at the given
+// position is suppressed: the annotation may sit at the end of the offending
+// line or on its own line directly above.
+func (idx allowIndex) allowed(name string, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range lines[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				allow:     allow,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

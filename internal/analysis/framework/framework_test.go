@@ -1,0 +1,107 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestAllowIndex(t *testing.T) {
+	fset, files := parseOne(t, `package x
+
+func f() {
+	a := 1 //lint:allow checkone audited because reasons
+	//lint:allow checktwo,checkthree stacked names
+	b := 2
+	c := 3
+	_, _, _ = a, b, c
+}
+`)
+	idx := buildAllowIndex(fset, files)
+	at := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+	if !idx.allowed("checkone", at(4)) {
+		t.Error("inline annotation on line 4 should suppress checkone")
+	}
+	if idx.allowed("checktwo", at(4)) {
+		t.Error("checktwo is not annotated on line 4")
+	}
+	if !idx.allowed("checktwo", at(6)) || !idx.allowed("checkthree", at(6)) {
+		t.Error("line-above annotation should suppress both listed analyzers on line 6")
+	}
+	if idx.allowed("checktwo", at(7)) {
+		t.Error("annotation must not leak past the next line")
+	}
+}
+
+// TestLoadRealPackage exercises the go list + export-data loader against a
+// real package of this repository.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if !strings.HasSuffix(p.Path, "internal/timing") {
+		t.Fatalf("unexpected package path %q", p.Path)
+	}
+	if p.Types.Scope().Lookup("Clock") == nil {
+		t.Fatal("type-checked package is missing the Clock type")
+	}
+	if len(p.TypesInfo.Uses) == 0 {
+		t.Fatal("TypesInfo was not populated")
+	}
+}
+
+func TestRunAnalyzersSuppression(t *testing.T) {
+	fset, files := parseOne(t, `package x
+
+func f() int {
+	return 1 // flagged
+}
+
+func g() int {
+	return 2 //lint:allow returncheck audited
+}
+`)
+	returncheck := &Analyzer{
+		Name: "returncheck",
+		Doc:  "flags every return statement (test analyzer)",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						pass.Reportf(r.Pos(), "return found")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	pkg := &Package{Path: "x", Fset: fset, Files: files}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{returncheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (annotated return suppressed): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("diagnostic at line %d, want 4", diags[0].Pos.Line)
+	}
+}

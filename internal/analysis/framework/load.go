@@ -1,0 +1,135 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load resolves the package patterns (e.g. "./...") relative to dir, parses
+// and type-checks every matched non-test package, and returns them ready for
+// analysis. It shells out to `go list -export` once: the go tool resolves
+// build constraints and produces export data for every dependency, so the
+// type-checker never needs source for anything but the packages under
+// analysis. Test files are deliberately out of scope — the simulator's
+// correctness policies target shipped code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard && len(e.GoFiles) > 0 {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      t.ImportPath,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ExportDataImporter returns a types.Importer that resolves import paths
+// through the compiler export-data files `go list -export` reported (the
+// same build-cache entries the real build uses, so types always agree with
+// the toolchain's view).
+func ExportDataImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

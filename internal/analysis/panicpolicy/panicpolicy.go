@@ -1,0 +1,80 @@
+// Package panicpolicy enforces where the simulator may panic. Constructors
+// and config validation may reject bad inputs loudly (and Must* helpers
+// exist precisely to panic), but steady-state simulation paths — anything
+// reachable per-instruction or per-cycle — must either uphold an invariant
+// or return an error: a sweep of thousands of runs should report one failed
+// configuration, not die. Sites that assert genuine programmer-error
+// invariants stay, annotated with `//lint:allow panicpolicy <why>` so each
+// one is on the record as audited.
+package panicpolicy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"redsoc/internal/analysis/framework"
+)
+
+// Analyzer flags panic calls outside constructor/validation contexts.
+var Analyzer = &framework.Analyzer{
+	Name: "panicpolicy",
+	Doc: "forbids panic() outside constructors (New*/new*/Must*/init) and validation helpers " +
+		"(Validate*); package main is exempt (a CLI owns its process); audited invariant " +
+		"panics carry a //lint:allow panicpolicy annotation",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	// A main package owns its process: examples and CLI front-ends may
+	// panic/Fatal at top level without taking a library user down.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if allowedContext(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isBuiltinPanic(pass, call) {
+					pass.Reportf(call.Pos(), "panic in steady-state path %s: return an error for recoverable conditions, or annotate an audited programmer-error invariant", fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// allowedContext reports whether a function name marks a construction or
+// validation context in which rejecting bad input loudly is the contract.
+func allowedContext(name string) bool {
+	for _, prefix := range []string{"New", "new", "Must", "must", "Validate", "validate"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return name == "init"
+}
+
+func isBuiltinPanic(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,11 @@
+// Command m shows the package-main exemption: a CLI owns its process, so
+// top-level panics are its own business.
+package main
+
+func run() {
+	panic("m: cli may panic")
+}
+
+func main() {
+	run()
+}

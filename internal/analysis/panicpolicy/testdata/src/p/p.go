@@ -1,0 +1,63 @@
+// Package p exercises the panic placement policy.
+package p
+
+import "errors"
+
+// NewThing is a constructor: rejecting bad input loudly is its contract.
+func NewThing(n int) int {
+	if n < 0 {
+		panic("p: negative size")
+	}
+	return n
+}
+
+// newThing is an unexported constructor: same contract as NewThing.
+func newThing(n int) int {
+	if n < 0 {
+		panic("p: negative size")
+	}
+	return n
+}
+
+// MustThing is an explicit panic-on-error helper.
+func MustThing(n int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ValidateThing is a validation context.
+func ValidateThing(n int) error {
+	if n > 1<<20 {
+		panic("p: absurd size")
+	}
+	return nil
+}
+
+func init() {
+	if false {
+		panic("unreachable: init may panic")
+	}
+}
+
+func step(n int) error {
+	if n < 0 {
+		panic("p: negative step") // want `panic in steady-state path step`
+	}
+	if n == 1<<30 {
+		panic("p: overcommit") //lint:allow panicpolicy audited invariant: caller checked capacity
+	}
+	return errors.New("recoverable")
+}
+
+func inner(xs []int) {
+	f := func(i int) {
+		if i < 0 {
+			panic("p: closure panic") // want `panic in steady-state path inner`
+		}
+	}
+	for i := range xs {
+		f(i)
+	}
+}

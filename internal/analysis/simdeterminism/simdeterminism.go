@@ -1,0 +1,91 @@
+// Package simdeterminism guards the reproducibility of simulation results.
+// The scheduler model (internal/ooo), the select/slack logic (internal/core)
+// and the memory model (internal/mem) must produce bit-identical statistics
+// for identical inputs — that is what makes the paper's figures, the sweep
+// harness and the planned sharded/parallel runs comparable at all. The
+// analyzer flags the constructs that silently break that property: map
+// iteration feeding any computation, wall-clock reads, math/rand, spawned
+// goroutines and multi-way selects.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"redsoc/internal/analysis/framework"
+)
+
+// Analyzer flags nondeterministic constructs inside the simulation packages.
+var Analyzer = &framework.Analyzer{
+	Name: "simdeterminism",
+	Doc: "inside simulation packages (ooo, core, mem): flags `range` over maps, time.Now, " +
+		"math/rand imports, `go` statements and multi-case selects — anything whose " +
+		"order or value can differ between two runs of the same workload",
+	Run: run,
+}
+
+// simPackages names the package-path segments the analyzer polices. Other
+// packages (reporting, CLIs, workload generators with seeded rand) are out
+// of scope by design.
+var simPackages = map[string]bool{"ooo": true, "core": true, "mem": true}
+
+func inScope(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if simPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				path := strings.Trim(n.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(n.Pos(), "%s in a simulation package: pseudo-randomness breaks run-to-run reproducibility; derive any needed variation from explicit seeded state", path)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map: iteration order is nondeterministic; iterate sorted keys, or annotate if every path through the body is order-independent")
+					}
+				}
+			case *ast.CallExpr:
+				if isTimeNow(pass, n) {
+					pass.Reportf(n.Pos(), "time.Now in a simulation package: simulated time must come from the cycle counter, never the wall clock")
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in a simulation package: scheduling order is nondeterministic; keep per-run state single-threaded and parallelize across runs instead")
+			case *ast.SelectStmt:
+				if n.Body != nil && len(n.Body.List) > 1 {
+					pass.Reportf(n.Pos(), "multi-case select: case choice among ready channels is randomized by the runtime")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTimeNow(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == "Now" && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}

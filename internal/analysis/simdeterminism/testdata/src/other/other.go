@@ -1,0 +1,17 @@
+// Package other is outside the simulation scope: none of its path segments
+// is ooo, core or mem, so nothing here is flagged.
+package other
+
+import "time"
+
+func now() time.Time {
+	return time.Now()
+}
+
+func keys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

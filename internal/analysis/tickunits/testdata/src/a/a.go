@@ -1,0 +1,23 @@
+package a
+
+import "timing"
+
+func bad(clock timing.Clock, ps int, cycles int64) timing.Ticks {
+	t := timing.Ticks(ps)                      // want `raw int converted to timing\.Ticks outside a Clock converter`
+	u := timing.Ticks(cycles)                  // want `raw int64 converted to timing\.Ticks outside a Clock converter`
+	c := timing.Clock{}                        // want `timing\.Clock composite literal builds the invalid zero-value clock`
+	pc := new(timing.Clock)                    // want `new\(timing\.Clock\) builds the invalid zero-value clock`
+	tpc := timing.Ticks(clock.TicksPerCycle()) // want `raw int converted to timing\.Ticks`
+	_, _ = c, pc
+	return t + u + tpc
+}
+
+func good(clock timing.Clock, ps, lat int) timing.Ticks {
+	t := clock.PSToTicks(ps)
+	t += timing.Ticks(3) // untyped constant: carries no unit
+	u := timing.Ticks(t) // Ticks→Ticks: not a unit crossing
+	tpc := clock.CyclesToTicks(1)
+	w := clock.CyclesToTicks(lat)
+	audited := timing.Ticks(int64(ps)) //lint:allow tickunits testdata: audited crossing
+	return t + u + tpc + w + audited
+}

@@ -1,0 +1,26 @@
+// Package timing is a miniature stand-in for redsoc/internal/timing: the
+// analyzers match by package name and type name, so this is all the testdata
+// packages need.
+package timing
+
+// Ticks mirrors the real sub-cycle instant type.
+type Ticks int64
+
+// Clock mirrors the real converter; the zero value is invalid.
+type Clock struct {
+	tpc int
+}
+
+// NewClock builds a valid clock.
+func NewClock(bits int) Clock { return Clock{tpc: 1 << bits} }
+
+// PSToTicks converts picoseconds to ticks, rounding up.
+func (c Clock) PSToTicks(ps int) Ticks {
+	return Ticks((ps*c.tpc + 499) / 500)
+}
+
+// CyclesToTicks converts whole cycles to ticks.
+func (c Clock) CyclesToTicks(n int) Ticks { return Ticks(n * c.tpc) }
+
+// TicksPerCycle reports the tick resolution.
+func (c Clock) TicksPerCycle() int { return c.tpc }

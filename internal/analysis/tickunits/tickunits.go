@@ -1,0 +1,82 @@
+// Package tickunits enforces the unit discipline between the three time
+// representations flowing through the simulator: raw picoseconds (untyped
+// int), whole cycles (untyped int/int64) and sub-cycle timing.Ticks. A
+// single silent mix-up turns the "estimates may overstate but never
+// understate" guarantee (ReDSOC's central invariant, HPCA'19 Sec. III) into
+// timing speculation, so every crossing must go through a Clock converter —
+// PSToTicks, CyclesToTicks, TicksToPS — which carries the precision and the
+// conservative rounding direction.
+package tickunits
+
+import (
+	"go/ast"
+	"go/types"
+
+	"redsoc/internal/analysis/framework"
+	"redsoc/internal/analysis/timingtypes"
+)
+
+// Analyzer flags raw-integer conversions to timing.Ticks and construction of
+// the invalid zero-value timing.Clock.
+var Analyzer = &framework.Analyzer{
+	Name: "tickunits",
+	Doc: "flags timing.Ticks(x) conversions of non-constant raw integers (picosecond or " +
+		"cycle counts must cross into tick space via a Clock converter) and any " +
+		"construction of the documented-invalid zero value timing.Clock{}",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	// The timing package itself implements the converters; conversions there
+	// are the mechanism, not a violation.
+	if pass.Pkg.Name() == "timing" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && timingtypes.IsClock(tv.Type) {
+					pass.Reportf(n.Pos(), "timing.Clock composite literal builds the invalid zero-value clock (0 ticks per cycle); construct it with timing.NewClock")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	// new(timing.Clock) smuggles in the same invalid zero value as a literal.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "new" {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && timingtypes.IsClock(tv.Type) {
+					pass.Reportf(call.Pos(), "new(timing.Clock) builds the invalid zero-value clock; construct it with timing.NewClock")
+				}
+			}
+		}
+		return
+	}
+	// A conversion looks like a call whose Fun is a type.
+	funTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !funTV.IsType() || !timingtypes.IsTicks(funTV.Type) {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if argTV.Value != nil {
+		return // compile-time constant: Ticks(0), Ticks(1<<62), … carry no unit
+	}
+	if timingtypes.IsTicks(argTV.Type) {
+		return // Ticks→Ticks is a no-op, not a unit crossing
+	}
+	pass.Reportf(call.Pos(), "raw %s converted to timing.Ticks outside a Clock converter; use Clock.PSToTicks/CyclesToTicks so precision and conservative rounding are applied", argTV.Type)
+}

@@ -1,0 +1,30 @@
+// Package timingtypes identifies the simulator's timing vocabulary types in
+// go/types form. Matching is by package *name* ("timing") rather than full
+// import path so the analyzers work identically against the real
+// redsoc/internal/timing package and against the miniature stand-in packages
+// their analysistest testdata carries.
+package timingtypes
+
+import "go/types"
+
+// named returns the *types.Named beneath t, or nil.
+func named(t types.Type) *types.Named {
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isTimingType reports whether t is the named type timing.<name>.
+func isTimingType(t types.Type, name string) bool {
+	n := named(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "timing"
+}
+
+// IsTicks reports whether t is timing.Ticks (the sub-cycle instant type).
+func IsTicks(t types.Type) bool { return t != nil && isTimingType(t, "Ticks") }
+
+// IsClock reports whether t is timing.Clock (the tick/cycle/ps converter).
+func IsClock(t types.Type) bool { return t != nil && isTimingType(t, "Clock") }

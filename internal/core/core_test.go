@@ -11,7 +11,7 @@ import (
 	"redsoc/internal/timing"
 )
 
-func clock() timing.Clock { return timing.NewClock(timing.DefaultPrecisionBits) }
+func clock() timing.Clock { return timing.MustClock(timing.DefaultPrecisionBits) }
 
 func TestParamsValidate(t *testing.T) {
 	c := clock()
@@ -384,5 +384,56 @@ func TestSeqTrackerEmpty(t *testing.T) {
 	tr := NewSeqTracker()
 	if tr.MeanLength() != 0 || tr.ExpectedLength() != 0 || tr.Count() != 0 {
 		t.Fatal("empty tracker must report zeros")
+	}
+}
+
+func TestArbiterLoneSpeculativeWins(t *testing.T) {
+	// A lone speculative requester must still be granted under skewing: the
+	// self-mask clearing in Fig. 9b keeps an entry from blocking itself.
+	g := NewArbiter(true).Grant([]Request{{Age: 7, Spec: true}}, 1)
+	if len(g) != 1 || g[0] != 0 {
+		t.Fatalf("lone speculative grant = %v, want [0]", g)
+	}
+}
+
+func TestArbiterAllSpeculativeOldestFirst(t *testing.T) {
+	// With no non-speculative competition, skewing must degrade to plain
+	// oldest-first among the speculative group.
+	reqs := []Request{
+		{Age: 30, Spec: true},
+		{Age: 10, Spec: true},
+		{Age: 20, Spec: true},
+	}
+	g := NewArbiter(true).Grant(reqs, 2)
+	if len(g) != 2 || g[0] != 1 || g[1] != 2 {
+		t.Fatalf("all-speculative grants = %v, want [1 2]", g)
+	}
+}
+
+func TestArbiterYoungNonSpecBeatsOldSpec(t *testing.T) {
+	// The skew is absolute: the youngest parent-woken request outranks the
+	// oldest grandparent-woken one, in both grant order and a m=1 cutoff.
+	reqs := []Request{
+		{Age: 1, Spec: true},
+		{Age: 100, Spec: false},
+	}
+	g := NewArbiter(true).Grant(reqs, 1)
+	if len(g) != 1 || g[0] != 1 {
+		t.Fatalf("skewed m=1 grant = %v, want [1]", g)
+	}
+	g = NewArbiter(true).Grant(reqs, 2)
+	if len(g) != 2 || g[0] != 1 || g[1] != 0 {
+		t.Fatalf("skewed m=2 grants = %v, want [1 0]", g)
+	}
+	// Without skewing, age decides.
+	g = NewArbiter(false).Grant(reqs, 1)
+	if len(g) != 1 || g[0] != 0 {
+		t.Fatalf("conventional grant = %v, want [0]", g)
+	}
+}
+
+func TestArbiterNegativeGrantCount(t *testing.T) {
+	if g := NewArbiter(false).Grant([]Request{{Age: 1}}, -3); g != nil {
+		t.Fatalf("negative m must grant nothing, got %v", g)
 	}
 }

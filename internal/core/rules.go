@@ -26,14 +26,14 @@ func PlanSynchronous(clock timing.Clock, arrival, parentReady, exTicks timing.Ti
 	if pr := clock.CeilCycle(parentReady); pr > start {
 		start = pr
 	}
-	tpc := timing.Ticks(clock.TicksPerCycle())
+	tpc := clock.CyclesToTicks(1)
 	cycles := int((exTicks + tpc - 1) / tpc)
 	if cycles < 1 {
 		cycles = 1
 	}
 	return Schedule{
 		Start:    start,
-		Comp:     start + timing.Ticks(cycles)*tpc,
+		Comp:     start + clock.CyclesToTicks(cycles),
 		FUCycles: cycles,
 	}
 }
@@ -47,7 +47,7 @@ func PlanSynchronous(clock timing.Clock, arrival, parentReady, exTicks timing.Ti
 // (latency-misprediction style), which the scheduler's eligibility check
 // makes rare.
 func PlanTransparent(clock timing.Clock, arrival, parentReady, exTicks timing.Ticks) (Schedule, bool) {
-	tpc := timing.Ticks(clock.TicksPerCycle())
+	tpc := clock.CyclesToTicks(1)
 	start := arrival
 	recycled := false
 	if parentReady > arrival {
@@ -75,7 +75,7 @@ func (p Params) RecycleEligible(clock timing.Clock, execCycleStart, parentCI tim
 	if !p.Recycle {
 		return false
 	}
-	tpc := timing.Ticks(clock.TicksPerCycle())
+	tpc := clock.CyclesToTicks(1)
 	if parentCI <= execCycleStart || parentCI >= execCycleStart+tpc {
 		return false
 	}

@@ -27,7 +27,7 @@ func (t *SeqTracker) Record(length int) {
 // Count returns the number of recorded sequences.
 func (t *SeqTracker) Count() uint64 {
 	var n uint64
-	for _, c := range t.hist {
+	for _, c := range t.hist { //lint:allow simdeterminism order-independent: commutative sum
 		n += c
 	}
 	return n
@@ -36,7 +36,7 @@ func (t *SeqTracker) Count() uint64 {
 // MeanLength is the plain average sequence length.
 func (t *SeqTracker) MeanLength() float64 {
 	var n, sum uint64
-	for l, c := range t.hist {
+	for l, c := range t.hist { //lint:allow simdeterminism order-independent: commutative sums
 		n += c
 		sum += uint64(l) * c
 	}
@@ -51,7 +51,7 @@ func (t *SeqTracker) MeanLength() float64 {
 // is Fig. 11's "EV of transparent sequence length".
 func (t *SeqTracker) ExpectedLength() float64 {
 	var sum, sqSum uint64
-	for l, c := range t.hist {
+	for l, c := range t.hist { //lint:allow simdeterminism order-independent: commutative sums
 		sum += uint64(l) * c
 		sqSum += uint64(l) * uint64(l) * c
 	}
@@ -64,7 +64,7 @@ func (t *SeqTracker) ExpectedLength() float64 {
 // Histogram returns a copy of the length histogram.
 func (t *SeqTracker) Histogram() map[int]uint64 {
 	out := make(map[int]uint64, len(t.hist))
-	for l, c := range t.hist {
+	for l, c := range t.hist { //lint:allow simdeterminism order-independent: map copy
 		out[l] = c
 	}
 	return out
@@ -72,7 +72,7 @@ func (t *SeqTracker) Histogram() map[int]uint64 {
 
 // Merge folds another tracker's counts into this one.
 func (t *SeqTracker) Merge(other *SeqTracker) {
-	for l, c := range other.hist {
+	for l, c := range other.hist { //lint:allow simdeterminism order-independent: commutative merge
 		t.hist[l] += c
 	}
 }

@@ -42,7 +42,7 @@ func widthSensitive(op isa.Op) bool {
 // Estimate classifies one single-cycle instruction. Multi-cycle classes get
 // a full-cycle EX-TIME: they are "true synchronous" and recycle nothing.
 func (e *Estimator) Estimate(in *isa.Instruction) Estimate {
-	tpc := timing.Ticks(e.clock.TicksPerCycle())
+	tpc := e.clock.CyclesToTicks(1)
 	if !in.Op.SingleCycle() {
 		return Estimate{Width: isa.Width64, ExTicks: tpc}
 	}
@@ -80,7 +80,7 @@ func (e *Estimator) Validate(in *isa.Instruction, est Estimate, actual isa.Width
 // given its actual width — used when replaying an aggressive misprediction.
 func (e *Estimator) CorrectedTicks(in *isa.Instruction, actual isa.WidthClass) timing.Ticks {
 	if !in.Op.SingleCycle() {
-		return timing.Ticks(e.clock.TicksPerCycle())
+		return e.clock.CyclesToTicks(1)
 	}
 	return e.lut.CompTicks(timing.InstrAddress(in.Op, actual, in.Lane))
 }

@@ -22,7 +22,7 @@ var PaperFig13Means = map[Class]map[string]float64{
 // Fig1Table renders the per-opcode computation times of Fig. 1 (model ps at
 // the 500 ps clock, plus their quantized tick/bucket view).
 func Fig1Table() *stats.Table {
-	clock := timing.NewClock(timing.DefaultPrecisionBits)
+	clock := timing.MustClock(timing.DefaultPrecisionBits)
 	lut := timing.NewLUT(clock)
 	t := stats.NewTable("Fig. 1 — ALU computation times (modeled, 2 GHz)",
 		"op", "class", "delay ps (w64)", "delay ps (w8)", "LUT bucket", "EX-TIME ticks")
@@ -88,7 +88,7 @@ func TopologyTable() *stats.Table {
 // Fig3Table renders the slack LUT: every reachable bucket with its
 // computation time (Fig. 3 / Sec. II-B).
 func Fig3Table() *stats.Table {
-	clock := timing.NewClock(timing.DefaultPrecisionBits)
+	clock := timing.MustClock(timing.DefaultPrecisionBits)
 	lut := timing.NewLUT(clock)
 	t := stats.NewTable("Fig. 3 — slack LUT (14 buckets, 3-bit EX-TIMEs)",
 		"bucket", "worst delay ps", "EX-TIME ticks", "slack ticks")

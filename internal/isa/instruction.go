@@ -31,7 +31,7 @@ const (
 // R returns the name of integer register n.
 func R(n int) Reg {
 	if n < 0 || n >= NumIntRegs {
-		panic(fmt.Sprintf("isa: integer register R%d out of range", n))
+		panic(fmt.Sprintf("isa: integer register R%d out of range", n)) //lint:allow panicpolicy audited invariant: workloads name registers with compile-time constants
 	}
 	return Reg(intBase + n)
 }
@@ -39,7 +39,7 @@ func R(n int) Reg {
 // V returns the name of vector register n.
 func V(n int) Reg {
 	if n < 0 || n >= NumVecRegs {
-		panic(fmt.Sprintf("isa: vector register V%d out of range", n))
+		panic(fmt.Sprintf("isa: vector register V%d out of range", n)) //lint:allow panicpolicy audited invariant: workloads name registers with compile-time constants
 	}
 	return Reg(vecBase + n)
 }
@@ -66,7 +66,7 @@ func (r Reg) RenameIndex() int {
 	case r.IsFlags():
 		return NumIntRegs + NumVecRegs
 	}
-	panic(fmt.Sprintf("isa: RenameIndex of invalid register %d", uint8(r)))
+	panic(fmt.Sprintf("isa: RenameIndex of invalid register %d", uint8(r))) //lint:allow panicpolicy audited invariant: unreachable for any register built via R/V/Flags
 }
 
 // String returns the assembler name of the register.

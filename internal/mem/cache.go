@@ -38,6 +38,29 @@ type Config struct {
 	NextLinePrefetch bool
 }
 
+// Validate rejects cache geometries newCache would refuse, so user-supplied
+// configurations fail with an error before the constructors assert.
+func (c Config) Validate() error {
+	if c.LineBytes == 0 {
+		return nil // zero config takes DefaultConfig wholesale
+	}
+	for _, lvl := range []struct {
+		name        string
+		bytes, ways int
+	}{{"L1", c.L1Bytes, c.L1Ways}, {"L2", c.L2Bytes, c.L2Ways}} {
+		if lvl.bytes <= 0 || lvl.ways <= 0 || c.LineBytes <= 0 || lvl.bytes%(lvl.ways*c.LineBytes) != 0 {
+			return fmt.Errorf("mem: invalid %s geometry %d/%d/%d", lvl.name, lvl.bytes, lvl.ways, c.LineBytes)
+		}
+		if sets := lvl.bytes / (lvl.ways * c.LineBytes); sets&(sets-1) != 0 {
+			return fmt.Errorf("mem: %s sets %d not a power of two", lvl.name, sets)
+		}
+	}
+	if c.L1Latency < 1 || c.L2Latency < 1 || c.DRAMLatency < 1 {
+		return fmt.Errorf("mem: latencies must be positive")
+	}
+	return nil
+}
+
 // DefaultConfig is the Table I memory system (64kB/2MB with prefetch).
 func DefaultConfig() Config {
 	return Config{

@@ -16,7 +16,7 @@ func NewMemory() *Memory {
 // NewMemoryFrom copies an initial image (so a Program can be rerun).
 func NewMemoryFrom(image map[uint64]uint64) *Memory {
 	m := NewMemory()
-	for a, v := range image {
+	for a, v := range image { //lint:allow simdeterminism order-independent: map copy
 		m.words[align8(a)] = v
 	}
 	return m
@@ -51,7 +51,7 @@ func (m *Memory) Write128(addr uint64, lo, hi uint64) {
 // comparison between schedulers).
 func (m *Memory) Snapshot() map[uint64]uint64 {
 	out := make(map[uint64]uint64, len(m.words))
-	for a, v := range m.words {
+	for a, v := range m.words { //lint:allow simdeterminism order-independent: map copy
 		out[a] = v
 	}
 	return out

@@ -1,0 +1,54 @@
+//go:build redsoc_audit
+
+package ooo
+
+import (
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/workload/mibench"
+)
+
+// The tests in this file only build under the redsoc_audit tag; they drive
+// real kernels through the simulator with the runtime invariant checker
+// armed, so any understated estimate, FU over-hold or per-unit completion
+// reordering panics mid-run (see audit_on.go).
+
+func TestAuditEnabled(t *testing.T) {
+	var s Simulator
+	if !s.audit.Enabled() {
+		t.Fatal("built with -tags redsoc_audit but the audit layer reports disabled")
+	}
+}
+
+// TestAuditKernels runs reduced-size MiBench kernels under every config and
+// policy. Passing means every issued operation satisfied the audit
+// invariants AND the architectural results still check out.
+func TestAuditKernels(t *testing.T) {
+	kernels := []mibench.Kernel{
+		{Name: "bitcnt", Build: func() (*isa.Program, mibench.Expected) { return mibench.Bitcount(300, 15) }},
+		{Name: "crc", Build: func() (*isa.Program, mibench.Expected) { return mibench.CRC(400, 14) }},
+		{Name: "gsm", Build: func() (*isa.Program, mibench.Expected) { return mibench.GSM(100, 13) }},
+		{Name: "corners", Build: func() (*isa.Program, mibench.Expected) { return mibench.Corners(16, 12, 11) }},
+	}
+	for _, cfg := range []Config{SmallConfig(), MediumConfig(), BigConfig()} {
+		for _, pol := range []Policy{PolicyBaseline, PolicyRedsoc} {
+			for _, k := range kernels {
+				k := k
+				c := cfg.WithPolicy(pol)
+				t.Run(c.Name+"/"+pol.String()+"/"+k.Name, func(t *testing.T) {
+					p, want := k.Build()
+					res, err := Run(c, p)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					for addr, v := range want.Mem { //lint:allow simdeterminism order-independent: per-address equality
+						if got := res.FinalMem[addr]; got != v {
+							t.Errorf("mem[%#x] = %d, want %d", addr, got, v)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -113,7 +113,19 @@ func (c Config) Validate() error {
 	if cc.NumALU < 1 || cc.NumSIMD < 0 || cc.NumFP < 0 || cc.NumMemPorts < 1 {
 		return fmt.Errorf("ooo: FU pool sizes invalid")
 	}
-	clock := timing.NewClock(cc.PrecisionBits)
+	if n := cc.WidthPredictorEntries; n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ooo: width predictor entries %d must be a positive power of two", n)
+	}
+	if n := cc.LastArrivalEntries; n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ooo: last-arrival predictor entries %d must be a positive power of two", n)
+	}
+	if err := cc.Mem.Validate(); err != nil {
+		return err
+	}
+	clock, err := timing.NewClock(cc.PrecisionBits)
+	if err != nil {
+		return err
+	}
 	if cc.Policy == PolicyRedsoc {
 		if err := cc.Redsoc.Validate(clock); err != nil {
 			return err
@@ -161,10 +173,13 @@ func BigConfig() Config {
 func (c Config) WithPolicy(p Policy) Config {
 	c = c.withDefaults()
 	c.Policy = p
+	c.Redsoc = core.Params{}
 	if p == PolicyRedsoc {
-		c.Redsoc = core.DefaultParams(timing.NewClock(c.PrecisionBits))
-	} else {
-		c.Redsoc = core.Params{}
+		// An out-of-range precision leaves the params zeroed; Validate (run
+		// by ooo.New) reports the precision error itself.
+		if clock, err := timing.NewClock(c.PrecisionBits); err == nil {
+			c.Redsoc = core.DefaultParams(clock)
+		}
 	}
 	return c
 }

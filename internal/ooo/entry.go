@@ -158,15 +158,18 @@ func (p *fuPool) free(cycle int64) int {
 	return n
 }
 
-// allocate reserves one unit for [cycle, cycle+cycles) and reports success.
-func (p *fuPool) allocate(cycle int64, cycles int) bool {
+// allocate reserves one unit for [cycle, cycle+cycles), returning the unit
+// index claimed and whether a unit was available. Scanning from unit 0 keeps
+// allocation deterministic and gives the audit layer a stable per-unit
+// identity.
+func (p *fuPool) allocate(cycle int64, cycles int) (int, bool) {
 	for i, b := range p.busyUntil {
 		if b <= cycle {
 			p.busyUntil[i] = cycle + int64(cycles)
-			return true
+			return i, true
 		}
 	}
-	return false
+	return -1, false
 }
 
 // size returns the pool's unit count.

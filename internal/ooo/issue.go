@@ -182,7 +182,7 @@ func (s *Simulator) issue(cycle int64) {
 // (tag, CI). Returns false if the grant was cancelled (wasted).
 func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	window := s.clock.CycleStart(cycle + 1)
-	tpc := timing.Ticks(s.clock.TicksPerCycle())
+	tpc := s.clock.CyclesToTicks(1)
 	params := s.issueParams()
 
 	if spec {
@@ -245,7 +245,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		occupancy = sched.FUCycles
 	case e.isLoad:
 		lat := s.loadLatency(e, fwdDep)
-		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(lat))
 		occupancy = 1 // address-generation slot; the cache is pipelined
 	case e.isStore:
 		s.hier.Access(e.in.Addr) // write-allocate; buffered, latency hidden
@@ -254,15 +254,18 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		occupancy = 1
 	case class == isa.ClassDiv:
 		lat := timing.MultiCycleLatency(class)
-		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(lat))
 		occupancy = lat // unpipelined
 	default:
 		lat := timing.MultiCycleLatency(class)
-		sched = core.PlanSynchronous(s.clock, window, trueReady, timing.Ticks(lat)*tpc)
+		sched = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(lat))
 		occupancy = 1 // pipelined
 	}
-	if !s.fus[e.fu].allocate(cycle+1, occupancy) {
-		panic(fmt.Sprintf("ooo: FU overcommit on %v at cycle %d", e.fu, cycle))
+	unit, ok := s.fus[e.fu].allocate(cycle+1, occupancy)
+	if !ok {
+		// The select arbiter granted at most free(cycle+1) requests, so a
+		// full pool here is a scheduler bug, not a recoverable condition.
+		panic(fmt.Sprintf("ooo: FU overcommit on %v at cycle %d", e.fu, cycle)) //lint:allow panicpolicy audited invariant: grants are bounded by the free-unit count
 	}
 
 	out := s.execute(e, fwdDep)
@@ -305,6 +308,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	e.estComp = sched.Comp
 	e.broadcastCycle = cycle
 	e.state = stIssued
+	s.audit.onIssue(s, e, unit)
 	if s.tracer != nil {
 		s.tracer.issue(cycle, e, spec)
 	}
@@ -481,7 +485,7 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 	if !transparentCapable(e.in.Op) || e.in.Op.IsMem() {
 		return
 	}
-	tpc := timing.Ticks(s.clock.TicksPerCycle())
+	tpc := s.clock.CyclesToTicks(1)
 	window := s.clock.CycleStart(cycle + 1)
 	for _, b := range s.rs {
 		if b.state != stWaiting || b.fused || !transparentCapable(b.in.Op) || b.fu != e.fu {

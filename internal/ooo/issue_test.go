@@ -26,10 +26,15 @@ func TestFUPoolAllocation(t *testing.T) {
 	if p.free(5) != 2 {
 		t.Fatal("fresh pool must be fully free")
 	}
-	if !p.allocate(5, 2) || !p.allocate(5, 1) {
+	u0, ok0 := p.allocate(5, 2)
+	u1, ok1 := p.allocate(5, 1)
+	if !ok0 || !ok1 {
 		t.Fatal("two allocations must fit")
 	}
-	if p.allocate(5, 1) {
+	if u0 != 0 || u1 != 1 {
+		t.Fatalf("allocation order: got units %d, %d; want 0, 1", u0, u1)
+	}
+	if _, ok := p.allocate(5, 1); ok {
 		t.Fatal("third allocation must fail")
 	}
 	// Unit 2 frees at cycle 6, unit 1 at cycle 7.

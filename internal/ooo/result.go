@@ -101,7 +101,7 @@ func (r *Result) ArchEqual(o *Result) bool {
 	if len(r.FinalRegs) != len(o.FinalRegs) || r.FinalFlags != o.FinalFlags {
 		return false
 	}
-	for reg, v := range r.FinalRegs {
+	for reg, v := range r.FinalRegs { //lint:allow simdeterminism order-independent: equality over both maps
 		if o.FinalRegs[reg] != v {
 			return false
 		}
@@ -109,7 +109,7 @@ func (r *Result) ArchEqual(o *Result) bool {
 	if len(r.FinalMem) != len(o.FinalMem) {
 		return false
 	}
-	for a, v := range r.FinalMem {
+	for a, v := range r.FinalMem { //lint:allow simdeterminism order-independent: equality over both maps
 		if o.FinalMem[a] != v {
 			return false
 		}

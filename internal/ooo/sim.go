@@ -51,6 +51,10 @@ type Simulator struct {
 	pc      int // trace cursor
 	nextSeq int64
 
+	// audit holds the runtime invariant checker; it is a no-op struct unless
+	// the binary is built with -tags redsoc_audit.
+	audit auditState
+
 	res Result
 }
 
@@ -60,7 +64,10 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	clock := timing.NewClock(cfg.PrecisionBits)
+	clock, err := timing.NewClock(cfg.PrecisionBits)
+	if err != nil {
+		return nil, err
+	}
 	params := core.Params{}
 	if cfg.Policy == PolicyRedsoc {
 		params = cfg.Redsoc

@@ -412,7 +412,7 @@ func TestPrecisionSweepMonotonicity(t *testing.T) {
 	for _, bits := range []int{1, 2, 3} {
 		cfg := BigConfig().WithPolicy(PolicyRedsoc)
 		cfg.PrecisionBits = bits
-		cfg.Redsoc = core.DefaultParams(timing.NewClock(bits))
+		cfg.Redsoc = core.DefaultParams(timing.MustClock(bits))
 		res := run(t, cfg, p)
 		if res.Cycles > prev {
 			t.Fatalf("precision %d bits made things worse: %d > %d cycles", bits, res.Cycles, prev)

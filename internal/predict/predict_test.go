@@ -185,3 +185,51 @@ func TestMispredictionRateEmpty(t *testing.T) {
 		t.Fatal("empty width stats must report 0")
 	}
 }
+
+func TestLastArrivalConstructorRejectsBadSizes(t *testing.T) {
+	for _, entries := range []int{0, -8, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("entries=%d must panic", entries)
+				}
+			}()
+			NewLastArrivalPredictor(entries)
+		}()
+	}
+	// Power-of-two sizes, including the degenerate single-entry table, work.
+	if p := NewLastArrivalPredictor(1); p.Predict(0x40) != 0 {
+		t.Fatal("single-entry table must cold-predict operand 0")
+	}
+}
+
+func TestLastArrivalAliasingSharesEntry(t *testing.T) {
+	// Two PCs that hash to the same index share the single prediction bit:
+	// training one retrains the other (destructive aliasing, the cost of a
+	// 1K x 1b table). For a 64-entry table, pc and pc + 64*4 alias.
+	p := NewLastArrivalPredictor(64)
+	pcA, pcB := uint64(0x4), uint64(0x4+64*4)
+	p.Update(pcA, p.Predict(pcA), 1)
+	if p.Predict(pcB) != 1 {
+		t.Fatal("aliased PC must see its neighbor's training")
+	}
+	p.Update(pcB, p.Predict(pcB), 0)
+	if p.Predict(pcA) != 0 {
+		t.Fatal("aliased retraining must overwrite the shared bit")
+	}
+}
+
+func TestLastArrivalStatsCountEveryLookup(t *testing.T) {
+	p := NewLastArrivalPredictor(16)
+	for i := 0; i < 5; i++ {
+		p.Predict(0x10)
+	}
+	p.Update(0x10, 0, 1) // one wrong outcome recorded
+	s := p.Stats()
+	if s.Lookups != 5 || s.Mispredictions != 1 {
+		t.Fatalf("stats = %+v, want 5 lookups, 1 misprediction", s)
+	}
+	if r := s.MispredictionRate(); r != 0.2 {
+		t.Fatalf("rate = %v, want 0.2", r)
+	}
+}

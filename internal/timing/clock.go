@@ -33,25 +33,61 @@ type Clock struct {
 	psPT int64 // picoseconds per tick, numerator (ClockPS) kept exact via mul/div
 }
 
-// NewClock returns a Clock with 2^precisionBits ticks per cycle.
-// precisionBits must be in [1, MaxPrecisionBits].
-func NewClock(precisionBits int) Clock {
+// NewClock returns a Clock with 2^precisionBits ticks per cycle, or an
+// error when precisionBits is outside [1, MaxPrecisionBits]. Precision is
+// user-facing configuration (CLI flags, sweep specs), so a bad value is a
+// recoverable error, not a panic.
+func NewClock(precisionBits int) (Clock, error) {
 	if precisionBits < 1 || precisionBits > MaxPrecisionBits {
-		panic(fmt.Sprintf("timing: precision %d bits out of range [1,%d]", precisionBits, MaxPrecisionBits))
+		return Clock{}, fmt.Errorf("timing: precision %d bits out of range [1,%d]", precisionBits, MaxPrecisionBits)
 	}
-	return Clock{bits: precisionBits, tpc: 1 << precisionBits}
+	return Clock{bits: precisionBits, tpc: 1 << precisionBits}, nil
+}
+
+// MustClock is NewClock for compile-time-known precisions (tests, examples,
+// the paper's defaults); it panics on an invalid precision.
+func MustClock(precisionBits int) Clock {
+	c, err := NewClock(precisionBits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Valid reports whether the clock was built by NewClock. The zero value is
+// invalid: it would silently map every instant to tick 0.
+func (c Clock) Valid() bool { return c.tpc != 0 }
+
+// mustValid makes use of the documented-invalid zero-value Clock fail fast
+// instead of silently collapsing all tick arithmetic to zero.
+func (c Clock) mustValid() {
+	if c.tpc == 0 {
+		panic("timing: zero-value Clock used; construct one with NewClock")
+	}
 }
 
 // PrecisionBits returns the configured slack precision in bits.
 func (c Clock) PrecisionBits() int { return c.bits }
 
 // TicksPerCycle returns the number of sub-cycle ticks in one clock period.
-func (c Clock) TicksPerCycle() int { return c.tpc }
+func (c Clock) TicksPerCycle() int {
+	c.mustValid()
+	return c.tpc
+}
+
+// CyclesToTicks converts a whole number of cycles to ticks — the sanctioned
+// crossing from cycle space into tick space (CyclesToTicks(1) is the
+// ticks-per-cycle quantum as a Ticks value).
+func (c Clock) CyclesToTicks(n int) Ticks {
+	c.mustValid()
+	return Ticks(int64(n) * int64(c.tpc))
+}
 
 // PSToTicks converts a circuit delay to ticks, rounding up. Rounding up is
 // what keeps the design timing non-speculative: an estimate may overstate but
 // never understate a computation time.
 func (c Clock) PSToTicks(ps int) Ticks {
+	c.mustValid()
 	if ps <= 0 {
 		return 0
 	}
@@ -62,22 +98,33 @@ func (c Clock) PSToTicks(ps int) Ticks {
 // TicksToPS converts ticks back to picoseconds (exact when tpc divides
 // ClockPS·t evenly; used for reporting).
 func (c Clock) TicksToPS(t Ticks) int {
+	c.mustValid()
 	return int(int64(t) * ClockPS / int64(c.tpc))
 }
 
 // CycleOf returns the cycle index containing absolute time t.
-func (c Clock) CycleOf(t Ticks) int64 { return int64(t) / int64(c.tpc) }
+func (c Clock) CycleOf(t Ticks) int64 {
+	c.mustValid()
+	return int64(t) / int64(c.tpc)
+}
 
 // FracOf returns the sub-cycle fraction of absolute time t, in ticks
 // [0, TicksPerCycle).
-func (c Clock) FracOf(t Ticks) int { return int(int64(t) % int64(c.tpc)) }
+func (c Clock) FracOf(t Ticks) int {
+	c.mustValid()
+	return int(int64(t) % int64(c.tpc))
+}
 
 // CycleStart returns the absolute tick at the start of the given cycle.
-func (c Clock) CycleStart(cycle int64) Ticks { return Ticks(cycle * int64(c.tpc)) }
+func (c Clock) CycleStart(cycle int64) Ticks {
+	c.mustValid()
+	return Ticks(cycle * int64(c.tpc))
+}
 
 // CeilCycle rounds t up to the next cycle boundary (identity if already on
 // a boundary). This is where a "true synchronous" consumer clocks.
 func (c Clock) CeilCycle(t Ticks) Ticks {
+	c.mustValid()
 	tpc := int64(c.tpc)
 	return Ticks((int64(t) + tpc - 1) / tpc * tpc)
 }
@@ -95,6 +142,7 @@ func (c Clock) CrossesBoundary(start, dur Ticks) bool {
 // SlackTicks returns the data slack of an operation with the given execution
 // ticks: the unused remainder of its final cycle.
 func (c Clock) SlackTicks(execTicks Ticks) Ticks {
+	c.mustValid()
 	tpc := Ticks(c.tpc)
 	rem := execTicks % tpc
 	if rem == 0 {

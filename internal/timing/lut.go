@@ -124,7 +124,7 @@ func InstrAddress(op isa.Op, w isa.WidthClass, lane isa.Lane) Address {
 	case isa.ClassBranch:
 		return MakeAddress(false, true, false, isa.Width32)
 	}
-	panic(fmt.Sprintf("timing: no slack LUT address for %v (class %v)", op, op.Class()))
+	panic(fmt.Sprintf("timing: no slack LUT address for %v (class %v)", op, op.Class())) //lint:allow panicpolicy audited invariant: unreachable for any op class the ISA defines
 }
 
 // LUT is the slack look-up table: per-bucket computation times measured by
@@ -197,7 +197,7 @@ func (l *LUT) BucketPS(b Bucket) int { return l.ps[b] }
 // re-quantized conservatively.
 func (l *LUT) Recalibrate(num, den int) {
 	if num <= 0 || den <= 0 {
-		panic("timing: Recalibrate requires a positive scale")
+		panic("timing: Recalibrate requires a positive scale") //lint:allow panicpolicy audited invariant: scale factors are compile-time constants
 	}
 	for b := range l.ticks {
 		scaled := (l.ps[b]*num + den - 1) / den

@@ -7,7 +7,7 @@ import (
 )
 
 func TestGuardBandWaveformBounded(t *testing.T) {
-	cpm := NewCPM(PVTConfig{Enable: true}, NewLUT(NewClock(3)))
+	cpm := NewCPM(PVTConfig{Enable: true}, NewLUT(MustClock(3)))
 	lo, hi := 200, 0
 	for cyc := int64(0); cyc < 1_000_000; cyc += 777 {
 		pct := cpm.GuardBandPct(cyc)
@@ -27,7 +27,7 @@ func TestGuardBandWaveformBounded(t *testing.T) {
 }
 
 func TestCPMRecalibratesLUT(t *testing.T) {
-	clock := NewClock(3)
+	clock := MustClock(3)
 	lut := NewLUT(clock)
 	// The critical-path bucket (shifted-arith w64, 480 ps) gains a full tick
 	// once the guard band dips below ~91%.
@@ -56,7 +56,7 @@ func TestCPMRecalibratesLUT(t *testing.T) {
 }
 
 func TestCPMCadence(t *testing.T) {
-	lut := NewLUT(NewClock(3))
+	lut := NewLUT(MustClock(3))
 	cpm := NewCPM(PVTConfig{Enable: true, RecalibrationInterval: 10000}, lut)
 	cpm.Tick(0)
 	if cpm.Tick(5000) {
@@ -65,13 +65,13 @@ func TestCPMCadence(t *testing.T) {
 }
 
 func TestCPMDisabled(t *testing.T) {
-	if NewCPM(PVTConfig{}, NewLUT(NewClock(3))) != nil {
+	if NewCPM(PVTConfig{}, NewLUT(MustClock(3))) != nil {
 		t.Fatal("disabled config must return nil")
 	}
 }
 
 func TestCPMMarginConservative(t *testing.T) {
-	lut := NewLUT(NewClock(3))
+	lut := NewLUT(MustClock(3))
 	cpm := NewCPM(PVTConfig{Enable: true, MarginPct: 2}, lut)
 	cpm.Tick(0)
 	// The applied scale must always sit at or above the instantaneous guard

@@ -8,7 +8,7 @@ import (
 )
 
 func TestClockConstruction(t *testing.T) {
-	c := NewClock(3)
+	c := MustClock(3)
 	if c.TicksPerCycle() != 8 {
 		t.Fatalf("3-bit clock has %d ticks/cycle, want 8", c.TicksPerCycle())
 	}
@@ -19,16 +19,16 @@ func TestClockConstruction(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewClock(%d) must panic", bad)
+					t.Errorf("MustClock(%d) must panic", bad)
 				}
 			}()
-			NewClock(bad)
+			MustClock(bad)
 		}()
 	}
 }
 
 func TestPSToTicksRoundsUp(t *testing.T) {
-	c := NewClock(3) // tick = 62.5 ps
+	c := MustClock(3) // tick = 62.5 ps
 	cases := []struct {
 		ps int
 		tk Ticks
@@ -47,7 +47,7 @@ func TestPSToTicksRoundsUp(t *testing.T) {
 // the real delay (this is what makes the design timing non-speculative).
 func TestQuantizationConservativeProperty(t *testing.T) {
 	for bits := 1; bits <= MaxPrecisionBits; bits++ {
-		c := NewClock(bits)
+		c := MustClock(bits)
 		f := func(ps uint16) bool {
 			d := int(ps % 2000)
 			tk := c.PSToTicks(d)
@@ -60,7 +60,7 @@ func TestQuantizationConservativeProperty(t *testing.T) {
 }
 
 func TestCycleArithmetic(t *testing.T) {
-	c := NewClock(3)
+	c := MustClock(3)
 	if c.CycleOf(0) != 0 || c.CycleOf(7) != 0 || c.CycleOf(8) != 1 {
 		t.Error("CycleOf boundaries wrong")
 	}
@@ -76,7 +76,7 @@ func TestCycleArithmetic(t *testing.T) {
 }
 
 func TestCrossesBoundary(t *testing.T) {
-	c := NewClock(3)
+	c := MustClock(3)
 	cases := []struct {
 		start, dur Ticks
 		want       bool
@@ -96,7 +96,7 @@ func TestCrossesBoundary(t *testing.T) {
 }
 
 func TestSlackTicks(t *testing.T) {
-	c := NewClock(3)
+	c := MustClock(3)
 	if got := c.SlackTicks(3); got != 5 {
 		t.Errorf("SlackTicks(3) = %d, want 5", got)
 	}
@@ -255,7 +255,7 @@ func TestBucketDontCares(t *testing.T) {
 }
 
 func TestLUTConservative(t *testing.T) {
-	clock := NewClock(DefaultPrecisionBits)
+	clock := MustClock(DefaultPrecisionBits)
 	lut := NewLUT(clock)
 	// Every op × width estimate from the LUT must cover the op's actual delay.
 	widths := []isa.WidthClass{isa.Width8, isa.Width16, isa.Width32, isa.Width64}
@@ -272,7 +272,7 @@ func TestLUTConservative(t *testing.T) {
 }
 
 func TestLUTSlackStructure(t *testing.T) {
-	lut := NewLUT(NewClock(DefaultPrecisionBits))
+	lut := NewLUT(MustClock(DefaultPrecisionBits))
 	logic := lut.SlackTicks(MakeAddress(false, false, false, isa.Width64))
 	arith64 := lut.SlackTicks(MakeAddress(false, true, false, isa.Width64))
 	arith8 := lut.SlackTicks(MakeAddress(false, true, false, isa.Width8))
@@ -289,7 +289,7 @@ func TestLUTSlackStructure(t *testing.T) {
 }
 
 func TestLUTRecalibrate(t *testing.T) {
-	lut := NewLUT(NewClock(DefaultPrecisionBits))
+	lut := NewLUT(MustClock(DefaultPrecisionBits))
 	addr := MakeAddress(false, true, false, isa.Width64)
 	before := lut.CompTicks(addr)
 	lut.Recalibrate(80, 100) // nominal PVT: paths 20% faster
@@ -336,11 +336,66 @@ func TestIsHighSlack(t *testing.T) {
 }
 
 func TestTicksToPSRoundTrip(t *testing.T) {
-	c := NewClock(3)
+	c := MustClock(3)
 	if c.TicksToPS(8) != ClockPS {
 		t.Errorf("8 ticks = %d ps, want %d", c.TicksToPS(8), ClockPS)
 	}
 	if c.TicksToPS(1) != ClockPS/8 {
 		t.Errorf("1 tick = %d ps", c.TicksToPS(1))
+	}
+}
+
+func TestNewClockReturnsError(t *testing.T) {
+	for _, bad := range []int{0, -1, MaxPrecisionBits + 1} {
+		if _, err := NewClock(bad); err == nil {
+			t.Errorf("NewClock(%d) must return an error", bad)
+		}
+	}
+	c, err := NewClock(DefaultPrecisionBits)
+	if err != nil {
+		t.Fatalf("NewClock(%d): %v", DefaultPrecisionBits, err)
+	}
+	if !c.Valid() {
+		t.Fatal("constructed clock must report Valid")
+	}
+	if (Clock{}).Valid() {
+		t.Fatal("zero-value clock must report invalid")
+	}
+}
+
+func TestCyclesToTicks(t *testing.T) {
+	c := MustClock(3) // 8 ticks per cycle
+	if got := c.CyclesToTicks(1); got != 8 {
+		t.Fatalf("CyclesToTicks(1) = %d, want 8", got)
+	}
+	if got := c.CyclesToTicks(5); got != 40 {
+		t.Fatalf("CyclesToTicks(5) = %d, want 40", got)
+	}
+	if got := c.CyclesToTicks(0); got != 0 {
+		t.Fatalf("CyclesToTicks(0) = %d, want 0", got)
+	}
+}
+
+func TestZeroValueClockFailsFast(t *testing.T) {
+	var c Clock
+	for name, f := range map[string]func(){
+		"PSToTicks":     func() { c.PSToTicks(100) },
+		"TicksToPS":     func() { c.TicksToPS(1) },
+		"CyclesToTicks": func() { c.CyclesToTicks(1) },
+		"TicksPerCycle": func() { c.TicksPerCycle() },
+		"CycleOf":       func() { c.CycleOf(1) },
+		"CycleStart":    func() { c.CycleStart(1) },
+		"CeilCycle":     func() { c.CeilCycle(1) },
+		"FracOf":        func() { c.FracOf(1) },
+		"SlackTicks":    func() { c.SlackTicks(100) },
+	} { //lint:allow simdeterminism order-independent: every iteration asserts the same property
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a zero-value Clock must panic", name)
+				}
+			}()
+			f()
+		}()
 	}
 }

@@ -182,7 +182,7 @@ func (b *Builder) Len() int { return len(b.instrs) }
 // Build finalizes the program.
 func (b *Builder) Build() *isa.Program {
 	if len(b.instrs) == 0 {
-		panic(fmt.Sprintf("workload: program %q is empty", b.name))
+		panic(fmt.Sprintf("workload: program %q is empty", b.name)) //lint:allow panicpolicy audited invariant: an empty program is a builder bug, not an input
 	}
 	return &isa.Program{Name: b.name, Instrs: b.instrs, Mem: b.mem}
 }

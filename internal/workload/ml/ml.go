@@ -46,7 +46,7 @@ func lanes16(vals []uint16) (lo, hi uint64) {
 // forwarding sequence the paper's Sec. V highlights.
 func Conv(w, h int, seed int64) (*isa.Program, Expected) {
 	if w%8 != 0 {
-		panic("ml: Conv width must be a multiple of 8")
+		panic("ml: Conv width must be a multiple of 8") //lint:allow panicpolicy audited invariant: generator dimensions are compile-time constants
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := workload.NewBuilder("conv")
@@ -185,7 +185,7 @@ func Act(nVecs int, seed int64) (*isa.Program, Expected) {
 // output row.
 func pool(name string, avg bool, w, h int, seed int64) (*isa.Program, Expected) {
 	if w%16 != 0 || h%2 != 0 {
-		panic("ml: pool dimensions must be multiples of 16x2")
+		panic("ml: pool dimensions must be multiples of 16x2") //lint:allow panicpolicy audited invariant: generator dimensions are compile-time constants
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := workload.NewBuilder(name)

@@ -31,7 +31,7 @@ func (p *Program) build() *isa.Program {
 
 func (p *Program) b() *workload.Builder {
 	if p.built != nil {
-		panic("redsoc: program already run; build a new one to add instructions")
+		panic("redsoc: program already run; build a new one to add instructions") //lint:allow panicpolicy audited invariant: use-after-Run misuse of the fluent builder
 	}
 	return p.builder
 }
@@ -177,5 +177,5 @@ func lane(bits int) isa.Lane {
 	case 64:
 		return isa.Lane64
 	}
-	panic("redsoc: lane width must be 8, 16, 32 or 64")
+	panic("redsoc: lane width must be 8, 16, 32 or 64") //lint:allow panicpolicy audited invariant: lane widths are compile-time constants
 }
