@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"redsoc/internal/baseline"
+	"redsoc/internal/fault"
 	"redsoc/internal/harness"
 	"redsoc/internal/ooo"
 	"redsoc/internal/stats"
@@ -33,6 +34,8 @@ func main() {
 	compare := flag.Bool("compare", false, "run all four schedulers and compare")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	faultRate := flag.Float64("fault-rate", 0, "per-op fault-injection rate for every fault class (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
 	flag.Parse()
 
 	benchmarks := append(harness.Benchmarks(harness.Full), harness.Extras()...)
@@ -42,14 +45,9 @@ func main() {
 		}
 		return
 	}
-	var bench harness.Benchmark
-	for _, b := range benchmarks {
-		if b.Name == *benchName {
-			bench = b
-		}
-	}
-	if bench.Prog == nil {
-		log.Fatalf("unknown benchmark %q (try -list)", *benchName)
+	bench, err := harness.FindBenchmark(benchmarks, *benchName)
+	if err != nil {
+		log.Fatalf("%v (try -list)", err)
 	}
 
 	var cfg ooo.Config
@@ -98,6 +96,14 @@ func main() {
 	if policy == ooo.PolicyRedsoc && *threshold >= 0 {
 		cfg.Redsoc.ThresholdTicks = *threshold
 	}
+	if *faultRate > 0 {
+		cfg.Fault = fault.Config{
+			Enable: true, Seed: *faultSeed,
+			EstimateRate: *faultRate, DelayRate: *faultRate,
+			LatchRate: *faultRate, PredictorRate: *faultRate,
+		}
+		cfg.Degrade = fault.DegradeConfig{Enable: true}
+	}
 	res, err := ooo.Run(cfg, bench.Prog)
 	if err != nil {
 		log.Fatal(err)
@@ -137,6 +143,12 @@ type export struct {
 	FUStallRate    float64
 	L1MissRate     float64
 	FinalThreshold int
+
+	TimingViolations  int64 `json:",omitempty"`
+	ViolationReplays  int64 `json:",omitempty"`
+	DegradationEvents int64 `json:",omitempty"`
+	DegradedCycles    int64 `json:",omitempty"`
+	FaultsInjected    int64 `json:",omitempty"`
 }
 
 func exportOf(r *ooo.Result) export {
@@ -159,6 +171,12 @@ func exportOf(r *ooo.Result) export {
 		FUStallRate:    r.FUStallRate(),
 		L1MissRate:     r.MemStats.L1MissRate(),
 		FinalThreshold: r.FinalThreshold,
+
+		TimingViolations:  r.TimingViolations,
+		ViolationReplays:  r.ViolationReplays,
+		DegradationEvents: r.DegradationEvents,
+		DegradedCycles:    r.DegradedCycles,
+		FaultsInjected:    r.FaultStats.Total(),
 	}
 }
 
@@ -182,4 +200,12 @@ func printResult(b harness.Benchmark, res *ooo.Result) {
 		res.Branches.Lookups, 100*res.Branches.MispredictionRate())
 	fmt.Printf("  FU stall rate    %s\n", stats.Pct(res.FUStallRate()))
 	fmt.Printf("  L1 miss rate     %s\n", stats.Pct(res.MemStats.L1MissRate()))
+	if res.FaultStats.Total() > 0 {
+		fmt.Printf("  faults injected  %d (est %d, delay %d, latch %d, pred %d)\n",
+			res.FaultStats.Total(), res.FaultStats.Estimate, res.FaultStats.Delay,
+			res.FaultStats.Latch, res.FaultStats.Predictor)
+		fmt.Printf("  violations       %d detected, %d replayed\n", res.TimingViolations, res.ViolationReplays)
+		fmt.Printf("  degradation      %d trips, %d re-arms, %d cycles at baseline timing\n",
+			res.DegradationEvents, res.DegradeRearms, res.DegradedCycles)
+	}
 }

@@ -61,15 +61,11 @@ func dump(args []string) {
 	if fs.NArg() != 1 {
 		log.Fatal("usage: redsoc-trace dump -bench NAME out.trc")
 	}
-	var prog *isa.Program
-	for _, b := range append(harness.Benchmarks(harness.Full), harness.Extras()...) {
-		if b.Name == *bench {
-			prog = b.Prog
-		}
+	b, err := harness.FindBenchmark(append(harness.Benchmarks(harness.Full), harness.Extras()...), *bench)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if prog == nil {
-		log.Fatalf("unknown benchmark %q", *bench)
-	}
+	prog := b.Prog
 	f, err := os.Create(fs.Arg(0))
 	if err != nil {
 		log.Fatal(err)

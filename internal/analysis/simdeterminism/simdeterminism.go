@@ -1,11 +1,14 @@
 // Package simdeterminism guards the reproducibility of simulation results.
-// The scheduler model (internal/ooo), the select/slack logic (internal/core)
-// and the memory model (internal/mem) must produce bit-identical statistics
-// for identical inputs — that is what makes the paper's figures, the sweep
-// harness and the planned sharded/parallel runs comparable at all. The
-// analyzer flags the constructs that silently break that property: map
-// iteration feeding any computation, wall-clock reads, math/rand, spawned
-// goroutines and multi-way selects.
+// The scheduler model (internal/ooo), the select/slack logic (internal/core),
+// the memory model (internal/mem) and the fault injector (internal/fault)
+// must produce bit-identical statistics for identical inputs — that is what
+// makes the paper's figures, the sweep harness and the planned
+// sharded/parallel runs comparable at all. The analyzer flags the constructs
+// that silently break that property: map iteration feeding any computation,
+// wall-clock reads, use of math/rand's shared global source, spawned
+// goroutines and multi-way selects. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are sanctioned: they are exactly how a
+// component like the fault injector gets reproducible variation.
 package simdeterminism
 
 import (
@@ -19,16 +22,16 @@ import (
 // Analyzer flags nondeterministic constructs inside the simulation packages.
 var Analyzer = &framework.Analyzer{
 	Name: "simdeterminism",
-	Doc: "inside simulation packages (ooo, core, mem): flags `range` over maps, time.Now, " +
-		"math/rand imports, `go` statements and multi-case selects — anything whose " +
-		"order or value can differ between two runs of the same workload",
+	Doc: "inside simulation packages (ooo, core, mem, fault): flags `range` over maps, time.Now, " +
+		"calls through math/rand's global source, `go` statements and multi-case selects — " +
+		"anything whose order or value can differ between two runs of the same workload",
 	Run: run,
 }
 
 // simPackages names the package-path segments the analyzer polices. Other
 // packages (reporting, CLIs, workload generators with seeded rand) are out
 // of scope by design.
-var simPackages = map[string]bool{"ooo": true, "core": true, "mem": true}
+var simPackages = map[string]bool{"ooo": true, "core": true, "mem": true, "fault": true}
 
 func inScope(pkgPath string) bool {
 	for _, seg := range strings.Split(pkgPath, "/") {
@@ -46,11 +49,6 @@ func run(pass *framework.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
-			case *ast.ImportSpec:
-				path := strings.Trim(n.Path.Value, `"`)
-				if path == "math/rand" || path == "math/rand/v2" {
-					pass.Reportf(n.Pos(), "%s in a simulation package: pseudo-randomness breaks run-to-run reproducibility; derive any needed variation from explicit seeded state", path)
-				}
 			case *ast.RangeStmt:
 				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
 					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
@@ -60,6 +58,9 @@ func run(pass *framework.Pass) error {
 			case *ast.CallExpr:
 				if isTimeNow(pass, n) {
 					pass.Reportf(n.Pos(), "time.Now in a simulation package: simulated time must come from the cycle counter, never the wall clock")
+				}
+				if name, ok := globalRandCall(pass, n); ok {
+					pass.Reportf(n.Pos(), "%s uses math/rand's shared global source, which is unseeded between runs; draw from an explicit rand.New(rand.NewSource(seed)) instance instead", name)
 				}
 			case *ast.GoStmt:
 				pass.Reportf(n.Pos(), "goroutine spawned in a simulation package: scheduling order is nondeterministic; keep per-run state single-threaded and parallelize across runs instead")
@@ -72,6 +73,36 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
+}
+
+// globalRandCall reports a call to a package-level function of math/rand or
+// math/rand/v2 — the convenience API backed by the process-global source.
+// Constructors (New, NewSource, NewZipf, ...) and methods on an explicit
+// generator are sanctioned: a component that owns a seeded *rand.Rand is
+// reproducible by construction.
+func globalRandCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false // a method on an explicit source or generator
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		return "", false // constructors build the sanctioned explicit instances
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
 }
 
 func isTimeNow(pass *framework.Pass, call *ast.CallExpr) bool {

@@ -3,7 +3,7 @@
 package ooo
 
 import (
-	"math/rand" // want `math/rand in a simulation package`
+	"math/rand"
 	"time"
 )
 
@@ -14,8 +14,8 @@ func schedule(ready map[int]bool) int {
 			best = tag
 		}
 	}
-	best += rand.Int()
-	_ = time.Now() // want `time\.Now in a simulation package`
+	best += rand.Int() // want `rand\.Int uses math/rand's shared global source`
+	_ = time.Now()     // want `time\.Now in a simulation package`
 	go func() {}() // want `goroutine spawned in a simulation package`
 	ch1, ch2 := make(chan int), make(chan int)
 	select { // want `multi-case select`
@@ -47,4 +47,20 @@ func overSlice(xs []int) int {
 		n += x
 	}
 	return n
+}
+
+// seededDraws owns an explicitly seeded generator — the sanctioned way for a
+// simulation component (e.g. the fault injector) to get reproducible
+// variation. Neither the constructors nor the instance methods are flagged.
+func seededDraws(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(10)
+	if rng.Float64() < 0.5 {
+		n++
+	}
+	return n
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `rand\.Float64 uses math/rand's shared global source`
 }

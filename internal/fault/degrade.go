@@ -1,0 +1,133 @@
+package fault
+
+import "fmt"
+
+// DegradeConfig parameterizes the graceful-degradation controller. The zero
+// value is disabled; enabling it with zero fields takes the defaults below.
+type DegradeConfig struct {
+	// Enable arms the controller.
+	Enable bool
+	// WindowCycles is the violation-rate monitoring window (default 512).
+	WindowCycles int64
+	// ViolationLimit trips degradation when this many timing violations
+	// land inside one window (default 4).
+	ViolationLimit int
+	// CooldownCycles is the first cool-down after a trip (default 2048);
+	// each subsequent trip multiplies it by BackoffFactor (default 2), up
+	// to MaxCooldownCycles (default 1<<20).
+	CooldownCycles    int64
+	BackoffFactor     int64
+	MaxCooldownCycles int64
+}
+
+// withDefaults fills unset fields.
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 512
+	}
+	if c.ViolationLimit == 0 {
+		c.ViolationLimit = 4
+	}
+	if c.CooldownCycles == 0 {
+		c.CooldownCycles = 2048
+	}
+	if c.BackoffFactor == 0 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxCooldownCycles == 0 {
+		c.MaxCooldownCycles = 1 << 20
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c DegradeConfig) Validate() error {
+	cc := c.withDefaults()
+	if cc.WindowCycles < 1 || cc.CooldownCycles < 1 || cc.MaxCooldownCycles < cc.CooldownCycles {
+		return fmt.Errorf("fault: degrade window/cooldown cycles invalid (window %d, cooldown %d, max %d)",
+			cc.WindowCycles, cc.CooldownCycles, cc.MaxCooldownCycles)
+	}
+	if cc.ViolationLimit < 1 || cc.BackoffFactor < 1 {
+		return fmt.Errorf("fault: degrade limit %d / backoff %d must be >= 1", cc.ViolationLimit, cc.BackoffFactor)
+	}
+	return nil
+}
+
+// Degrader is the windowed violation-rate monitor for one functional-unit
+// pool. While degraded, the scheduler reverts the pool to baseline
+// conservative timing (no recycling, no EGPW); after the cool-down the
+// controller re-arms and recycling resumes. Repeated trips back off
+// exponentially so a persistently faulty unit converges to baseline
+// scheduling instead of livelocking on replays. A nil *Degrader is valid
+// and never degrades.
+type Degrader struct {
+	cfg         DegradeConfig
+	windowStart int64
+	count       int
+	degraded    bool
+	rearmAt     int64
+	cooldown    int64
+}
+
+// NewDegrader builds a controller, or returns nil when disabled.
+func NewDegrader(cfg DegradeConfig) *Degrader {
+	if !cfg.Enable {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &Degrader{cfg: cfg, cooldown: cfg.CooldownCycles}
+}
+
+// roll resets the window when the current cycle has moved past it.
+func (d *Degrader) roll(cycle int64) {
+	if cycle >= d.windowStart+d.cfg.WindowCycles {
+		d.windowStart = cycle
+		d.count = 0
+	}
+}
+
+// Record notes one timing violation at the given cycle. Violations during a
+// cool-down are not counted: the pool is already at baseline timing, and
+// re-tripping on residual replays would only extend the outage.
+func (d *Degrader) Record(cycle int64) {
+	if d == nil || d.degraded {
+		return
+	}
+	d.roll(cycle)
+	d.count++
+}
+
+// Tick advances the controller one cycle and reports transitions: tripped
+// is true on the cycle degradation engages, rearmed on the cycle the
+// cool-down expires and recycling is re-enabled.
+func (d *Degrader) Tick(cycle int64) (tripped, rearmed bool) {
+	if d == nil {
+		return false, false
+	}
+	if d.degraded {
+		if cycle >= d.rearmAt {
+			d.degraded = false
+			d.windowStart = cycle
+			d.count = 0
+			return false, true
+		}
+		return false, false
+	}
+	d.roll(cycle)
+	if d.count >= d.cfg.ViolationLimit {
+		d.degraded = true
+		d.rearmAt = cycle + d.cooldown
+		if d.cooldown < d.cfg.MaxCooldownCycles {
+			d.cooldown *= d.cfg.BackoffFactor
+			if d.cooldown > d.cfg.MaxCooldownCycles {
+				d.cooldown = d.cfg.MaxCooldownCycles
+			}
+		}
+		d.count = 0
+		return true, false
+	}
+	return false, false
+}
+
+// Degraded reports whether the pool is currently held at baseline timing.
+func (d *Degrader) Degraded() bool { return d != nil && d.degraded }

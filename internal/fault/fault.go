@@ -1,0 +1,205 @@
+// Package fault is the deterministic fault-injection framework behind the
+// simulator's robustness story. ReDSOC's safety argument rests on slack
+// estimates being conservative (paper Sec. II/V): a consumer may latch a
+// producer's value mid-cycle only because the broadcast completion instant
+// never understates the true settling time. This package asks "what if it
+// did?" — it perturbs, at configurable per-operation rates, exactly the
+// state that argument depends on:
+//
+//   - slack estimates (LUT bucket optimism — a bucket's worst-in-class
+//     delay tabulated too low),
+//   - evaluation delays (PVT drift beyond the CPM guard band of Sec. V),
+//   - transparent-latch hold timing (a recycled value that needs extra time
+//     to settle through the bypass latch, Sec. III),
+//   - predictor state (data-width and last-arrival table corruption).
+//
+// Every decision comes from one seeded math/rand source, so a campaign run
+// is reproducible bit-for-bit from (Config, program): the same seed injects
+// the same faults into the same dynamic operations.
+//
+// The companion Degrader implements graceful degradation: a windowed
+// violation-rate monitor that, past a threshold, signals the scheduler to
+// fall back to baseline conservative timing, then re-arms after an
+// exponential-backoff cool-down. internal/ooo owns the actual fallback
+// (disabling EGPW and slack recycling); the controller here only decides
+// when.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redsoc/internal/timing"
+)
+
+// Bit identifies the fault classes injected into one dynamic operation.
+// Predictor corruption perturbs shared table state rather than a single
+// operation, so it carries no per-op bit.
+type Bit uint8
+
+const (
+	// BitEstimate marks an optimistically shrunken EX-TIME estimate.
+	BitEstimate Bit = 1 << iota
+	// BitDelay marks an evaluation delay drifted beyond the guard band.
+	BitDelay
+	// BitLatch marks a transparent-latch hold failure on a recycled op.
+	BitLatch
+)
+
+// Config parameterizes the injector. The zero value injects nothing. Rates
+// are per-operation probabilities in [0, 1]; magnitudes default to values
+// that matter at the paper's 3-bit precision (1 tick = 1/8 cycle = 62.5 ps).
+type Config struct {
+	// Enable arms the injector; without it every rate is ignored.
+	Enable bool
+	// Seed initializes the injector's private RNG.
+	Seed int64
+
+	// EstimateRate is the chance a dispatched single-cycle op reads an
+	// optimistic slack-LUT bucket; EstimateTicks is how many ticks the
+	// estimate is shrunk by (default 2).
+	EstimateRate  float64
+	EstimateTicks int
+	// DelayRate is the chance an evaluation's circuit delay drifts beyond
+	// the PVT guard band; DelayPS is the drift magnitude in picoseconds
+	// (default 90, ~1.4 ticks at 3-bit precision).
+	DelayRate float64
+	DelayPS   int
+	// LatchRate is the chance a recycled (mid-cycle) evaluation's
+	// transparent latch holds its input late; LatchTicks is the extra
+	// settling time (default 1).
+	LatchRate  float64
+	LatchTicks int
+	// PredictorRate is the chance a dispatch corrupts predictor state: the
+	// width-predictor entry for the op's PC is poisoned to the narrowest
+	// class at full confidence and its last-arrival bit is flipped.
+	PredictorRate float64
+}
+
+// withDefaults fills unset magnitudes.
+func (c Config) withDefaults() Config {
+	if c.EstimateTicks == 0 {
+		c.EstimateTicks = 2
+	}
+	if c.DelayPS == 0 {
+		c.DelayPS = 90
+	}
+	if c.LatchTicks == 0 {
+		c.LatchTicks = 1
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"estimate", c.EstimateRate},
+		{"delay", c.DelayRate},
+		{"latch", c.LatchRate},
+		{"predictor", c.PredictorRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.EstimateTicks < 0 || c.DelayPS < 0 || c.LatchTicks < 0 {
+		return fmt.Errorf("fault: negative fault magnitude")
+	}
+	return nil
+}
+
+// active reports whether any fault class can fire.
+func (c Config) active() bool {
+	return c.Enable && (c.EstimateRate > 0 || c.DelayRate > 0 || c.LatchRate > 0 || c.PredictorRate > 0)
+}
+
+// Stats counts injected faults per class.
+type Stats struct {
+	Estimate, Delay, Latch, Predictor int64
+}
+
+// Total returns the number of faults injected across classes.
+func (s Stats) Total() int64 {
+	return s.Estimate + s.Delay + s.Latch + s.Predictor
+}
+
+// Injector draws fault decisions from a private seeded RNG. A nil *Injector
+// is valid and injects nothing, so callers need no enable checks.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector builds an injector, or returns nil when the configuration
+// cannot inject anything (disabled, or every rate zero).
+func NewInjector(cfg Config) *Injector {
+	if !cfg.active() {
+		return nil
+	}
+	return &Injector{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// hit draws one decision at the given rate.
+func (i *Injector) hit(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return i.rng.Float64() < rate
+}
+
+// EstimateFault decides whether the op's EX-TIME estimate reads optimistic,
+// returning the shrink in ticks.
+func (i *Injector) EstimateFault() (timing.Ticks, bool) {
+	if i == nil || !i.hit(i.cfg.EstimateRate) {
+		return 0, false
+	}
+	i.stats.Estimate++
+	return timing.Ticks(i.cfg.EstimateTicks), true //lint:allow tickunits fault magnitudes are specified in ticks directly, not converted from time
+}
+
+// DelayFault decides whether the evaluation's circuit delay drifts beyond
+// the guard band, returning the drift in picoseconds.
+func (i *Injector) DelayFault() (int, bool) {
+	if i == nil || !i.hit(i.cfg.DelayRate) {
+		return 0, false
+	}
+	i.stats.Delay++
+	return i.cfg.DelayPS, true
+}
+
+// LatchFault decides whether a recycled evaluation's transparent latch
+// holds late, returning the extra settling time in ticks.
+func (i *Injector) LatchFault() (timing.Ticks, bool) {
+	if i == nil || !i.hit(i.cfg.LatchRate) {
+		return 0, false
+	}
+	i.stats.Latch++
+	return timing.Ticks(i.cfg.LatchTicks), true //lint:allow tickunits fault magnitudes are specified in ticks directly, not converted from time
+}
+
+// PredictorFault decides whether this dispatch corrupts predictor state.
+func (i *Injector) PredictorFault() bool {
+	if i == nil || !i.hit(i.cfg.PredictorRate) {
+		return false
+	}
+	i.stats.Predictor++
+	return true
+}
+
+// Stats returns the per-class injection counts so far.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}

@@ -1,0 +1,205 @@
+package fault
+
+import "testing"
+
+// drawSequence records every fault decision an injector makes over n ops,
+// as a compact trace for determinism comparison.
+func drawSequence(inj *Injector, n int) []Bit {
+	seq := make([]Bit, n)
+	for i := range seq {
+		var b Bit
+		if _, ok := inj.EstimateFault(); ok {
+			b |= BitEstimate
+		}
+		if _, ok := inj.DelayFault(); ok {
+			b |= BitDelay
+		}
+		if _, ok := inj.LatchFault(); ok {
+			b |= BitLatch
+		}
+		if inj.PredictorFault() {
+			b |= 1 << 7
+		}
+		seq[i] = b
+	}
+	return seq
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Enable: true, Seed: 42,
+		EstimateRate: 0.1, DelayRate: 0.1, LatchRate: 0.1, PredictorRate: 0.1}
+	a := drawSequence(NewInjector(cfg), 5000)
+	b := drawSequence(NewInjector(cfg), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := drawSequence(NewInjector(cfg), 5000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestInjectorRatesAndStats(t *testing.T) {
+	cfg := Config{Enable: true, Seed: 7, EstimateRate: 0.5}
+	inj := NewInjector(cfg)
+	n := 10000
+	for i := 0; i < n; i++ {
+		if ticks, ok := inj.EstimateFault(); ok && ticks != 2 {
+			t.Fatalf("default estimate shrink %d ticks, want 2", ticks)
+		}
+		if _, ok := inj.DelayFault(); ok {
+			t.Fatal("zero-rate delay fault fired")
+		}
+	}
+	st := inj.Stats()
+	if st.Estimate < int64(n)/3 || st.Estimate > 2*int64(n)/3 {
+		t.Fatalf("estimate fault count %d wildly off a 0.5 rate over %d ops", st.Estimate, n)
+	}
+	if st.Delay != 0 || st.Latch != 0 || st.Predictor != 0 {
+		t.Fatalf("unexpected non-estimate faults: %+v", st)
+	}
+	if st.Total() != st.Estimate {
+		t.Fatalf("Total %d != Estimate %d", st.Total(), st.Estimate)
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	if NewInjector(Config{Seed: 1, EstimateRate: 1}) != nil {
+		t.Fatal("injector built without Enable")
+	}
+	if NewInjector(Config{Enable: true}) != nil {
+		t.Fatal("injector built with every rate zero")
+	}
+	var nilInj *Injector
+	if _, ok := nilInj.EstimateFault(); ok {
+		t.Fatal("nil injector injected an estimate fault")
+	}
+	if _, ok := nilInj.DelayFault(); ok {
+		t.Fatal("nil injector injected a delay fault")
+	}
+	if _, ok := nilInj.LatchFault(); ok {
+		t.Fatal("nil injector injected a latch fault")
+	}
+	if nilInj.PredictorFault() {
+		t.Fatal("nil injector injected a predictor fault")
+	}
+	if nilInj.Stats() != (Stats{}) {
+		t.Fatal("nil injector reports nonzero stats")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Enable: true, EstimateRate: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{EstimateRate: -0.1},
+		{DelayRate: 1.5},
+		{LatchRate: 2},
+		{PredictorRate: -1},
+		{EstimateTicks: -1},
+		{DelayPS: -5},
+		{LatchTicks: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v passed validation", bad)
+		}
+	}
+}
+
+func TestDegradeConfigValidate(t *testing.T) {
+	if err := (DegradeConfig{Enable: true}).Validate(); err != nil {
+		t.Fatalf("default degrade config rejected: %v", err)
+	}
+	for _, bad := range []DegradeConfig{
+		{WindowCycles: -1},
+		{ViolationLimit: -3},
+		{CooldownCycles: 100, MaxCooldownCycles: 10},
+		{BackoffFactor: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("degrade config %+v passed validation", bad)
+		}
+	}
+}
+
+func TestDegraderTripRearmBackoff(t *testing.T) {
+	d := NewDegrader(DegradeConfig{
+		Enable: true, WindowCycles: 100, ViolationLimit: 3,
+		CooldownCycles: 50, BackoffFactor: 2, MaxCooldownCycles: 150,
+	})
+	// Two violations inside a window: below the limit, no trip.
+	d.Record(10)
+	d.Record(11)
+	if trip, _ := d.Tick(11); trip || d.Degraded() {
+		t.Fatal("tripped below the violation limit")
+	}
+	// Window rolls: the old count is gone.
+	d.Record(200)
+	d.Record(201)
+	d.Record(202)
+	trip, rearm := d.Tick(202)
+	if !trip || rearm || !d.Degraded() {
+		t.Fatalf("expected trip at the limit (trip=%v rearm=%v degraded=%v)", trip, rearm, d.Degraded())
+	}
+	// Violations during cool-down are ignored and do not extend it.
+	d.Record(210)
+	if trip, _ := d.Tick(210); trip {
+		t.Fatal("re-tripped while already degraded")
+	}
+	// Cool-down of 50 cycles: re-arms at 252.
+	if _, rearm := d.Tick(251); rearm {
+		t.Fatal("re-armed before the cool-down expired")
+	}
+	if _, rearm := d.Tick(252); !rearm || d.Degraded() {
+		t.Fatal("expected re-arm at cool-down expiry")
+	}
+	// Second trip: cool-down doubled to 100.
+	for c := int64(300); c < 303; c++ {
+		d.Record(c)
+	}
+	if trip, _ := d.Tick(302); !trip {
+		t.Fatal("expected second trip")
+	}
+	if _, rearm := d.Tick(401); rearm {
+		t.Fatal("second cool-down should last 100 cycles, re-armed early")
+	}
+	if _, rearm := d.Tick(402); !rearm {
+		t.Fatal("expected re-arm after doubled cool-down")
+	}
+	// Third trip: cool-down capped at 150, not 200.
+	for c := int64(450); c < 453; c++ {
+		d.Record(c)
+	}
+	if trip, _ := d.Tick(452); !trip {
+		t.Fatal("expected third trip")
+	}
+	if _, rearm := d.Tick(601); rearm {
+		t.Fatal("capped cool-down should last 150 cycles, re-armed early")
+	}
+	if _, rearm := d.Tick(602); !rearm {
+		t.Fatal("expected re-arm at the capped cool-down (150 cycles)")
+	}
+}
+
+func TestDegraderNilAndDisabled(t *testing.T) {
+	if NewDegrader(DegradeConfig{}) != nil {
+		t.Fatal("degrader built while disabled")
+	}
+	var d *Degrader
+	d.Record(1)
+	if trip, rearm := d.Tick(1); trip || rearm || d.Degraded() {
+		t.Fatal("nil degrader reported activity")
+	}
+}

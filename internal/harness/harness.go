@@ -105,6 +105,29 @@ func Extras() []Benchmark {
 	return out
 }
 
+// FindBenchmark returns the benchmark with the given name. A missing name is
+// an error, and so is a duplicated one: the tools used to scan with
+// last-match-wins, which silently shadowed benchmarks when two suites reused
+// a name.
+func FindBenchmark(benchmarks []Benchmark, name string) (Benchmark, error) {
+	var found Benchmark
+	matches := 0
+	for _, b := range benchmarks {
+		if b.Name == name {
+			found = b
+			matches++
+		}
+	}
+	switch matches {
+	case 0:
+		return Benchmark{}, fmt.Errorf("harness: unknown benchmark %q", name)
+	case 1:
+		return found, nil
+	default:
+		return Benchmark{}, fmt.Errorf("harness: benchmark name %q is ambiguous: %d matches", name, matches)
+	}
+}
+
 // Cores returns the three Table I cores, Big first (the paper's ordering).
 func Cores() []ooo.Config {
 	return []ooo.Config{ooo.BigConfig(), ooo.MediumConfig(), ooo.SmallConfig()}

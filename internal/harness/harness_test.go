@@ -172,6 +172,52 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	}
 }
 
+func TestFindBenchmark(t *testing.T) {
+	all := Benchmarks(Quick)
+	b, err := FindBenchmark(all, "crc")
+	if err != nil || b.Name != "crc" || b.Class != ClassMiB {
+		t.Fatalf("FindBenchmark(crc) = %+v, %v", b, err)
+	}
+	if _, err := FindBenchmark(all, "nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	// A duplicated name must be rejected, not silently resolved to either.
+	dup := append(all, Benchmark{Class: ClassExtra, Name: "crc", Prog: all[0].Prog})
+	if _, err := FindBenchmark(dup, "crc"); err == nil {
+		t.Fatal("ambiguous name must error")
+	}
+}
+
+// TestExtrasVerified runs the beyond-the-paper kernels under all four
+// schedulers and checks both directions of reference verification: the
+// genuine expectations pass, and a corrupted expectation is caught.
+func TestExtrasVerified(t *testing.T) {
+	extras := Extras()
+	if len(extras) != 3 {
+		t.Fatalf("extras = %d kernels, want sha256/dijkstra/qsort", len(extras))
+	}
+	cfg := ooo.SmallConfig()
+	th := cfg.WithPolicy(ooo.PolicyRedsoc).Redsoc.ThresholdTicks
+	for _, b := range extras {
+		if len(b.WantMem) == 0 {
+			t.Fatalf("%s carries no reference values", b.Name)
+		}
+		cmp, err := compareAt(cfg, b, th)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := verify(b, cmp); err != nil {
+			t.Fatalf("%s failed its own reference: %v", b.Name, err)
+		}
+		for addr := range b.WantMem {
+			b.WantMem[addr] ^= 1
+		}
+		if err := verify(b, cmp); err == nil {
+			t.Fatalf("%s: corrupted reference passed verification", b.Name)
+		}
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	all := Benchmarks(Quick)
 	var bs []Benchmark

@@ -54,21 +54,31 @@ func (a *auditState) onIssue(s *Simulator, e *entry, unit int) {
 		return
 	}
 
-	// Invariant 2: the transparent-dataflow FU-hold bound (IT3).
-	if sched.FUCycles > 2 {
+	// Invariant 2: the transparent-dataflow FU-hold bound (IT3). A violation
+	// replay is exempt: its honest synchronous re-plan may need 2 cycles for
+	// a fault-drifted delay without being a recycled evaluation.
+	if sched.FUCycles > 2 && !e.violated {
 		auditFailf(s, e, "FU held %d cycles; the transparent-dataflow rule allows at most 2", sched.FUCycles)
 	}
-	if sched.FUCycles == 2 && !sched.Recycled {
+	if sched.FUCycles == 2 && !sched.Recycled && !e.violated {
 		auditFailf(s, e, "synchronous single-cycle evaluation held its FU 2 cycles; only recycled ops may cross an edge")
 	}
 
-	// Invariant 3: estimates may overstate, never understate.
-	if actual := s.clock.PSToTicks(e.delayPS); actual > e.exTicks {
+	// Invariant 3: estimates may overstate, never understate — unless an
+	// injected fault deliberately broke the estimate, in which case the
+	// violation detector must have restored the post-recovery guarantee
+	// (checked unconditionally below).
+	if actual := s.clock.PSToTicks(e.delayPS); actual > e.exTicks && e.faulted == 0 {
 		auditFailf(s, e, "estimated EX-TIME %d ticks understates actual evaluation time %d ticks (%d ps)",
 			e.exTicks, actual, e.delayPS)
 	}
+	// Post-recovery guarantee: whatever was injected, the final schedule
+	// covers the true evaluation — Razor recovery must leave no residue.
 	if sched.Comp < sched.Start+s.clock.PSToTicks(e.delayPS) {
-		auditFailf(s, e, "broadcast CI %d understates start %d + actual %d ps", sched.Comp, sched.Start, e.delayPS)
+		auditFailf(s, e, "final CI %d understates start %d + actual %d ps", sched.Comp, sched.Start, e.delayPS)
+	}
+	if e.trueComp > sched.Comp {
+		auditFailf(s, e, "true completion %d escapes the recovered schedule's CI %d", e.trueComp, sched.Comp)
 	}
 
 	// Invariant 1: per-unit completion instants strictly increase.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"redsoc/internal/core"
+	"redsoc/internal/fault"
 	"redsoc/internal/mem"
 	"redsoc/internal/predict"
 	"redsoc/internal/timing"
@@ -79,6 +80,14 @@ type Config struct {
 	WidthPredictorEntries int
 	LastArrivalEntries    int
 
+	// Fault configures deterministic, seeded fault injection (robustness
+	// campaigns); the zero value injects nothing. Degrade arms the
+	// graceful-degradation controller that reverts a FU pool whose
+	// violation rate crosses the limit back to baseline conservative
+	// timing until its cool-down expires.
+	Fault   fault.Config
+	Degrade fault.DegradeConfig
+
 	// MaxCycles caps the simulation as a deadlock guard; 0 derives a bound
 	// from the trace length.
 	MaxCycles int64
@@ -120,6 +129,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ooo: last-arrival predictor entries %d must be a positive power of two", n)
 	}
 	if err := cc.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := cc.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := cc.Degrade.Validate(); err != nil {
 		return err
 	}
 	clock, err := timing.NewClock(cc.PrecisionBits)

@@ -42,6 +42,11 @@ func sameResult(t *testing.T, a, b *Result) {
 		{a.ThresholdAdjustments, b.ThresholdAdjustments},
 		{int64(a.FinalThreshold), int64(b.FinalThreshold)},
 		{a.PVTRecalibrations, b.PVTRecalibrations},
+		{a.TimingViolations, b.TimingViolations},
+		{a.ViolationReplays, b.ViolationReplays},
+		{a.DegradationEvents, b.DegradationEvents},
+		{a.DegradeRearms, b.DegradeRearms},
+		{a.DegradedCycles, b.DegradedCycles},
 	}
 	for i, c := range counters {
 		if c[0] != c[1] {
@@ -79,6 +84,9 @@ func sameResult(t *testing.T, a, b *Result) {
 	}
 	if a.MemStats != b.MemStats {
 		t.Errorf("memory stats differ: %+v vs %+v", a.MemStats, b.MemStats)
+	}
+	if a.FaultStats != b.FaultStats {
+		t.Errorf("fault stats differ: %+v vs %+v", a.FaultStats, b.FaultStats)
 	}
 	if !a.ArchEqual(b) {
 		t.Error("architectural state differs between identical runs")

@@ -3,6 +3,7 @@ package ooo
 import (
 	"redsoc/internal/alu"
 	"redsoc/internal/core"
+	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/timing"
 )
@@ -85,6 +86,15 @@ type entry struct {
 	estComp        timing.Ticks
 	sched          core.Schedule
 	fu             fuKind
+
+	// Fault injection and Razor-style recovery. trueComp is the instant the
+	// value is actually stable and latched — equal to sched.Comp except while
+	// an injected fault makes the broadcast CI a lie; faulted records which
+	// fault classes hit this entry; violated marks a detected timing violation
+	// that was recovered by selective reissue.
+	trueComp timing.Ticks
+	faulted  fault.Bit
+	violated bool
 
 	// Memory.
 	memDeps []*entry // older overlapping stores this load must respect

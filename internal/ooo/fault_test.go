@@ -1,0 +1,127 @@
+package ooo
+
+import (
+	"testing"
+
+	"redsoc/internal/fault"
+	"redsoc/internal/workload/mibench"
+)
+
+// Fault-injection regression tests: injected faults must never corrupt
+// architectural state (Razor recovery catches every violation), a disabled
+// injector must leave the simulation bit-identical, and the degradation
+// controller must bound replay overhead by converging to baseline timing.
+
+func TestFaultsOffBitIdentical(t *testing.T) {
+	p, _ := mibench.Bitcount(400, 21)
+	cfg := MediumConfig().WithPolicy(PolicyRedsoc)
+	golden := run(t, cfg, p)
+
+	// Enabled-but-zero-rate injection and an armed degradation controller
+	// must not perturb a single counter: with no faults there are no
+	// violations, so the detector and the controller never act.
+	cfg.Fault = fault.Config{Enable: true, Seed: 99}
+	cfg.Degrade = fault.DegradeConfig{Enable: true}
+	armed := run(t, cfg, p)
+	sameResult(t, golden, armed)
+	if armed.TimingViolations != 0 || armed.DegradationEvents != 0 {
+		t.Fatalf("phantom violations without faults: %d violations, %d degradations",
+			armed.TimingViolations, armed.DegradationEvents)
+	}
+}
+
+func TestDeterministicRepeatFaulted(t *testing.T) {
+	p, _ := mibench.Bitcount(400, 21)
+	cfg := MediumConfig().WithPolicy(PolicyRedsoc)
+	cfg.Fault = fault.Config{
+		Enable: true, Seed: 7,
+		EstimateRate: 0.2, DelayRate: 0.2, LatchRate: 0.2, PredictorRate: 0.05,
+	}
+	cfg.Degrade = fault.DegradeConfig{Enable: true, WindowCycles: 128, ViolationLimit: 8}
+	first := run(t, cfg, p)
+	second := run(t, cfg, p)
+	sameResult(t, first, second)
+	if first.FaultStats.Total() == 0 {
+		t.Fatal("fault campaign injected nothing")
+	}
+}
+
+// TestFaultInjectionRecovers drives each fault class separately and asserts
+// the Razor detect-and-replay path keeps architectural state identical to a
+// golden fault-free run.
+func TestFaultInjectionRecovers(t *testing.T) {
+	p, _ := mibench.Bitcount(400, 21)
+	base := MediumConfig().WithPolicy(PolicyRedsoc)
+	golden := run(t, base, p)
+
+	cases := []struct {
+		name           string
+		fc             fault.Config
+		wantViolations bool
+	}{
+		{"estimate", fault.Config{Enable: true, Seed: 3, EstimateRate: 0.5, EstimateTicks: 4}, true},
+		{"delay", fault.Config{Enable: true, Seed: 4, DelayRate: 0.5, DelayPS: 200}, true},
+		{"latch", fault.Config{Enable: true, Seed: 5, LatchRate: 0.9, LatchTicks: 8}, true},
+		// Predictor corruption is absorbed by the ordinary width-replay and
+		// tag-validation machinery, not the violation detector.
+		{"predictor", fault.Config{Enable: true, Seed: 6, PredictorRate: 0.2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Fault = tc.fc
+			r := run(t, cfg, p)
+			if r.FaultStats.Total() == 0 {
+				t.Fatal("no faults injected")
+			}
+			if tc.wantViolations && r.TimingViolations == 0 {
+				t.Fatalf("faults injected (%+v) but no timing violations detected", r.FaultStats)
+			}
+			if r.ViolationReplays != r.TimingViolations {
+				t.Fatalf("replays %d != violations %d: a detection went unrecovered",
+					r.ViolationReplays, r.TimingViolations)
+			}
+			if r.Instructions != golden.Instructions {
+				t.Fatalf("instruction count drifted: %d vs golden %d", r.Instructions, golden.Instructions)
+			}
+			if !r.ArchEqual(golden) {
+				t.Fatal("architectural state diverged from the golden fault-free run")
+			}
+		})
+	}
+}
+
+// TestDegradationFallback floods the core with optimistic-estimate faults and
+// asserts the controller trips, holds the pools at baseline timing for the
+// bulk of the run, and thereby bounds replay overhead: total cycles land
+// within 5% of the fault-free baseline policy.
+func TestDegradationFallback(t *testing.T) {
+	p, _ := mibench.Bitcount(400, 21)
+	baseline := run(t, MediumConfig().WithPolicy(PolicyBaseline), p)
+
+	cfg := MediumConfig().WithPolicy(PolicyRedsoc)
+	cfg.Fault = fault.Config{Enable: true, Seed: 11, EstimateRate: 0.8, EstimateTicks: 4}
+	cfg.Degrade = fault.DegradeConfig{
+		Enable: true, WindowCycles: 64, ViolationLimit: 4,
+		// A cool-down longer than any run: once tripped, stay degraded.
+		CooldownCycles: 1 << 20, MaxCooldownCycles: 1 << 20,
+	}
+	r := run(t, cfg, p)
+
+	if r.DegradationEvents == 0 {
+		t.Fatalf("violation flood (%d violations) never tripped the controller", r.TimingViolations)
+	}
+	if r.DegradedCycles <= r.Cycles/2 {
+		t.Fatalf("degraded for only %d of %d cycles; the controller did not hold", r.DegradedCycles, r.Cycles)
+	}
+	if !r.ArchEqual(baseline) {
+		t.Fatal("architectural state diverged under degradation")
+	}
+	// Replay overhead is bounded: with the pools at baseline conservative
+	// timing, optimistic estimates are harmless (a synchronous single-cycle
+	// window always covers the true delay), so performance converges to the
+	// baseline core's.
+	if lim := float64(baseline.Cycles) * 1.05; float64(r.Cycles) > lim {
+		t.Fatalf("degraded run took %d cycles; want within 5%% of baseline %d", r.Cycles, baseline.Cycles)
+	}
+}

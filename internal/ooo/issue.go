@@ -6,6 +6,7 @@ import (
 
 	"redsoc/internal/alu"
 	"redsoc/internal/core"
+	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
 	"redsoc/internal/timing"
@@ -39,9 +40,11 @@ func (s *Simulator) tracksAllParents(e *entry) bool {
 }
 
 // canTransparent reports whether the op may evaluate through the transparent
-// bypass under the current policy.
+// bypass under the current policy. A degraded FU pool schedules everything
+// synchronously (baseline conservative timing) until its controller re-arms.
 func (s *Simulator) canTransparent(e *entry) bool {
-	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && transparentCapable(e.in.Op)
+	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && transparentCapable(e.in.Op) &&
+		!s.degr[e.fu].Degraded()
 }
 
 // trackedReady returns whether the entry's tracked parents have all
@@ -282,6 +285,80 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		}
 	}
 
+	// The CI that goes on the broadcast bus. When a Razor-style violation is
+	// detected below, the honest replayed schedule stays private to this
+	// entry (commit and branch redirect use sched.Comp) while consumers keep
+	// waking on this optimistic broadcast — exactly the window in which a
+	// real core's consumers latch a not-yet-stable value and must be caught
+	// by their own cycle-boundary detectors.
+	broadcastComp := sched.Comp
+
+	// Fault injection at evaluation time: PVT drift beyond the guard band on
+	// the FU's combinational path, and hold-time slip on the transparent
+	// output latch of a recycled evaluation.
+	var latchDrift timing.Ticks
+	if s.inject != nil {
+		if e.in.Op.SingleCycle() {
+			if ps, ok := s.inject.DelayFault(); ok {
+				e.delayPS += ps
+				e.faulted |= fault.BitDelay
+			}
+		}
+		if sched.Recycled {
+			if t, ok := s.inject.LatchFault(); ok {
+				latchDrift = t
+				e.faulted |= fault.BitLatch
+			}
+		}
+	}
+
+	// The true evaluation time, independent of what the scheduler believes:
+	// single-cycle ops take their (possibly drifted) circuit delay;
+	// multi-cycle ops keep their pipeline latency.
+	evalTicks := sched.Comp - sched.Start
+	if e.in.Op.SingleCycle() {
+		evalTicks = s.clock.PSToTicks(e.delayPS)
+	}
+	// trueCompOf is the instant a schedule's result is actually valid at its
+	// output latch: the planned completion, or later if the evaluation (plus
+	// any transparent-latch slip) overruns it.
+	trueCompOf := func(sc core.Schedule) timing.Ticks {
+		t := sc.Start + evalTicks
+		if sc.Recycled {
+			t += latchDrift
+		}
+		if t < sc.Comp {
+			t = sc.Comp // finished early: the output still latches at Comp
+		}
+		return t
+	}
+
+	// Razor-style detection, consumer side: this op latched an operand before
+	// the producer's value was truly stable (the producer violated and its
+	// broadcast CI understated the truth). Selective reissue: replay the same
+	// evaluation synchronously two cycles later, from the producers' true
+	// completion — the same recovery path width replays use.
+	trueActual := s.trueParentComp(e, fwdDep)
+	if sched.Start < trueActual {
+		dur := sched.Comp - sched.Start
+		sched = core.PlanSynchronous(s.clock, window+2*tpc, trueActual, dur)
+		s.recordViolation(e, cycle)
+	}
+
+	// Razor-style detection, producer side: the evaluation overran the
+	// planned completion instant (optimistic LUT estimate, delay drift or
+	// latch slip) and the shadow comparator at the output latch caught it.
+	// Replay synchronously with the honest evaluation time.
+	if trueCompOf(sched) > sched.Comp {
+		ready := trueReady
+		if trueActual > ready {
+			ready = trueActual
+		}
+		sched = core.PlanSynchronous(s.clock, window+2*tpc, ready, evalTicks)
+		s.recordViolation(e, cycle)
+	}
+	e.trueComp = trueCompOf(sched)
+
 	// Transparent-sequence accounting.
 	if sched.Recycled {
 		s.res.RecycledOps++
@@ -305,7 +382,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	s.classify(e, out)
 
 	e.sched = sched
-	e.estComp = sched.Comp
+	e.estComp = broadcastComp
 	e.broadcastCycle = cycle
 	e.state = stIssued
 	s.audit.onIssue(s, e, unit)
@@ -335,6 +412,32 @@ func (s *Simulator) cancelGrant(e *entry, spec bool) bool {
 	}
 	e.validated = true
 	return false
+}
+
+// trueParentComp returns the latest instant any operand of e was truly
+// stable — the detector's ground truth, as opposed to the broadcast
+// estimates trueReady aggregates at register read.
+func (s *Simulator) trueParentComp(e *entry, fwdDep *entry) timing.Ticks {
+	var t timing.Ticks
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.trueComp > t {
+			t = p.trueComp
+		}
+	}
+	if fwdDep != nil && fwdDep.trueComp > t {
+		t = fwdDep.trueComp
+	}
+	return t
+}
+
+// recordViolation accounts one detected timing violation and its selective
+// reissue, and reports it to the op's degradation controller.
+func (s *Simulator) recordViolation(e *entry, cycle int64) {
+	s.res.TimingViolations++
+	s.res.ViolationReplays++
+	e.replays++
+	e.violated = true
+	s.degr[e.fu].Record(cycle)
 }
 
 // producerAt finds the source producer whose completion instant the recycled
@@ -522,6 +625,7 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		}
 		b.sched = core.Schedule{Start: window, Comp: window + tpc, FUCycles: 0}
 		b.estComp = b.sched.Comp
+		b.trueComp = b.sched.Comp
 		b.broadcastCycle = cycle
 		b.state = stIssued
 		b.fused = true

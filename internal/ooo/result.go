@@ -3,6 +3,7 @@ package ooo
 import (
 	"redsoc/internal/alu"
 	"redsoc/internal/core"
+	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
 	"redsoc/internal/predict"
@@ -56,6 +57,13 @@ type Result struct {
 	FinalThreshold       int
 	// PVTRecalibrations counts CPM-driven LUT rescalings (Sec. V).
 	PVTRecalibrations int64
+	// Fault injection and Razor-style recovery (robustness campaigns).
+	TimingViolations  int64 // detections at the consumer or output latch
+	ViolationReplays  int64 // selective reissues those detections triggered
+	DegradationEvents int64 // degradation-controller trips to baseline timing
+	DegradeRearms     int64 // cool-down expiries re-enabling recycling
+	DegradedCycles    int64 // cycles with >= 1 FU pool held at baseline timing
+	FaultStats        fault.Stats
 	Sequences         *core.SeqTracker
 	DelayHistogram    [timing.ClockPS + 1]int64 // actual delay (ps) of single-cycle ops
 	WidthPredictor    predict.WidthStats

@@ -5,6 +5,7 @@ import (
 
 	"redsoc/internal/alu"
 	"redsoc/internal/core"
+	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
 	"redsoc/internal/predict"
@@ -31,6 +32,13 @@ type Simulator struct {
 	// redirect, when set, is a mispredicted branch: dispatch is stalled
 	// until it resolves and the front end refills.
 	redirect *entry
+
+	// inject, when set, perturbs estimates, delays, latch timing and
+	// predictor state at the configured per-op rates; degr holds one
+	// graceful-degradation controller per transparent-capable FU pool
+	// (nil entries never degrade).
+	inject *fault.Injector
+	degr   [numFUKinds]*fault.Degrader
 
 	// adapt drives the optional dynamic slack-threshold controller.
 	adapt *core.ThresholdController
@@ -95,6 +103,13 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	if cfg.Policy == PolicyRedsoc && params.DynamicThreshold {
 		s.adapt = core.NewThresholdController(params.ThresholdTicks, clock.TicksPerCycle())
 	}
+	s.inject = fault.NewInjector(cfg.Fault)
+	if cfg.Policy == PolicyRedsoc && params.Recycle && cfg.Degrade.Enable {
+		// Only the transparent-capable pools can recycle slack, so only they
+		// have a baseline to degrade to.
+		s.degr[fuALU] = fault.NewDegrader(cfg.Degrade)
+		s.degr[fuSIMD] = fault.NewDegrader(cfg.Degrade)
+	}
 	if cfg.PVT.Enable {
 		s.cpm = timing.NewCPM(cfg.PVT, lut)
 	}
@@ -138,6 +153,7 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		s.dispatch(cycle)
 		s.issue(cycle)
+		s.tickDegraders(cycle)
 		if s.adapt != nil && s.adapt.Observe(cycle, s.res.RecycledOps, s.res.FUStallCycles) {
 			s.params.ThresholdTicks = s.adapt.Threshold()
 			s.res.ThresholdAdjustments++
@@ -145,6 +161,27 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	s.capture()
 	return &s.res, nil
+}
+
+// tickDegraders advances each pool's graceful-degradation controller one
+// cycle and accounts transitions and degraded residency.
+func (s *Simulator) tickDegraders(cycle int64) {
+	any := false
+	for k := range s.degr {
+		tripped, rearmed := s.degr[k].Tick(cycle)
+		if tripped {
+			s.res.DegradationEvents++
+		}
+		if rearmed {
+			s.res.DegradeRearms++
+		}
+		if s.degr[k].Degraded() {
+			any = true
+		}
+	}
+	if any {
+		s.res.DegradedCycles++
+	}
 }
 
 // commit retires completed instructions in order, up to the front-end width.
@@ -261,8 +298,24 @@ func (s *Simulator) dispatch(cycle int64) {
 			dispatchCycle:  cycle,
 		}
 		s.nextSeq++
+		// Predictor faults corrupt shared table state before this op reads
+		// it, so the op itself can observe the corruption; the ordinary
+		// width-replay and tag-validation machinery recovers from both.
+		if s.inject != nil && s.inject.PredictorFault() {
+			s.widthPred.Poison(in.PC, isa.Width8)
+			s.lastPred.Flip(in.PC)
+		}
 		e.est = s.estimator.Estimate(in)
 		e.exTicks = e.est.ExTicks
+		// Estimate faults model an optimistic slack-LUT bucket: the tabulated
+		// computation time understates the true circuit, so a transparent
+		// schedule built on it completes before the value is stable.
+		if s.inject != nil && in.Op.SingleCycle() {
+			if shrink, ok := s.inject.EstimateFault(); ok {
+				e.exTicks = s.lut.OptimisticCompTicks(e.est.Addr, shrink)
+				e.faulted |= fault.BitEstimate
+			}
+		}
 
 		s.rename(e)
 		s.linkMemDep(e)
@@ -399,6 +452,7 @@ func (s *Simulator) capture() {
 	s.res.Branches = s.branchPred.Stats()
 	s.res.MemStats = s.hier.Stats()
 	s.res.FinalThreshold = s.params.ThresholdTicks
+	s.res.FaultStats = s.inject.Stats()
 }
 
 // Clock exposes the simulator's clock (for harness reporting).

@@ -51,6 +51,14 @@ func (p *LastArrivalPredictor) Update(pc uint64, predicted, actual int) {
 	p.secondLast[p.index(pc)] = actual == 1
 }
 
+// Flip inverts the stored last-arrival bit for pc — the fault-injection
+// hook modeling a corrupted table entry. Mispredictions it induces are
+// caught by the scheduler's register-read validation like any other.
+func (p *LastArrivalPredictor) Flip(pc uint64) {
+	i := p.index(pc)
+	p.secondLast[i] = !p.secondLast[i]
+}
+
 // LastArrivalStats reports accuracy counters.
 type LastArrivalStats struct {
 	Lookups, Mispredictions uint64

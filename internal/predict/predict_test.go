@@ -233,3 +233,35 @@ func TestLastArrivalStatsCountEveryLookup(t *testing.T) {
 		t.Fatalf("rate = %v, want 0.2", r)
 	}
 }
+
+func TestWidthPredictorPoison(t *testing.T) {
+	p := NewWidthPredictor(64, DefaultConfidenceBits)
+	pc := uint64(0x40)
+	if w := p.Predict(pc); w != isa.Width64 {
+		t.Fatalf("untrained predictor must be conservative, got %v", w)
+	}
+	p.Poison(pc, isa.Width8)
+	if w := p.Predict(pc); w != isa.Width8 {
+		t.Fatalf("poisoned entry predicts %v, want Width8 at full confidence", w)
+	}
+	// Normal training at the true width recovers the entry: the mismatch
+	// resets confidence, so the next prediction is conservative again.
+	p.Update(pc, isa.Width8, isa.Width32)
+	if w := p.Predict(pc); w != isa.Width64 {
+		t.Fatalf("post-recovery prediction %v, want conservative Width64", w)
+	}
+}
+
+func TestLastArrivalFlip(t *testing.T) {
+	p := NewLastArrivalPredictor(64)
+	pc := uint64(0x80)
+	before := p.Predict(pc)
+	p.Flip(pc)
+	if after := p.Predict(pc); after == before {
+		t.Fatalf("Flip left the prediction at %d", after)
+	}
+	p.Flip(pc)
+	if again := p.Predict(pc); again != before {
+		t.Fatalf("double Flip must restore the original prediction, got %d", again)
+	}
+}

@@ -95,6 +95,17 @@ func (p *WidthPredictor) Update(pc uint64, predicted, actual isa.WidthClass) {
 	p.confidence[i] = 0
 }
 
+// Poison overwrites the table entry for pc with the given width at full
+// confidence — the fault-injection hook modeling a corrupted predictor
+// entry (e.g. a particle strike in the SRAM array). The next Predict at a
+// PC mapping to this entry returns w outright; a later Update at the true
+// width resets the entry through the normal training path.
+func (p *WidthPredictor) Poison(pc uint64, w isa.WidthClass) {
+	i := p.index(pc)
+	p.widths[i] = w
+	p.confidence[i] = p.confMax
+}
+
 // Stats reports lookup and outcome counts.
 type WidthStats struct {
 	Lookups, Exact, Conservative, Aggressive uint64

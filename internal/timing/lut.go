@@ -184,6 +184,19 @@ func (l *LUT) CompTicks(a Address) Ticks {
 	return t
 }
 
+// OptimisticCompTicks returns the bucket's computation time shrunk by the
+// given amount, floored at one tick — the fault-injection model of an
+// optimistic LUT entry (a bucket whose tabulated worst-in-class delay
+// understates the true circuit). The floor lives here because "an estimate
+// is at least one tick" is a LUT domain rule, not an injector choice.
+func (l *LUT) OptimisticCompTicks(a Address, shrink Ticks) Ticks {
+	t := l.CompTicks(a) - shrink
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
 // SlackTicks returns the per-cycle data slack of the address's bucket.
 func (l *LUT) SlackTicks(a Address) Ticks {
 	return Ticks(l.clock.TicksPerCycle()) - l.CompTicks(a)

@@ -399,3 +399,20 @@ func TestZeroValueClockFailsFast(t *testing.T) {
 		}()
 	}
 }
+
+func TestLUTOptimisticCompTicks(t *testing.T) {
+	l := NewLUT(MustClock(3))
+	a := MakeAddress(false, true, false, isa.Width64) // arith/w64: the deep bucket
+	full := l.CompTicks(a)
+	if got := l.OptimisticCompTicks(a, 2); got != full-2 {
+		t.Fatalf("OptimisticCompTicks(2) = %d, want %d", got, full-2)
+	}
+	if got := l.OptimisticCompTicks(a, 0); got != full {
+		t.Fatalf("zero shrink must be the identity: got %d, want %d", got, full)
+	}
+	// A shrink past the bucket's depth floors at one tick: an estimate of
+	// zero ticks would schedule a consumer at its producer's start instant.
+	if got := l.OptimisticCompTicks(a, full+10); got != 1 {
+		t.Fatalf("over-shrink = %d, want floor of 1 tick", got)
+	}
+}
