@@ -1,18 +1,23 @@
 // Command redsoc-bench reproduces the paper's full evaluation: it runs all
 // fifteen benchmarks on the three Table I cores under baseline, ReDSOC, TS
 // and MOS scheduling, applies the Sec. VI-C threshold sweep, and prints
-// every figure and table of the paper as text.
+// every figure and table of the paper as text. The grid runs on the shared
+// concurrent campaign engine: -j sets the worker count, and every table and
+// report value is bit-identical at any -j; only the wall time changes.
 //
 // Usage:
 //
-//	redsoc-bench [-scale quick|full] [-sweep] [-v]
+//	redsoc-bench [-scale quick|full] [-sweep] [-v] [-j N]
+//	             [-md FILE] [-report BENCH_report.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"redsoc/internal/harness"
@@ -27,6 +32,8 @@ func main() {
 	sweep := flag.Bool("sweep", true, "run the Sec. VI-C slack-threshold design sweep")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	mdOut := flag.String("md", "", "also write generated-results markdown to this file")
+	workers := flag.Int("j", 0, "campaign workers (0 = all CPUs); results are identical at any -j")
+	reportOut := flag.String("report", "BENCH_report.json", "write the machine-readable report here (empty = skip)")
 	flag.Parse()
 
 	scale := harness.Full
@@ -45,9 +52,12 @@ func main() {
 	harness.TableITable().Render(os.Stdout)
 	harness.OverheadTable().Render(os.Stdout)
 
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 	start := time.Now()
 	benchmarks := harness.Benchmarks(scale)
-	opts := harness.Options{SweepThreshold: *sweep}
+	opts := harness.Options{SweepThreshold: *sweep, Workers: *workers}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Println("  " + line) }
 	}
@@ -55,6 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	wall := time.Since(start)
 
 	if *mdOut != "" {
 		f, err := os.Create(*mdOut)
@@ -68,6 +79,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", *mdOut)
+	}
+	if *reportOut != "" {
+		report := grid.Report()
+		report.Scale = *scaleFlag
+		report.Workers = *workers
+		report.WallSeconds = wall.Seconds()
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*reportOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *reportOut)
 	}
 
 	grid.Fig10Table().Render(os.Stdout)
@@ -94,5 +119,6 @@ func main() {
 		t.Render(os.Stdout)
 	}
 
-	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\ncompleted in %s (grid %s, %d workers)\n",
+		time.Since(start).Round(time.Millisecond), wall.Round(time.Millisecond), opts.Workers)
 }

@@ -3,12 +3,14 @@
 // faulted run's architectural state matches a golden fault-free run (the
 // Razor-style detect-and-replay recovery must be airtight), and reports
 // violation rates, replay overhead, degradation activity and the residual
-// speedup over the baseline core.
+// speedup over the baseline core. The campaign runs on the shared
+// concurrent engine: -j sets the worker count, and any worker count
+// produces a bit-identical report.
 //
 // Usage:
 //
 //	redsoc-chaos [-core medium] [-seeds 3] [-rates 0.001,0.01,0.1]
-//	             [-bench NAME] [-quick]
+//	             [-bench NAME] [-quick] [-j N]
 //
 // -quick is the CI smoke configuration: one benchmark per suite,
 // 3 seeds × 2 fault rates.
@@ -22,10 +24,9 @@ import (
 	"strconv"
 	"strings"
 
-	"redsoc/internal/fault"
+	"redsoc/internal/chaos"
 	"redsoc/internal/harness"
 	"redsoc/internal/ooo"
-	"redsoc/internal/stats"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	ratesStr := flag.String("rates", "0.001,0.01,0.1", "comma-separated per-op fault rates")
 	benchName := flag.String("bench", "", "restrict the campaign to one benchmark")
 	quick := flag.Bool("quick", false, "CI smoke: one benchmark per suite, 3 seeds x 2 rates")
+	workers := flag.Int("j", 0, "campaign workers (0 = all CPUs); results are identical at any -j")
 	flag.Parse()
 
 	var cfg ooo.Config
@@ -56,7 +58,7 @@ func main() {
 	}
 	benchmarks := harness.Benchmarks(harness.Quick)
 	if *quick {
-		benchmarks = pickOnePerClass(benchmarks)
+		benchmarks = chaos.PickOnePerClass(benchmarks)
 		rates = []float64{0.01, 0.1}
 		*seeds = 3
 	}
@@ -68,120 +70,21 @@ func main() {
 		benchmarks = []harness.Benchmark{b}
 	}
 
-	t := stats.NewTable(
-		fmt.Sprintf("fault campaign on %s (%d seeds per cell)", cfg.Name, *seeds),
-		"benchmark", "rate", "faults", "viol/kcyc", "replay ovh", "degr", "speedup", "arch")
-	failures := 0
-	for _, b := range benchmarks {
-		base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
-		if err != nil {
-			log.Fatal(err)
-		}
-		golden, err := ooo.Run(cfg.WithPolicy(ooo.PolicyRedsoc), b.Prog)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !golden.ArchEqual(base) {
-			log.Fatalf("%s: golden ReDSOC run diverges from baseline before any fault", b.Name)
-		}
-		for _, rate := range rates {
-			cell := campaignCell{}
-			for seed := int64(1); seed <= int64(*seeds); seed++ {
-				r, err := runFaulted(cfg, b, rate, seed)
-				if err != nil {
-					log.Fatal(err)
-				}
-				cell.add(r, r.ArchEqual(golden) && memOK(b, r))
-			}
-			failures += cell.archBad
-			t.Row(b.Name, fmt.Sprintf("%.3f", rate), cell.faults,
-				fmt.Sprintf("%.2f", cell.violPerKCycle()),
-				stats.Pct(cell.replayOverhead()),
-				cell.degradations,
-				fmt.Sprintf("%.3fx", cell.meanSpeedup(base, *seeds)),
-				cell.archLabel())
-		}
+	report, err := chaos.RunCampaign(chaos.Options{
+		Core:       cfg,
+		Seeds:      *seeds,
+		Rates:      rates,
+		Benchmarks: benchmarks,
+		Workers:    *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	t.Render(os.Stdout)
-	if failures > 0 {
-		log.Fatalf("%d faulted runs diverged architecturally — recovery is broken", failures)
+	report.Table.Render(os.Stdout)
+	if report.ArchFailures > 0 {
+		log.Fatalf("%d faulted runs diverged architecturally — recovery is broken", report.ArchFailures)
 	}
 	fmt.Println("all faulted runs recovered to golden architectural state")
-}
-
-// runFaulted runs one faulted ReDSOC simulation with every fault class at the
-// given per-op rate and the degradation controller armed at its defaults.
-func runFaulted(cfg ooo.Config, b harness.Benchmark, rate float64, seed int64) (*ooo.Result, error) {
-	c := cfg.WithPolicy(ooo.PolicyRedsoc)
-	c.Fault = fault.Config{
-		Enable: true, Seed: seed,
-		EstimateRate: rate, DelayRate: rate, LatchRate: rate, PredictorRate: rate,
-	}
-	c.Degrade = fault.DegradeConfig{Enable: true}
-	return ooo.Run(c, b.Prog)
-}
-
-// memOK checks the benchmark's reference values (when it carries any) against
-// the faulted run's final memory.
-func memOK(b harness.Benchmark, r *ooo.Result) bool {
-	for addr, want := range b.WantMem { //lint:allow simdeterminism order-independent: pass/fail over all entries
-		if r.FinalMem[addr] != want {
-			return false
-		}
-	}
-	return true
-}
-
-// campaignCell aggregates the seeds of one (benchmark, rate) cell.
-type campaignCell struct {
-	faults, violations, replays, degradations int64
-	cycles, instructions                      int64
-	archBad                                   int
-}
-
-func (c *campaignCell) add(r *ooo.Result, archOK bool) {
-	c.faults += r.FaultStats.Total()
-	c.violations += r.TimingViolations
-	c.replays += r.ViolationReplays
-	c.degradations += r.DegradationEvents
-	c.cycles += r.Cycles
-	c.instructions += r.Instructions
-	if !archOK {
-		c.archBad++
-	}
-}
-
-func (c *campaignCell) violPerKCycle() float64 {
-	if c.cycles == 0 {
-		return 0
-	}
-	return 1000 * float64(c.violations) / float64(c.cycles)
-}
-
-// replayOverhead is the fraction of committed instructions that needed a
-// violation replay — each replay costs one extra issue slot and a 2-cycle
-// reissue delay, so this bounds the recovery tax.
-func (c *campaignCell) replayOverhead() float64 {
-	if c.instructions == 0 {
-		return 0
-	}
-	return float64(c.replays) / float64(c.instructions)
-}
-
-// meanSpeedup is the residual speedup over the fault-free baseline core,
-// averaged over the cell's seeds.
-func (c *campaignCell) meanSpeedup(base *ooo.Result, seeds int) float64 {
-	if c.cycles == 0 {
-		return 0
-	}
-	return float64(base.Cycles) * float64(seeds) / float64(c.cycles)
-}
-
-func (c *campaignCell) archLabel() string {
-	if c.archBad > 0 {
-		return fmt.Sprintf("FAIL x%d", c.archBad)
-	}
-	return "ok"
 }
 
 func parseRates(s string) ([]float64, error) {
@@ -197,17 +100,4 @@ func parseRates(s string) ([]float64, error) {
 		return nil, fmt.Errorf("no fault rates given")
 	}
 	return out, nil
-}
-
-// pickOnePerClass keeps the first benchmark of each suite — the CI smoke set.
-func pickOnePerClass(bs []harness.Benchmark) []harness.Benchmark {
-	var out []harness.Benchmark
-	seen := map[harness.Class]bool{}
-	for _, b := range bs {
-		if !seen[b.Class] {
-			seen[b.Class] = true
-			out = append(out, b)
-		}
-	}
-	return out
 }

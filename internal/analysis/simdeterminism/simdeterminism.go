@@ -2,13 +2,21 @@
 // The scheduler model (internal/ooo), the select/slack logic (internal/core),
 // the memory model (internal/mem) and the fault injector (internal/fault)
 // must produce bit-identical statistics for identical inputs — that is what
-// makes the paper's figures, the sweep harness and the planned
-// sharded/parallel runs comparable at all. The analyzer flags the constructs
-// that silently break that property: map iteration feeding any computation,
-// wall-clock reads, use of math/rand's shared global source, spawned
-// goroutines and multi-way selects. Explicitly seeded generators
+// makes the paper's figures, the sweep harness and the parallel campaign
+// engine comparable at all. The analyzer flags the constructs that silently
+// break that property: map iteration feeding any computation, wall-clock
+// reads, use of math/rand's shared global source, spawned goroutines and
+// multi-way selects. Explicitly seeded generators
 // (rand.New(rand.NewSource(seed))) are sanctioned: they are exactly how a
 // component like the fault injector gets reproducible variation.
+//
+// The campaign engine (internal/campaign) gets a narrower, orchestration
+// scope: goroutines and channel selects are its entire purpose — it
+// parallelizes *across* independent runs, which is the sanctioned shape of
+// concurrency here — but value-level nondeterminism inside a worker (global
+// math/rand draws, map iteration feeding results) would still break the
+// bit-identity between one-worker and N-worker campaigns, so those rules
+// stay on.
 package simdeterminism
 
 import (
@@ -24,26 +32,47 @@ var Analyzer = &framework.Analyzer{
 	Name: "simdeterminism",
 	Doc: "inside simulation packages (ooo, core, mem, fault): flags `range` over maps, time.Now, " +
 		"calls through math/rand's global source, `go` statements and multi-case selects — " +
-		"anything whose order or value can differ between two runs of the same workload",
+		"anything whose order or value can differ between two runs of the same workload. " +
+		"In the orchestration scope (campaign) goroutines and selects are sanctioned, but " +
+		"global-rand draws and map iteration in workers are still flagged",
 	Run: run,
 }
 
-// simPackages names the package-path segments the analyzer polices. Other
-// packages (reporting, CLIs, workload generators with seeded rand) are out
-// of scope by design.
+// simPackages names the package-path segments under the full determinism
+// rules. Other packages (reporting, CLIs, workload generators with seeded
+// rand) are out of scope by design.
 var simPackages = map[string]bool{"ooo": true, "core": true, "mem": true, "fault": true}
 
-func inScope(pkgPath string) bool {
+// orchestrationPackages run many independent simulations concurrently.
+// Spawning goroutines and selecting across channels is their job; only the
+// value-level rules apply there, because a worker drawing from the global
+// RNG (or iterating a map into its result) breaks the one-worker versus
+// N-worker bit-identity the engine promises.
+var orchestrationPackages = map[string]bool{"campaign": true}
+
+type scope int
+
+const (
+	outOfScope scope = iota
+	simScope
+	orchestrationScope
+)
+
+func scopeOf(pkgPath string) scope {
 	for _, seg := range strings.Split(pkgPath, "/") {
 		if simPackages[seg] {
-			return true
+			return simScope
+		}
+		if orchestrationPackages[seg] {
+			return orchestrationScope
 		}
 	}
-	return false
+	return outOfScope
 }
 
 func run(pass *framework.Pass) error {
-	if !inScope(pass.Pkg.Path()) {
+	sc := scopeOf(pass.Pkg.Path())
+	if sc == outOfScope {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -56,16 +85,18 @@ func run(pass *framework.Pass) error {
 					}
 				}
 			case *ast.CallExpr:
-				if isTimeNow(pass, n) {
+				if isTimeNow(pass, n) && sc == simScope {
 					pass.Reportf(n.Pos(), "time.Now in a simulation package: simulated time must come from the cycle counter, never the wall clock")
 				}
 				if name, ok := globalRandCall(pass, n); ok {
 					pass.Reportf(n.Pos(), "%s uses math/rand's shared global source, which is unseeded between runs; draw from an explicit rand.New(rand.NewSource(seed)) instance instead", name)
 				}
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "goroutine spawned in a simulation package: scheduling order is nondeterministic; keep per-run state single-threaded and parallelize across runs instead")
+				if sc == simScope {
+					pass.Reportf(n.Pos(), "goroutine spawned in a simulation package: scheduling order is nondeterministic; keep per-run state single-threaded and parallelize across runs instead")
+				}
 			case *ast.SelectStmt:
-				if n.Body != nil && len(n.Body.List) > 1 {
+				if sc == simScope && n.Body != nil && len(n.Body.List) > 1 {
 					pass.Reportf(n.Pos(), "multi-case select: case choice among ready channels is randomized by the runtime")
 				}
 			}

@@ -1,0 +1,46 @@
+// Package campaign stands in for the orchestration scope: a package whose
+// job is to parallelize across independent simulation runs. Goroutines and
+// channel selects are sanctioned here, but value-level nondeterminism in a
+// worker — a global-RNG draw, a map iteration feeding results — still
+// breaks the one-worker versus N-worker bit-identity and is flagged.
+package campaign
+
+import "math/rand"
+
+func fanOut(tasks []func() int) []int {
+	results := make([]int, len(tasks))
+	done := make(chan int)
+	stop := make(chan struct{})
+	for i := range tasks {
+		i := i
+		go func() { // goroutines across runs are the package's purpose: not flagged
+			results[i] = tasks[i]()
+			done <- i
+		}()
+	}
+	for range tasks {
+		select { // fan-in select: not flagged
+		case <-done:
+		case <-stop:
+			return nil
+		}
+	}
+	return results
+}
+
+func jitterSeed() int64 {
+	return rand.Int63() // want `rand\.Int63 uses math/rand's shared global source`
+}
+
+func mergeByKey(parts map[int]int64) int64 {
+	var sum int64
+	for _, v := range parts { // want `range over map: iteration order is nondeterministic`
+		sum ^= sum<<7 + v // order-dependent mixing: the merge must be by index
+	}
+	return sum
+}
+
+func seededJitter(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed)) // task-local seeded generator: sanctioned
+	return rng.Int63()
+}

@@ -1,0 +1,195 @@
+// Package campaign is the shared concurrent-campaign engine behind every
+// grid-shaped evaluation in this repository: the harness's benchmarks ×
+// cores × policies grid, the Sec. VI-C threshold and Sec. V precision
+// sweeps, and the redsoc-chaos seeds × rates × benchmarks fault campaigns.
+// The cell simulations are embarrassingly parallel — each ooo.Run owns its
+// whole machine state and every random draw comes from a task-local seeded
+// generator — so the engine's one hard obligation is that parallelism never
+// shows: results are merged by task index, progress is reported in task
+// index order, and a campaign run with one worker is bit-identical to the
+// same campaign run with N.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options tunes a campaign run.
+type Options[T any] struct {
+	// Workers bounds the worker pool. Zero or negative means
+	// runtime.NumCPU(); the pool never exceeds the task count.
+	Workers int
+	// Label, if non-nil, names a task for error and panic attribution.
+	Label func(index int) string
+	// OnDone, if non-nil, is called exactly once per completed task, from
+	// the goroutine that called Run, in task-index order: task i is reported
+	// only after tasks 0..i-1 have been reported. This is what keeps
+	// progress output byte-identical between one-worker and N-worker runs.
+	// Reporting stops at the first task error.
+	OnDone func(index int, result T)
+}
+
+// TaskError attributes a failed task. Run returns the failure of the
+// lowest-indexed task that produced a genuine error, so the reported error
+// is the same no matter how many workers raced.
+type TaskError struct {
+	Index int
+	Label string
+	Err   error
+}
+
+func (e *TaskError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("campaign: task %d (%s): %v", e.Index, e.Label, e.Err)
+	}
+	return fmt.Sprintf("campaign: task %d: %v", e.Index, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// PanicError is the error a task produces by panicking; the worker recovers
+// it so one bad cell cannot take down a whole campaign unattributed.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+type outcome struct {
+	index int
+	err   error
+}
+
+// Run executes tasks 0..n-1 on a bounded worker pool and returns their
+// results merged by task index — never by completion order. The first task
+// error cancels the context handed to the remaining tasks and stops new
+// tasks from being scheduled; tasks already in flight finish (a simulation
+// task does not poll the context). Panics are captured per task and
+// surfaced as a *TaskError wrapping a *PanicError.
+func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n <= 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indices := make(chan int)
+	outcomes := make(chan outcome)
+
+	// Producer: feed task indices until the campaign is cancelled.
+	go func() {
+		defer close(indices)
+		for i := 0; i < n; i++ {
+			select {
+			case indices <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				outcomes <- outcome{i, runTask(cctx, i, &results[i], task)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Collector: merge by index and fan progress in. The collector runs on
+	// the caller's goroutine, so OnDone needs no locking of its own; the
+	// outcome channel's send/receive ordering makes the worker's write of
+	// results[i] visible before OnDone(i) fires.
+	done := make([]bool, n)
+	next := 0
+	var failed []outcome
+	for oc := range outcomes {
+		if oc.err != nil {
+			failed = append(failed, oc)
+			cancel()
+			continue
+		}
+		done[oc.index] = true
+		if opts.OnDone != nil && len(failed) == 0 {
+			for next < n && done[next] {
+				opts.OnDone(next, results[next])
+				next++
+			}
+		}
+	}
+
+	if err := pickError(failed, opts.Label); err != nil {
+		return results, err
+	}
+	// The campaign itself succeeded; report a parent cancellation if any.
+	return results, ctx.Err()
+}
+
+// runTask executes one task, converting a panic into an error so the worker
+// pool survives and the campaign can name the culprit.
+func runTask[T any](ctx context.Context, i int, dst *T, task func(context.Context, int) (T, error)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	v, err := task(ctx, i)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+// pickError chooses the campaign's reported failure deterministically: the
+// lowest-indexed task with a genuine error. Context-cancellation errors are
+// collateral — a task that noticed the campaign being torn down — and are
+// only reported when no genuine error exists.
+func pickError(failed []outcome, label func(int) string) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	best := -1
+	for k, oc := range failed {
+		if errors.Is(oc.err, context.Canceled) || errors.Is(oc.err, context.DeadlineExceeded) {
+			continue
+		}
+		if best < 0 || oc.index < failed[best].index {
+			best = k
+		}
+	}
+	if best < 0 { // only cancellations: report the lowest-indexed one
+		for k, oc := range failed {
+			if best < 0 || oc.index < failed[best].index {
+				best = k
+			}
+		}
+	}
+	te := &TaskError{Index: failed[best].index, Err: failed[best].err}
+	if label != nil {
+		te.Label = label(te.Index)
+	}
+	return te
+}

@@ -1,0 +1,194 @@
+package campaign_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"redsoc/internal/campaign"
+)
+
+// TestMergeOrderUnderReverseCompletion forces the tasks to *complete* in
+// reverse index order and checks that neither the merged results nor the
+// OnDone progress stream notice: both are in task-index order.
+func TestMergeOrderUnderReverseCompletion(t *testing.T) {
+	const n = 8
+	release := make([]chan struct{}, n)
+	for i := range release {
+		release[i] = make(chan struct{})
+	}
+	started := make(chan int, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			<-started
+		}
+		for i := n - 1; i >= 0; i-- {
+			close(release[i])
+		}
+	}()
+
+	var progress []int
+	results, err := campaign.Run(context.Background(), n,
+		campaign.Options[int]{
+			Workers: n,
+			OnDone:  func(i, _ int) { progress = append(progress, i) },
+		},
+		func(_ context.Context, i int) (int, error) {
+			started <- i
+			<-release[i]
+			return 10 * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != 10*i {
+			t.Fatalf("results[%d] = %d, want %d — merge is not by task index", i, r, 10*i)
+		}
+	}
+	if len(progress) != n {
+		t.Fatalf("OnDone fired %d times, want %d", len(progress), n)
+	}
+	for i, p := range progress {
+		if p != i {
+			t.Fatalf("progress order %v, want ascending task indices", progress)
+		}
+	}
+}
+
+// TestCancellationOnFirstError checks that the first genuine task error
+// cancels the context handed to in-flight tasks, stops new tasks from being
+// scheduled, and is the error Run reports — attributed to its task even
+// though lower-indexed tasks fail later with collateral cancellations.
+func TestCancellationOnFirstError(t *testing.T) {
+	const n = 64
+	errBoom := errors.New("boom")
+	var startedCount atomic.Int32
+	_, err := campaign.Run(context.Background(), n,
+		campaign.Options[int]{
+			Workers: 4,
+			Label:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+		},
+		func(ctx context.Context, i int) (int, error) {
+			startedCount.Add(1)
+			if i == 3 {
+				return 0, errBoom
+			}
+			<-ctx.Done() // park until the campaign is torn down
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the genuine task error, not a collateral cancellation", err)
+	}
+	var te *campaign.TaskError
+	if !errors.As(err, &te) || te.Index != 3 || te.Label != "cell-3" {
+		t.Fatalf("err = %v, want *TaskError naming task 3 (cell-3)", err)
+	}
+	if got := startedCount.Load(); got >= n {
+		t.Fatalf("all %d tasks started despite cancellation on first error", got)
+	}
+}
+
+// TestPanicSurfacedWithAttribution checks that a panicking task neither
+// crashes the pool nor loses its identity.
+func TestPanicSurfacedWithAttribution(t *testing.T) {
+	_, err := campaign.Run(context.Background(), 5,
+		campaign.Options[int]{
+			Workers: 2,
+			Label:   func(i int) string { return fmt.Sprintf("bench-%d", i) },
+		},
+		func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("panic in worker must surface as an error")
+	}
+	var te *campaign.TaskError
+	if !errors.As(err, &te) || te.Index != 2 || te.Label != "bench-2" {
+		t.Fatalf("err = %v, want *TaskError naming task 2 (bench-2)", err)
+	}
+	var pe *campaign.PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("err = %v, want wrapped *PanicError carrying the value and stack", err)
+	}
+}
+
+// seededCampaign runs a toy campaign whose tasks each own a task-local
+// seeded generator — the repository's rule for reproducible variation.
+func seededCampaign(workers int) ([]int64, []int, error) {
+	var progress []int
+	results, err := campaign.Run(context.Background(), 24,
+		campaign.Options[int64]{
+			Workers: workers,
+			OnDone:  func(i int, _ int64) { progress = append(progress, i) },
+		},
+		func(_ context.Context, i int) (int64, error) {
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			sum := int64(0)
+			for k := 0; k < 100; k++ {
+				sum += rng.Int63n(1 << 30)
+			}
+			return sum, nil
+		})
+	return results, progress, err
+}
+
+// TestWorkerCountInvariance is the engine-level bit-identity check: one
+// worker versus many, across repeated runs, must agree on every result and
+// on the progress order.
+func TestWorkerCountInvariance(t *testing.T) {
+	serial, serialProgress, err := seededCampaign(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} { // 0 = NumCPU default
+		for rep := 0; rep < 3; rep++ {
+			par, parProgress, err := seededCampaign(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("workers=%d rep %d: results[%d] = %d, serial %d", workers, rep, i, par[i], serial[i])
+				}
+			}
+			if len(parProgress) != len(serialProgress) {
+				t.Fatalf("workers=%d: progress length %d vs %d", workers, len(parProgress), len(serialProgress))
+			}
+			for i := range serialProgress {
+				if parProgress[i] != serialProgress[i] {
+					t.Fatalf("workers=%d: progress order %v vs serial %v", workers, parProgress, serialProgress)
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyAndParentCancellation covers the degenerate sizes and a parent
+// context cancelled before the campaign starts.
+func TestEmptyAndParentCancellation(t *testing.T) {
+	results, err := campaign.Run(context.Background(), 0, campaign.Options[int]{},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty campaign: results %v, err %v", results, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = campaign.Run(ctx, 4, campaign.Options[int]{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled reported for a cancelled parent", err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package chaos runs fault-injection campaigns: seeds × fault rates ×
+// benchmarks under the ReDSOC scheduler, with every faulted run verified
+// against a golden fault-free run (the Razor-style detect-and-replay
+// recovery must be airtight). The campaign is executed on the shared
+// concurrent engine — each cell's injector owns a task-local seeded RNG, so
+// the report is bit-identical at any worker count — and aggregated in the
+// benchmarks × rates × seeds order a serial loop would use.
+package chaos
+
+import (
+	"context"
+	"fmt"
+
+	"redsoc/internal/campaign"
+	"redsoc/internal/fault"
+	"redsoc/internal/harness"
+	"redsoc/internal/ooo"
+	"redsoc/internal/stats"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// Core is the simulated core configuration.
+	Core ooo.Config
+	// Seeds is the number of fault-injection seeds per (benchmark, rate)
+	// cell; seed values run 1..Seeds.
+	Seeds int
+	// Rates are the per-op fault rates, reported in the given order.
+	Rates []float64
+	// Benchmarks are the campaign's workloads, reported in the given order.
+	Benchmarks []harness.Benchmark
+	// Workers bounds the campaign worker pool (0 = runtime.NumCPU). Any
+	// worker count produces a bit-identical report.
+	Workers int
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	// Table is the rendered per-(benchmark, rate) summary.
+	Table *stats.Table
+	// ArchFailures counts faulted runs whose architectural state diverged
+	// from the golden run — any nonzero value means recovery is broken.
+	ArchFailures int
+}
+
+// RunCampaign executes the full campaign.
+func RunCampaign(opts Options) (*Report, error) {
+	if opts.Seeds < 1 {
+		return nil, fmt.Errorf("chaos: seeds = %d, want >= 1", opts.Seeds)
+	}
+	if len(opts.Rates) == 0 {
+		return nil, fmt.Errorf("chaos: no fault rates given")
+	}
+	if len(opts.Benchmarks) == 0 {
+		return nil, fmt.Errorf("chaos: no benchmarks given")
+	}
+	cfg := opts.Core
+
+	// Phase 1: per benchmark, the fault-free baseline and golden ReDSOC
+	// runs the faulted runs are verified against.
+	type golden struct {
+		base, golden *ooo.Result
+	}
+	goldens, err := campaign.Run(context.Background(), len(opts.Benchmarks),
+		campaign.Options[golden]{
+			Workers: opts.Workers,
+			Label:   func(i int) string { return opts.Benchmarks[i].Name + "/golden" },
+		},
+		func(_ context.Context, i int) (golden, error) {
+			b := opts.Benchmarks[i]
+			base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
+			if err != nil {
+				return golden{}, err
+			}
+			g, err := ooo.Run(cfg.WithPolicy(ooo.PolicyRedsoc), b.Prog)
+			if err != nil {
+				return golden{}, err
+			}
+			if !g.ArchEqual(base) {
+				return golden{}, fmt.Errorf("%s: golden ReDSOC run diverges from baseline before any fault", b.Name)
+			}
+			return golden{base, g}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: every faulted run, flattened benchmark-major then rate then
+	// seed — the aggregation order of the serial campaign loop.
+	nr, ns := len(opts.Rates), opts.Seeds
+	perBench := nr * ns
+	faulted, err := campaign.Run(context.Background(), len(opts.Benchmarks)*perBench,
+		campaign.Options[*ooo.Result]{
+			Workers: opts.Workers,
+			Label: func(i int) string {
+				b, rate, seed := split(opts, i)
+				return fmt.Sprintf("%s rate=%g seed=%d", opts.Benchmarks[b].Name, opts.Rates[rate], seed)
+			},
+		},
+		func(_ context.Context, i int) (*ooo.Result, error) {
+			b, rate, seed := split(opts, i)
+			return runFaulted(cfg, opts.Benchmarks[b], opts.Rates[rate], int64(seed))
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: serial aggregation into the report table.
+	t := stats.NewTable(
+		fmt.Sprintf("fault campaign on %s (%d seeds per cell)", cfg.Name, opts.Seeds),
+		"benchmark", "rate", "faults", "viol/kcyc", "replay ovh", "degr", "speedup", "arch")
+	failures := 0
+	for bi, b := range opts.Benchmarks {
+		for ri, rate := range opts.Rates {
+			cell := campaignCell{}
+			for seed := 1; seed <= ns; seed++ {
+				r := faulted[bi*perBench+ri*ns+(seed-1)]
+				cell.add(r, r.ArchEqual(goldens[bi].golden) && memOK(b, r))
+			}
+			failures += cell.archBad
+			t.Row(b.Name, fmt.Sprintf("%.3f", rate), cell.faults,
+				fmt.Sprintf("%.2f", cell.violPerKCycle()),
+				stats.Pct(cell.replayOverhead()),
+				cell.degradations,
+				fmt.Sprintf("%.3fx", cell.meanSpeedup(goldens[bi].base, ns)),
+				cell.archLabel())
+		}
+	}
+	return &Report{Table: t, ArchFailures: failures}, nil
+}
+
+// split maps a flattened task index back to (benchmark, rate, seed); seeds
+// are 1-based to match the injector convention.
+func split(opts Options, i int) (bench, rate, seed int) {
+	perBench := len(opts.Rates) * opts.Seeds
+	bench = i / perBench
+	rem := i % perBench
+	return bench, rem / opts.Seeds, rem%opts.Seeds + 1
+}
+
+// runFaulted runs one faulted ReDSOC simulation with every fault class at the
+// given per-op rate and the degradation controller armed at its defaults.
+func runFaulted(cfg ooo.Config, b harness.Benchmark, rate float64, seed int64) (*ooo.Result, error) {
+	c := cfg.WithPolicy(ooo.PolicyRedsoc)
+	c.Fault = fault.Config{
+		Enable: true, Seed: seed,
+		EstimateRate: rate, DelayRate: rate, LatchRate: rate, PredictorRate: rate,
+	}
+	c.Degrade = fault.DegradeConfig{Enable: true}
+	return ooo.Run(c, b.Prog)
+}
+
+// memOK checks the benchmark's reference values (when it carries any) against
+// the faulted run's final memory.
+func memOK(b harness.Benchmark, r *ooo.Result) bool {
+	for addr, want := range b.WantMem { // order-independent: pass/fail over all entries
+		if r.FinalMem[addr] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// PickOnePerClass keeps the first benchmark of each suite — the CI smoke set.
+func PickOnePerClass(bs []harness.Benchmark) []harness.Benchmark {
+	var out []harness.Benchmark
+	seen := map[harness.Class]bool{}
+	for _, b := range bs {
+		if !seen[b.Class] {
+			seen[b.Class] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// campaignCell aggregates the seeds of one (benchmark, rate) cell.
+type campaignCell struct {
+	faults, violations, replays, degradations int64
+	cycles, instructions                      int64
+	archBad                                   int
+}
+
+func (c *campaignCell) add(r *ooo.Result, archOK bool) {
+	c.faults += r.FaultStats.Total()
+	c.violations += r.TimingViolations
+	c.replays += r.ViolationReplays
+	c.degradations += r.DegradationEvents
+	c.cycles += r.Cycles
+	c.instructions += r.Instructions
+	if !archOK {
+		c.archBad++
+	}
+}
+
+func (c *campaignCell) violPerKCycle() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return 1000 * float64(c.violations) / float64(c.cycles)
+}
+
+// replayOverhead is the fraction of committed instructions that needed a
+// violation replay — each replay costs one extra issue slot and a 2-cycle
+// reissue delay, so this bounds the recovery tax.
+func (c *campaignCell) replayOverhead() float64 {
+	if c.instructions == 0 {
+		return 0
+	}
+	return float64(c.replays) / float64(c.instructions)
+}
+
+// meanSpeedup is the residual speedup over the fault-free baseline core,
+// averaged over the cell's seeds.
+func (c *campaignCell) meanSpeedup(base *ooo.Result, seeds int) float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) * float64(seeds) / float64(c.cycles)
+}
+
+func (c *campaignCell) archLabel() string {
+	if c.archBad > 0 {
+		return fmt.Sprintf("FAIL x%d", c.archBad)
+	}
+	return "ok"
+}

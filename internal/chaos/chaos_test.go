@@ -1,0 +1,80 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/chaos"
+	"redsoc/internal/harness"
+	"redsoc/internal/ooo"
+)
+
+// quickOptions is the -quick smoke campaign: one benchmark per suite on the
+// medium core, two fault rates, three seeds — exactly what CI runs.
+func quickOptions(workers int) chaos.Options {
+	return chaos.Options{
+		Core:       ooo.MediumConfig(),
+		Seeds:      3,
+		Rates:      []float64{0.01, 0.1},
+		Benchmarks: chaos.PickOnePerClass(harness.Benchmarks(harness.Quick)),
+		Workers:    workers,
+	}
+}
+
+// TestCampaignWorkerCountInvariance is the chaos golden-equivalence check:
+// the seeded -quick campaign must render a byte-identical report at one
+// worker (the serial order), several workers and the NumCPU default. Every
+// injector draw comes from a task-local seeded RNG, so this is exactly the
+// "parallel equals serial" obligation.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	serial, err := chaos.RunCampaign(quickOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ArchFailures != 0 {
+		t.Fatalf("%d faulted runs diverged architecturally in the serial reference", serial.ArchFailures)
+	}
+	want := serial.Table.String()
+	if !strings.Contains(want, "fault campaign on Medium (3 seeds per cell)") {
+		t.Fatalf("unexpected report header:\n%s", want)
+	}
+	for _, workers := range []int{4, 0} {
+		par, err := chaos.RunCampaign(quickOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := par.Table.String(); got != want {
+			t.Fatalf("workers=%d report diverges from workers=1:\n--- parallel ---\n%s--- serial ---\n%s", workers, got, want)
+		}
+		if par.ArchFailures != serial.ArchFailures {
+			t.Fatalf("workers=%d: arch failures %d vs serial %d", workers, par.ArchFailures, serial.ArchFailures)
+		}
+	}
+}
+
+// TestCampaignOptionValidation covers the degenerate configurations.
+func TestCampaignOptionValidation(t *testing.T) {
+	bs := chaos.PickOnePerClass(harness.Benchmarks(harness.Quick))
+	for name, opts := range map[string]chaos.Options{
+		"no seeds": {Core: ooo.SmallConfig(), Rates: []float64{0.1}, Benchmarks: bs},
+		"no rates": {Core: ooo.SmallConfig(), Seeds: 1, Benchmarks: bs},
+		"no bench": {Core: ooo.SmallConfig(), Seeds: 1, Rates: []float64{0.1}},
+	} {
+		if _, err := chaos.RunCampaign(opts); err == nil {
+			t.Errorf("%s: campaign must refuse to run", name)
+		}
+	}
+}
+
+// TestPickOnePerClass keeps the smoke set one-per-suite in suite order.
+func TestPickOnePerClass(t *testing.T) {
+	got := chaos.PickOnePerClass(harness.Benchmarks(harness.Quick))
+	if len(got) != 3 {
+		t.Fatalf("smoke set = %d benchmarks, want one per suite", len(got))
+	}
+	for i, class := range harness.Classes() {
+		if got[i].Class != class {
+			t.Fatalf("smoke set order %v, want suite order", got)
+		}
+	}
+}

@@ -8,9 +8,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"redsoc/internal/baseline"
+	"redsoc/internal/campaign"
 	"redsoc/internal/isa"
 	"redsoc/internal/ooo"
 	"redsoc/internal/workload/extra"
@@ -152,82 +154,153 @@ type Grid struct {
 // ThresholdCandidates is the Sec. VI-C design-sweep range.
 var ThresholdCandidates = []int{4, 5, 6, 7}
 
+// classCore is one (class, core) pair of the threshold-selection phase.
+type classCore struct {
+	class Class
+	cfg   ooo.Config
+}
+
 // Options tunes a grid run.
 type Options struct {
 	// SweepThreshold enables the per-class × per-core threshold sweep; when
 	// false the default (6/8 cycle) is used everywhere.
 	SweepThreshold bool
-	// Progress, if non-nil, receives one line per completed cell.
+	// Progress, if non-nil, receives one line per completed cell, always in
+	// grid order regardless of the worker count.
 	Progress func(string)
+	// Workers bounds the campaign worker pool (0 = runtime.NumCPU). Every
+	// cell simulation is independent and results are merged by task index,
+	// so any worker count produces a bit-identical grid.
+	Workers int
 }
 
-// Run executes the grid.
+// Run executes the grid. The Sec. VI-C threshold sweep and the grid cells
+// each run as a concurrent campaign: cells are simulated in parallel but
+// appended to the grid — and reported through Progress — in the same
+// class → core → benchmark order the serial evaluation used.
 func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error) {
 	g := &Grid{ChosenThreshold: map[Class]map[string]int{}}
 	byClass := map[Class][]Benchmark{}
 	for _, b := range benchmarks {
 		byClass[b.Class] = append(byClass[b.Class], b)
 	}
+
+	// Phase A: one threshold per (class, core), from the Sec. VI-C sweep.
+	var pairs []classCore
 	for _, class := range Classes() {
-		bs := byClass[class]
-		if len(bs) == 0 {
+		if len(byClass[class]) == 0 {
 			continue
 		}
 		g.ChosenThreshold[class] = map[string]int{}
 		for _, cfg := range cores {
-			th, err := chooseThreshold(bs, cfg, opts)
-			if err != nil {
-				return nil, err
-			}
-			g.ChosenThreshold[class][cfg.Name] = th
-			for _, b := range bs {
-				c := cfg
-				cmp, err := compareAt(c, b, th)
-				if err != nil {
-					return nil, fmt.Errorf("harness: %s on %s: %w", b.Name, cfg.Name, err)
-				}
-				if err := verify(b, cmp); err != nil {
-					return nil, err
-				}
-				g.Cells = append(g.Cells, Cell{Benchmark: b, Core: cfg.Name, Threshold: th, Cmp: cmp})
-				if opts.Progress != nil {
-					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
-						class, b.Name, cfg.Name,
-						100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1)))
-				}
-			}
+			pairs = append(pairs, classCore{class, cfg})
 		}
 	}
+	thresholds, err := chooseThresholds(pairs, byClass, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, pr := range pairs {
+		g.ChosenThreshold[pr.class][pr.cfg.Name] = thresholds[i]
+	}
+
+	// Phase B: the grid cells, flattened in reporting order.
+	type cellTask struct {
+		class Class
+		b     Benchmark
+		cfg   ooo.Config
+		th    int
+	}
+	var tasks []cellTask
+	for i, pr := range pairs {
+		for _, b := range byClass[pr.class] {
+			tasks = append(tasks, cellTask{pr.class, b, pr.cfg, thresholds[i]})
+		}
+	}
+	cells, err := campaign.Run(context.Background(), len(tasks),
+		campaign.Options[Cell]{
+			Workers: opts.Workers,
+			Label:   func(i int) string { return tasks[i].b.Name + "/" + tasks[i].cfg.Name },
+			OnDone: func(i int, c Cell) {
+				if opts.Progress != nil {
+					t := tasks[i]
+					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
+						t.class, t.b.Name, t.cfg.Name,
+						100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1)))
+				}
+			},
+		},
+		func(_ context.Context, i int) (Cell, error) {
+			t := tasks[i]
+			cmp, err := compareAt(t.cfg, t.b, t.th)
+			if err != nil {
+				return Cell{}, fmt.Errorf("harness: %s on %s: %w", t.b.Name, t.cfg.Name, err)
+			}
+			if err := verify(t.b, cmp); err != nil {
+				return Cell{}, err
+			}
+			return Cell{Benchmark: t.b, Core: t.cfg.Name, Threshold: t.th, Cmp: cmp}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	g.Cells = cells
 	return g, nil
 }
 
-// chooseThreshold runs the Sec. VI-C design sweep: pick the slack threshold
-// that maximizes the class's mean speedup on this core.
-func chooseThreshold(bs []Benchmark, cfg ooo.Config, opts Options) (int, error) {
+// chooseThresholds runs the Sec. VI-C design sweep for every (class, core)
+// pair: pick the slack threshold that maximizes the class's summed speedup
+// on that core. The (pair, candidate) grid is flattened into one campaign;
+// the reduction walks candidates in declared order with a strict >, so ties
+// resolve to the earliest candidate exactly as the serial sweep did.
+func chooseThresholds(pairs []classCore, byClass map[Class][]Benchmark, opts Options) ([]int, error) {
+	out := make([]int, len(pairs))
 	if !opts.SweepThreshold {
-		return cfg.WithPolicy(ooo.PolicyRedsoc).Redsoc.ThresholdTicks, nil
-	}
-	best, bestGain := ThresholdCandidates[0], -1.0
-	for _, th := range ThresholdCandidates {
-		total := 0.0
-		for _, b := range bs {
-			base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
-			if err != nil {
-				return 0, err
-			}
-			rc := cfg.WithPolicy(ooo.PolicyRedsoc)
-			rc.Redsoc.ThresholdTicks = th
-			red, err := ooo.Run(rc, b.Prog)
-			if err != nil {
-				return 0, err
-			}
-			total += red.SpeedupOver(base)
+		for i, pr := range pairs {
+			out[i] = pr.cfg.WithPolicy(ooo.PolicyRedsoc).Redsoc.ThresholdTicks
 		}
-		if total > bestGain {
-			best, bestGain = th, total
-		}
+		return out, nil
 	}
-	return best, nil
+	nc := len(ThresholdCandidates)
+	totals, err := campaign.Run(context.Background(), len(pairs)*nc,
+		campaign.Options[float64]{
+			Workers: opts.Workers,
+			Label: func(i int) string {
+				pr := pairs[i/nc]
+				return fmt.Sprintf("sweep %s/%s th=%d", pr.class, pr.cfg.Name, ThresholdCandidates[i%nc])
+			},
+		},
+		func(_ context.Context, i int) (float64, error) {
+			pr, th := pairs[i/nc], ThresholdCandidates[i%nc]
+			total := 0.0
+			for _, b := range byClass[pr.class] {
+				base, err := ooo.Run(pr.cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
+				if err != nil {
+					return 0, err
+				}
+				rc := pr.cfg.WithPolicy(ooo.PolicyRedsoc)
+				rc.Redsoc.ThresholdTicks = th
+				red, err := ooo.Run(rc, b.Prog)
+				if err != nil {
+					return 0, err
+				}
+				total += red.SpeedupOver(base)
+			}
+			return total, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for p := range pairs {
+		best, bestGain := ThresholdCandidates[0], -1.0
+		for c, th := range ThresholdCandidates {
+			if total := totals[p*nc+c]; total > bestGain {
+				best, bestGain = th, total
+			}
+		}
+		out[p] = best
+	}
+	return out, nil
 }
 
 // compareAt runs the four schedulers with the given ReDSOC threshold.

@@ -1,0 +1,102 @@
+package harness
+
+// Report is the machine-readable record of one evaluation run — the payload
+// redsoc-bench writes as BENCH_report.json to seed the performance
+// trajectory across PRs. Everything under Cells, ClassMeans and Thresholds
+// is a pure function of the grid and therefore bit-identical across worker
+// counts; Workers and WallSeconds describe the run that produced it and are
+// excluded from any equality check.
+type Report struct {
+	Scale   string `json:"scale"`
+	Workers int    `json:"workers"`
+	// WallSeconds is the wall-clock time of the grid evaluation (not
+	// deterministic; filled in by the caller).
+	WallSeconds float64           `json:"wall_seconds"`
+	Cells       []CellReport      `json:"cells"`
+	ClassMeans  []ClassMeanReport `json:"class_means"`
+	Thresholds  []ThresholdReport `json:"chosen_thresholds"`
+}
+
+// CellReport is one benchmark × core comparison.
+type CellReport struct {
+	Class          string  `json:"class"`
+	Benchmark      string  `json:"benchmark"`
+	Core           string  `json:"core"`
+	Threshold      int     `json:"threshold_ticks"`
+	Instructions   int64   `json:"instructions"`
+	BaselineCycles int64   `json:"baseline_cycles"`
+	RedsocCycles   int64   `json:"redsoc_cycles"`
+	MOSCycles      int64   `json:"mos_cycles"`
+	RedsocSpeedup  float64 `json:"redsoc_speedup"`
+	TSSpeedup      float64 `json:"ts_speedup"`
+	MOSSpeedup     float64 `json:"mos_speedup"`
+	RecycledOps    int64   `json:"recycled_ops"`
+}
+
+// ClassMeanReport is one Fig. 13 class × core mean.
+type ClassMeanReport struct {
+	Class              string  `json:"class"`
+	Core               string  `json:"core"`
+	RedsocMeanSpeedupP float64 `json:"redsoc_mean_speedup_pct"`
+}
+
+// ThresholdReport is one Sec. VI-C sweep decision.
+type ThresholdReport struct {
+	Class          string `json:"class"`
+	Core           string `json:"core"`
+	ThresholdTicks int    `json:"threshold_ticks"`
+}
+
+// Report flattens the grid into its machine-readable record. Cells keep the
+// grid's class → core → benchmark order; class means and thresholds follow
+// the paper's reporting order, so the whole structure marshals
+// deterministically.
+func (g *Grid) Report() *Report {
+	r := &Report{}
+	coreOrder := g.coreOrder()
+	for _, c := range g.Cells {
+		r.Cells = append(r.Cells, CellReport{
+			Class:          string(c.Benchmark.Class),
+			Benchmark:      c.Benchmark.Name,
+			Core:           c.Core,
+			Threshold:      c.Threshold,
+			Instructions:   c.Cmp.Baseline.Instructions,
+			BaselineCycles: c.Cmp.Baseline.Cycles,
+			RedsocCycles:   c.Cmp.Redsoc.Cycles,
+			MOSCycles:      c.Cmp.MOS.Cycles,
+			RedsocSpeedup:  c.Cmp.RedsocSpeedup(),
+			TSSpeedup:      c.Cmp.TSSpeedup(),
+			MOSSpeedup:     c.Cmp.MOSSpeedup(),
+			RecycledOps:    c.Cmp.Redsoc.RecycledOps,
+		})
+	}
+	for _, class := range Classes() {
+		for _, core := range coreOrder {
+			if cells := g.CellsOf(class, core); len(cells) > 0 {
+				r.ClassMeans = append(r.ClassMeans, ClassMeanReport{
+					Class: string(class), Core: core,
+					RedsocMeanSpeedupP: g.ClassMeanSpeedup(class, core),
+				})
+			}
+			if th, ok := g.ChosenThreshold[class][core]; ok {
+				r.Thresholds = append(r.Thresholds, ThresholdReport{
+					Class: string(class), Core: core, ThresholdTicks: th,
+				})
+			}
+		}
+	}
+	return r
+}
+
+// coreOrder lists the grid's cores in first-appearance order.
+func (g *Grid) coreOrder() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range g.Cells {
+		if !seen[c.Core] {
+			seen[c.Core] = true
+			out = append(out, c.Core)
+		}
+	}
+	return out
+}

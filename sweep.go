@@ -1,6 +1,11 @@
 package redsoc
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"redsoc/internal/campaign"
+)
 
 // SweepPoint is one configuration tried by a sweep.
 type SweepPoint struct {
@@ -13,68 +18,86 @@ type SweepPoint struct {
 
 // SweepThreshold runs the Sec. VI-C slack-threshold design sweep for a
 // program on a core: ReDSOC at each candidate threshold against the shared
-// baseline.
+// baseline. The candidate runs are independent simulations, so they execute
+// as a concurrent campaign; results come back in candidate order and are
+// bit-identical to a serial sweep.
 func SweepThreshold(core CoreSize, p *Program, candidates []int) ([]SweepPoint, error) {
 	if len(candidates) == 0 {
 		candidates = []int{2, 3, 4, 5, 6, 7, 8}
+	}
+	for _, th := range candidates {
+		if th < 1 {
+			return nil, fmt.Errorf("redsoc: threshold %d out of range", th)
+		}
 	}
 	base, err := Run(Config{Core: core}, p)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SweepPoint, 0, len(candidates))
-	for _, th := range candidates {
-		if th < 1 {
-			return nil, fmt.Errorf("redsoc: threshold %d out of range", th)
-		}
-		m, err := Run(Config{Core: core, Scheduler: ReDSOC, SlackThreshold: th}, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Value:   th,
-			Speedup: float64(base.Cycles) / float64(m.Cycles),
-			Metrics: m,
+	return campaign.Run(context.Background(), len(candidates),
+		campaign.Options[SweepPoint]{
+			Label: func(i int) string { return fmt.Sprintf("threshold %d", candidates[i]) },
+		},
+		func(_ context.Context, i int) (SweepPoint, error) {
+			th := candidates[i]
+			m, err := Run(Config{Core: core, Scheduler: ReDSOC, SlackThreshold: th}, p)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{
+				Value:   th,
+				Speedup: float64(base.Cycles) / float64(m.Cycles),
+				Metrics: m,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
-// SweepPrecision runs the Sec. V slack-precision sweep (1..8 bits).
+// SweepPrecision runs the Sec. V slack-precision sweep (1..8 bits), one
+// campaign task per precision (each re-runs its own baseline, since the
+// precision knob changes both machines).
 func SweepPrecision(core CoreSize, p *Program, bits []int) ([]SweepPoint, error) {
 	if len(bits) == 0 {
 		bits = []int{1, 2, 3, 4, 5, 6, 7, 8}
 	}
-	out := make([]SweepPoint, 0, len(bits))
 	for _, bt := range bits {
 		if bt < 1 || bt > 8 {
 			return nil, fmt.Errorf("redsoc: precision %d bits out of range [1,8]", bt)
 		}
-		base, err := Run(Config{Core: core, PrecisionBits: bt}, p)
-		if err != nil {
-			return nil, err
-		}
-		m, err := Run(Config{Core: core, Scheduler: ReDSOC, PrecisionBits: bt}, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Value:   bt,
-			Speedup: float64(base.Cycles) / float64(m.Cycles),
-			Metrics: m,
-		})
 	}
-	return out, nil
+	return campaign.Run(context.Background(), len(bits),
+		campaign.Options[SweepPoint]{
+			Label: func(i int) string { return fmt.Sprintf("precision %d bits", bits[i]) },
+		},
+		func(_ context.Context, i int) (SweepPoint, error) {
+			bt := bits[i]
+			base, err := Run(Config{Core: core, PrecisionBits: bt}, p)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			m, err := Run(Config{Core: core, Scheduler: ReDSOC, PrecisionBits: bt}, p)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{
+				Value:   bt,
+				Speedup: float64(base.Cycles) / float64(m.Cycles),
+				Metrics: m,
+			}, nil
+		})
 }
 
-// Best returns the sweep point with the highest speedup (the first on ties).
+// Best returns the sweep point with the highest speedup. Ties break to the
+// lowest knob value: equal cycles mean equal performance, and the smaller
+// threshold or precision is the cheaper design point — and, unlike "first
+// in slice order", the winner does not depend on how a caller happened to
+// order the candidates of a parallel sweep.
 func Best(points []SweepPoint) (SweepPoint, error) {
 	if len(points) == 0 {
 		return SweepPoint{}, fmt.Errorf("redsoc: empty sweep")
 	}
 	best := points[0]
 	for _, p := range points[1:] {
-		if p.Speedup > best.Speedup {
+		if p.Speedup > best.Speedup || (p.Speedup == best.Speedup && p.Value < best.Value) {
 			best = p
 		}
 	}

@@ -44,6 +44,43 @@ func TestSweepPrecision(t *testing.T) {
 	}
 }
 
+// TestBestTieBreak pins the deterministic tie-break: on equal speedup the
+// lowest knob value wins, regardless of the order a (possibly parallel)
+// sweep delivered the points in.
+func TestBestTieBreak(t *testing.T) {
+	pts := []SweepPoint{
+		{Value: 7, Speedup: 1.25},
+		{Value: 5, Speedup: 1.25},
+		{Value: 6, Speedup: 1.25},
+		{Value: 4, Speedup: 1.10},
+	}
+	best, err := Best(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 5 {
+		t.Fatalf("Best tie-break chose value %d, want the lowest tied candidate 5", best.Value)
+	}
+	// Reversing the candidate order must not change the winner.
+	rev := []SweepPoint{pts[3], pts[2], pts[1], pts[0]}
+	best, err = Best(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 5 {
+		t.Fatalf("Best is order-sensitive: chose %d after reordering, want 5", best.Value)
+	}
+	// A strictly better point still beats a lower-valued tie.
+	withWinner := append([]SweepPoint{{Value: 8, Speedup: 1.30}}, pts...)
+	best, err = Best(withWinner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 8 {
+		t.Fatalf("Best ignored the strictly fastest point: chose %d, want 8", best.Value)
+	}
+}
+
 func TestPVTKnob(t *testing.T) {
 	p := chainProgram(4000)
 	worst, err := Run(Config{Core: Big, Scheduler: ReDSOC}, p)
