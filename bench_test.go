@@ -256,3 +256,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
+
+// BenchmarkSimulatorThroughputTraced measures the same workload with a
+// flight recorder attached. Compare its sim-instrs/s against
+// BenchmarkSimulatorThroughput to bound the cost of enabled tracing; the
+// untraced benchmark above is the zero-overhead (nil sink) reference.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	benchs := harness.Benchmarks(harness.Quick)
+	var prog = benchs[0].Prog
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		sim, err := ooo.New(ooo.BigConfig().WithPolicy(ooo.PolicyRedsoc), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.AttachFlightRecorder(256)
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}

@@ -7,8 +7,16 @@
 //
 // Usage:
 //
-//	redsoc-bench [-scale quick|full] [-sweep] [-v] [-j N]
-//	             [-md FILE] [-report BENCH_report.json]
+//	redsoc-bench [-scale quick|full] [-quick] [-sweep] [-v] [-j N]
+//	             [-md FILE] [-report BENCH_report.json] [-metrics-out FILE]
+//	             [-baseline .github/bench-baseline.json] [-update-baseline]
+//
+// -baseline arms the CI bench-regression gate: the run's per-cell cycle
+// counts must match the committed baseline exactly or the command exits
+// nonzero listing every drifted cell. Refresh the baseline after a
+// deliberate behavioral change with:
+//
+//	go run ./cmd/redsoc-bench -quick -update-baseline
 package main
 
 import (
@@ -21,22 +29,34 @@ import (
 	"time"
 
 	"redsoc/internal/harness"
+	"redsoc/internal/obs"
 	"redsoc/internal/ooo"
 	"redsoc/internal/timing"
 )
+
+// benchBaselinePath is where -update-baseline writes the committed CI
+// performance baseline (relative to the repository root).
+const benchBaselinePath = ".github/bench-baseline.json"
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("redsoc-bench: ")
 	scaleFlag := flag.String("scale", "full", "benchmark sizes: quick or full")
+	quick := flag.Bool("quick", false, "shorthand for -scale quick")
 	sweep := flag.Bool("sweep", true, "run the Sec. VI-C slack-threshold design sweep")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	mdOut := flag.String("md", "", "also write generated-results markdown to this file")
 	workers := flag.Int("j", 0, "campaign workers (0 = all CPUs); results are identical at any -j")
 	reportOut := flag.String("report", "BENCH_report.json", "write the machine-readable report here (empty = skip)")
+	metricsOut := flag.String("metrics-out", "", "write aggregated per-run metrics snapshots (JSON) to this file")
+	baselineFile := flag.String("baseline", "", "check per-cell cycle counts against this committed baseline; any drift fails")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite .github/bench-baseline.json from this run and exit 0")
 	flag.Parse()
 
 	scale := harness.Full
+	if *quick {
+		*scaleFlag = "quick"
+	}
 	switch *scaleFlag {
 	case "quick":
 		scale = harness.Quick
@@ -80,11 +100,11 @@ func main() {
 		}
 		fmt.Println("wrote", *mdOut)
 	}
+	report := grid.Report()
+	report.Scale = *scaleFlag
+	report.Workers = *workers
+	report.WallSeconds = wall.Seconds()
 	if *reportOut != "" {
-		report := grid.Report()
-		report.Scale = *scaleFlag
-		report.Workers = *workers
-		report.WallSeconds = wall.Seconds()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -93,6 +113,48 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", *reportOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteJSON(f, grid.MetricsSet(*scaleFlag)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *metricsOut)
+	}
+	if *updateBaseline {
+		f, err := os.Create(benchBaselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := harness.WriteBaseline(f, harness.BaselineOf(report)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("refreshed", benchBaselinePath)
+		return
+	}
+	if *baselineFile != "" {
+		f, err := os.Open(*baselineFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := harness.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := base.Check(report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline gate: %d cells match %s exactly\n", len(base.Cells), *baselineFile)
 	}
 
 	grid.Fig10Table().Render(os.Stdout)

@@ -10,10 +10,13 @@
 // Usage:
 //
 //	redsoc-chaos [-core medium] [-seeds 3] [-rates 0.001,0.01,0.1]
-//	             [-bench NAME] [-quick] [-j N]
+//	             [-bench NAME] [-quick] [-j N] [-flight N]
 //
 // -quick is the CI smoke configuration: one benchmark per suite,
-// 3 seeds × 2 fault rates.
+// 3 seeds × 2 fault rates. When a faulted run fails verification, -flight
+// re-runs the cell with a flight recorder attached and dumps its last N
+// sub-cycle pipeline events to stderr. -h lists the available benchmark
+// names, sorted.
 package main
 
 import (
@@ -38,6 +41,14 @@ func main() {
 	benchName := flag.String("bench", "", "restrict the campaign to one benchmark")
 	quick := flag.Bool("quick", false, "CI smoke: one benchmark per suite, 3 seeds x 2 rates")
 	workers := flag.Int("j", 0, "campaign workers (0 = all CPUs); results are identical at any -j")
+	flight := flag.Int("flight", 64, "flight-recorder depth: dump the last N pipeline events of any verification-failed cell (0 = off)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "usage: redsoc-chaos [flags]")
+		flag.PrintDefaults()
+		names := harness.BenchmarkNames(append(harness.Benchmarks(harness.Quick), harness.Extras()...))
+		fmt.Fprintf(out, "\navailable benchmarks: %s\n", strings.Join(names, ", "))
+	}
 	flag.Parse()
 
 	var cfg ooo.Config
@@ -76,6 +87,8 @@ func main() {
 		Rates:      rates,
 		Benchmarks: benchmarks,
 		Workers:    *workers,
+		Flight:     *flight,
+		FlightLog:  os.Stderr,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,12 +6,19 @@
 //
 //	redsoc-sim [-bench bitcnt] [-core big|medium|small] [-policy baseline|redsoc|mos]
 //	           [-threshold n] [-precision bits] [-compare]
+//	           [-trace-out trace.json] [-trace-limit n] [-metrics-out metrics.json]
+//
+// -trace-out captures the run's sub-cycle pipeline events and writes a Chrome
+// trace-event JSON file that loads directly in https://ui.perfetto.dev;
+// -metrics-out writes a deterministic JSON snapshot of every scheduler
+// counter and derived rate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -19,9 +26,26 @@ import (
 	"redsoc/internal/baseline"
 	"redsoc/internal/fault"
 	"redsoc/internal/harness"
+	"redsoc/internal/obs"
 	"redsoc/internal/ooo"
 	"redsoc/internal/stats"
 )
+
+// writeTo streams fn's output to the named file, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +60,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	faultRate := flag.Float64("fault-rate", 0, "per-op fault-injection rate for every fault class (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file (- = stdout)")
+	traceLimit := flag.Int("trace-limit", 0, "retain only the first N trace events (0 = unlimited)")
+	metricsOut := flag.String("metrics-out", "", "write a deterministic metrics snapshot (JSON) to this file (- = stdout)")
 	flag.Parse()
 
 	benchmarks := append(harness.Benchmarks(harness.Full), harness.Extras()...)
@@ -104,9 +131,37 @@ func main() {
 		}
 		cfg.Degrade = fault.DegradeConfig{Enable: true}
 	}
-	res, err := ooo.Run(cfg, bench.Prog)
+	sim, err := ooo.New(cfg, bench.Prog)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var buf *obs.Buffer
+	if *traceOut != "" {
+		buf = &obs.Buffer{Limit: *traceLimit}
+		sim.SetObserver(buf)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if buf != nil {
+		meta := obs.Meta{
+			Benchmark: bench.Name, Core: cfg.Name, Policy: cfg.Policy.String(),
+			TicksPerCycle: sim.Clock().TicksPerCycle(),
+		}
+		if err := writeTo(*traceOut, func(w io.Writer) error {
+			return obs.WritePerfetto(w, buf.Events(), meta)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		m := res.Metrics(bench.Name, cfg.Name, cfg.Policy.String())
+		if err := writeTo(*metricsOut, func(w io.Writer) error {
+			return obs.WriteJSON(w, m)
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

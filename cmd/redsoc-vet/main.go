@@ -23,6 +23,7 @@ import (
 
 	"redsoc/internal/analysis/conservativeround"
 	"redsoc/internal/analysis/framework"
+	"redsoc/internal/analysis/obszeroalloc"
 	"redsoc/internal/analysis/panicpolicy"
 	"redsoc/internal/analysis/simdeterminism"
 	"redsoc/internal/analysis/tickunits"
@@ -33,6 +34,7 @@ var analyzers = []*framework.Analyzer{
 	simdeterminism.Analyzer,
 	panicpolicy.Analyzer,
 	conservativeround.Analyzer,
+	obszeroalloc.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,25 @@
+// Package obs is a miniature stand-in for redsoc/internal/obs: the Event
+// value type, the Sink interface and one concrete sink, enough for the
+// analyzer to recognize emissions by package path.
+package obs
+
+// Event is a fixed-size value, mirroring the real layer.
+type Event struct {
+	Kind  uint8
+	Cycle int64
+	Seq   int64
+	Arg   int64
+}
+
+// Sink receives events.
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a concrete sink.
+type Ring struct {
+	events []Event
+}
+
+// Emit records the event.
+func (r *Ring) Emit(e Event) { r.events = append(r.events, e) }

@@ -1,0 +1,12 @@
+// Package other is outside the scheduler scope: exporters and campaign
+// drivers build events and strings off the hot path by design, so nothing
+// here is flagged.
+package other
+
+import "obs"
+
+func replay(sink obs.Sink, events []obs.Event) {
+	for _, e := range events {
+		sink.Emit(e)
+	}
+}

@@ -10,10 +10,12 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"redsoc/internal/campaign"
 	"redsoc/internal/fault"
 	"redsoc/internal/harness"
+	"redsoc/internal/obs"
 	"redsoc/internal/ooo"
 	"redsoc/internal/stats"
 )
@@ -32,6 +34,13 @@ type Options struct {
 	// Workers bounds the campaign worker pool (0 = runtime.NumCPU). Any
 	// worker count produces a bit-identical report.
 	Workers int
+	// Flight, when positive, re-runs each verification-failed cell with a
+	// flight recorder retaining that many events and writes the recorder's
+	// tail to FlightLog — the sub-cycle history leading into the mismatch.
+	// The faulted run is deterministic in (benchmark, rate, seed), so the
+	// re-run reproduces the failing schedule exactly.
+	Flight    int
+	FlightLog io.Writer
 }
 
 // Report is the outcome of a campaign.
@@ -115,7 +124,11 @@ func RunCampaign(opts Options) (*Report, error) {
 			cell := campaignCell{}
 			for seed := 1; seed <= ns; seed++ {
 				r := faulted[bi*perBench+ri*ns+(seed-1)]
-				cell.add(r, r.ArchEqual(goldens[bi].golden) && memOK(b, r))
+				ok := r.ArchEqual(goldens[bi].golden) && memOK(b, r)
+				cell.add(r, ok)
+				if !ok && opts.Flight > 0 && opts.FlightLog != nil {
+					dumpFlight(opts, cfg, b, rate, int64(seed))
+				}
 			}
 			failures += cell.archBad
 			t.Row(b.Name, fmt.Sprintf("%.3f", rate), cell.faults,
@@ -141,13 +154,37 @@ func split(opts Options, i int) (bench, rate, seed int) {
 // runFaulted runs one faulted ReDSOC simulation with every fault class at the
 // given per-op rate and the degradation controller armed at its defaults.
 func runFaulted(cfg ooo.Config, b harness.Benchmark, rate float64, seed int64) (*ooo.Result, error) {
+	return ooo.Run(faultedConfig(cfg, rate, seed), b.Prog)
+}
+
+// faultedConfig derives the faulted-run configuration for one campaign cell.
+func faultedConfig(cfg ooo.Config, rate float64, seed int64) ooo.Config {
 	c := cfg.WithPolicy(ooo.PolicyRedsoc)
 	c.Fault = fault.Config{
 		Enable: true, Seed: seed,
 		EstimateRate: rate, DelayRate: rate, LatchRate: rate, PredictorRate: rate,
 	}
 	c.Degrade = fault.DegradeConfig{Enable: true}
-	return ooo.Run(c, b.Prog)
+	return c
+}
+
+// dumpFlight deterministically re-runs a verification-failed cell with a
+// flight recorder attached and writes the recorder's tail to opts.FlightLog.
+func dumpFlight(opts Options, cfg ooo.Config, b harness.Benchmark, rate float64, seed int64) {
+	c := faultedConfig(cfg, rate, seed)
+	s, err := ooo.New(c, b.Prog)
+	if err != nil {
+		fmt.Fprintf(opts.FlightLog, "chaos: flight re-run of %s rate=%g seed=%d failed: %v\n", b.Name, rate, seed, err)
+		return
+	}
+	ring := s.AttachFlightRecorder(opts.Flight)
+	if _, err := s.Run(); err != nil {
+		fmt.Fprintf(opts.FlightLog, "chaos: flight re-run of %s rate=%g seed=%d failed: %v\n", b.Name, rate, seed, err)
+		return
+	}
+	fmt.Fprintf(opts.FlightLog, "chaos: verification mismatch on %s rate=%g seed=%d; last %d events:\n",
+		b.Name, rate, seed, ring.Len())
+	io.WriteString(opts.FlightLog, obs.FormatStream(ring.Tail(opts.Flight), s.Clock().TicksPerCycle()))
 }
 
 // memOK checks the benchmark's reference values (when it carries any) against

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/obs"
+)
+
+// gateGrid runs a small two-benchmark, one-core grid (fast enough to run
+// twice in the worker-invariance test).
+func gateGrid(t *testing.T, workers int) *Grid {
+	t.Helper()
+	benchmarks := Benchmarks(Quick)[:2]
+	cores := Cores()[:1]
+	g, err := Run(benchmarks, cores, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gateReport(t *testing.T, workers int) *Report {
+	t.Helper()
+	r := gateGrid(t, workers).Report()
+	r.Scale = "quick"
+	return r
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	r := gateReport(t, 1)
+	b := BaselineOf(r)
+	if len(b.Cells) != len(r.Cells) {
+		t.Fatalf("baseline has %d cells, report has %d", len(b.Cells), len(r.Cells))
+	}
+	if err := b.Check(r); err != nil {
+		t.Errorf("a report must match its own baseline: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := WriteBaseline(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadBaseline(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parsed.Check(r); err != nil {
+		t.Errorf("serialized baseline drifted: %v", err)
+	}
+	var again strings.Builder
+	if err := WriteBaseline(&again, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != again.String() {
+		t.Error("baseline serialization is not byte-stable")
+	}
+}
+
+// TestBaselineDetectsOneCycleDrift perturbs a single cell by one cycle and
+// demands the gate catches it by name.
+func TestBaselineDetectsOneCycleDrift(t *testing.T) {
+	r := gateReport(t, 1)
+	b := BaselineOf(r)
+	r.Cells[0].RedsocCycles++
+	err := b.Check(r)
+	if err == nil {
+		t.Fatal("gate passed a one-cycle drift")
+	}
+	key := baselineKey(r.Cells[0])
+	if !strings.Contains(err.Error(), key) {
+		t.Errorf("drift report does not name the cell %q: %v", key, err)
+	}
+}
+
+func TestBaselineDetectsShapeChanges(t *testing.T) {
+	r := gateReport(t, 1)
+	b := BaselineOf(r)
+
+	extra := *r
+	extra.Cells = append(append([]CellReport{}, r.Cells...), CellReport{Class: "X", Benchmark: "new", Core: "Big"})
+	if err := b.Check(&extra); err == nil || !strings.Contains(err.Error(), "not in baseline") {
+		t.Errorf("gate must flag cells missing from the baseline, got %v", err)
+	}
+
+	short := *r
+	short.Cells = r.Cells[1:]
+	if err := b.Check(&short); err == nil || !strings.Contains(err.Error(), "missing from report") {
+		t.Errorf("gate must flag cells missing from the report, got %v", err)
+	}
+
+	full := *r
+	full.Scale = "full"
+	if err := b.Check(&full); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Errorf("gate must reject a scale mismatch, got %v", err)
+	}
+}
+
+// TestMetricsSetWorkerInvariance renders the aggregated metrics snapshots of
+// a 1-worker and a 4-worker grid and demands byte identity — the
+// determinism contract -j relies on, extended to the obs metrics layer.
+func TestMetricsSetWorkerInvariance(t *testing.T) {
+	render := func(workers int) string {
+		var sb strings.Builder
+		if err := obs.WriteJSON(&sb, gateGrid(t, workers).MetricsSet("quick")); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Error("metrics snapshots differ between -j 1 and -j 4")
+	}
+	if !strings.Contains(serial, "/baseline") || !strings.Contains(serial, "/redsoc") || !strings.Contains(serial, "/mos") {
+		t.Errorf("metrics set missing per-policy runs:\n%.400s", serial)
+	}
+}
+
+func TestBenchmarkNamesSortedDeduped(t *testing.T) {
+	names := BenchmarkNames([]Benchmark{{Name: "zeta"}, {Name: "alpha"}, {Name: "zeta"}, {Name: "mid"}})
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFindBenchmarkErrorListsNames(t *testing.T) {
+	_, err := FindBenchmark([]Benchmark{{Name: "beta"}, {Name: "alpha"}}, "nosuch")
+	if err == nil || !strings.Contains(err.Error(), "alpha, beta") {
+		t.Errorf("unknown-benchmark error must list available names sorted, got %v", err)
+	}
+}

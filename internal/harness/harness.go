@@ -10,6 +10,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"redsoc/internal/baseline"
 	"redsoc/internal/campaign"
@@ -122,12 +124,28 @@ func FindBenchmark(benchmarks []Benchmark, name string) (Benchmark, error) {
 	}
 	switch matches {
 	case 0:
-		return Benchmark{}, fmt.Errorf("harness: unknown benchmark %q", name)
+		return Benchmark{}, fmt.Errorf("harness: unknown benchmark %q (available: %s)",
+			name, strings.Join(BenchmarkNames(benchmarks), ", "))
 	case 1:
 		return found, nil
 	default:
 		return Benchmark{}, fmt.Errorf("harness: benchmark name %q is ambiguous: %d matches", name, matches)
 	}
+}
+
+// BenchmarkNames returns the benchmarks' names, sorted and deduplicated —
+// the stable listing error messages and tool usage text lean on.
+func BenchmarkNames(benchmarks []Benchmark) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, b := range benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Cores returns the three Table I cores, Big first (the paper's ordering).

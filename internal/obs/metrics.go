@@ -1,0 +1,39 @@
+// Deterministic metrics snapshots: the machine-readable per-run view of
+// every scheduler counter plus the derived rates the paper's analysis leans
+// on. Counters and rates live in maps so encoding/json emits keys in sorted
+// order — two snapshots of identical runs are byte-identical and diff
+// cleanly, which is what lets CI and the cross-worker determinism tests
+// compare them verbatim.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Metrics is one run's snapshot. Counters are exact integers; Rates are
+// derived ratios (deterministic: computed from the counters in a fixed
+// order on one platform's float semantics).
+type Metrics struct {
+	Benchmark string             `json:"benchmark"`
+	Core      string             `json:"core"`
+	Policy    string             `json:"policy"`
+	Counters  map[string]int64   `json:"counters"`
+	Rates     map[string]float64 `json:"rates"`
+}
+
+// MetricsSet aggregates the snapshots of one evaluation (redsoc-bench):
+// Runs is keyed "class/benchmark/core/policy", and json's sorted map keys
+// keep the aggregate byte-deterministic at any worker count.
+type MetricsSet struct {
+	Scale string             `json:"scale"`
+	Runs  map[string]Metrics `json:"runs"`
+}
+
+// WriteJSON marshals v (a Metrics or MetricsSet) with stable two-space
+// indentation and a trailing newline.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

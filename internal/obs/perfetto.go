@@ -1,0 +1,188 @@
+// Chrome trace-event / Perfetto JSON export. The emitted file loads directly
+// in https://ui.perfetto.dev (or chrome://tracing): one process per
+// functional-unit pool with one thread ("track") per unit, carrying the
+// planned execution windows as complete slices at sub-cycle resolution, plus
+// an "instructions" process whose async spans trace each instruction's
+// dispatch→commit lifetime.
+//
+// Timestamp encoding: the trace's time unit is one sub-cycle tick, written
+// into the microsecond-denominated "ts"/"dur" fields verbatim — Perfetto
+// only needs a consistent unit, and ticks keep every instant integral and
+// the export byte-deterministic. Meta.TicksPerCycle records the scale (one
+// cycle = TicksPerCycle trace-microseconds).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"redsoc/internal/timing"
+)
+
+// Meta describes the run a trace was captured from.
+type Meta struct {
+	Benchmark     string
+	Core          string
+	Policy        string
+	TicksPerCycle int
+}
+
+// Perfetto process IDs: 1..NumFUs are the FU pools, pidInstr carries the
+// per-instruction lifetime spans.
+const pidInstr = 100
+
+// pftEvent is one Chrome trace-event object. Field order is fixed by the
+// struct, and Args marshals with json's sorted map keys, so the export is
+// byte-deterministic.
+type pftEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	Sc   string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pftTrace struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+	TraceEvents     []pftEvent     `json:"traceEvents"`
+}
+
+// WritePerfetto renders the event stream as Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, events []Event, meta Meta) error {
+	tpc := meta.TicksPerCycle
+	if tpc < 1 {
+		tpc = 1
+	}
+	cycleTicks := func(cycle int64) int64 { return cycle * int64(tpc) }
+
+	t := pftTrace{
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"benchmark":       meta.Benchmark,
+			"core":            meta.Core,
+			"policy":          meta.Policy,
+			"ticks_per_cycle": tpc,
+			"time_unit":       "1 trace-us = 1 sub-cycle tick",
+		},
+	}
+
+	// Metadata: name every process and thread we will reference, in a fixed
+	// order so the export never depends on event content.
+	type track struct{ pid, tid int }
+	seenTrack := map[track]bool{}
+	for _, e := range events {
+		if e.Kind == KindIssue && e.Unit >= 0 {
+			seenTrack[track{1 + int(e.FU), int(e.Unit)}] = true
+		}
+	}
+	for fu := 0; fu < int(NumFUs); fu++ {
+		pid := 1 + fu
+		t.TraceEvents = append(t.TraceEvents, pftEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": FUName(uint8(fu))},
+		})
+		for unit := 0; unit < 64; unit++ {
+			if seenTrack[track{pid, unit}] {
+				t.TraceEvents = append(t.TraceEvents, pftEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: unit,
+					Args: map[string]any{"name": fmt.Sprintf("%s unit %d", FUName(uint8(fu)), unit)},
+				})
+			}
+		}
+	}
+	t.TraceEvents = append(t.TraceEvents, pftEvent{
+		Name: "process_name", Ph: "M", Pid: pidInstr,
+		Args: map[string]any{"name": "instructions"},
+	})
+
+	ticks := func(tk timing.Ticks) int64 { return int64(tk) }
+	for _, e := range events {
+		switch e.Kind {
+		case KindDispatch:
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: e.Op.String(), Cat: "instr", Ph: "b",
+				Ts: cycleTicks(e.Cycle), Pid: pidInstr, Tid: 0, ID: e.Seq,
+				Args: map[string]any{
+					"pc":       fmt.Sprintf("%#x", e.PC),
+					"lut_addr": e.Arg,
+					"ex_ticks": int64(e.Start),
+				},
+			})
+		case KindCommit:
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: e.Op.String(), Cat: "instr", Ph: "e",
+				Ts: cycleTicks(e.Cycle), Pid: pidInstr, Tid: 0, ID: e.Seq,
+			})
+		case KindIssue:
+			dur := ticks(e.Comp) - ticks(e.Start)
+			if dur < 1 {
+				dur = 1
+			}
+			unit := int(e.Unit)
+			if unit < 0 {
+				unit = 0
+			}
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: e.Op.String(), Cat: "exec", Ph: "X",
+				Ts: ticks(e.Start), Dur: dur, Pid: 1 + int(e.FU), Tid: unit,
+				Args: map[string]any{
+					"cycle":    e.Cycle,
+					"egpw":     e.Flags&FlagSpec != 0,
+					"fused":    e.Flags&FlagFused != 0,
+					"hold2":    e.Flags&FlagHold2 != 0,
+					"recycled": e.Flags&FlagRecycled != 0,
+					"seq":      e.Seq,
+				},
+			})
+		case KindViolation:
+			side := "consumer"
+			if e.Flags&FlagLatch != 0 {
+				side = "output-latch"
+			}
+			unit := int(e.Unit)
+			if unit < 0 {
+				unit = 0
+			}
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: "timing-violation", Cat: "razor", Ph: "i",
+				Ts: cycleTicks(e.Cycle), Pid: 1 + int(e.FU), Tid: unit, Sc: "p",
+				Args: map[string]any{"seq": e.Seq, "side": side},
+			})
+		case KindRedirect:
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: "redirect", Cat: "frontend", Ph: "i",
+				Ts: cycleTicks(e.Cycle), Pid: pidInstr, Tid: 0, Sc: "p",
+				Args: map[string]any{"seq": e.Seq},
+			})
+		case KindCancel:
+			why := "tag-mispredict"
+			if e.Flags&FlagSpec != 0 {
+				why = "gp-wasted"
+			}
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: "cancel", Cat: "select", Ph: "i",
+				Ts: cycleTicks(e.Cycle), Pid: pidInstr, Tid: 0, Sc: "p",
+				Args: map[string]any{"seq": e.Seq, "why": why},
+			})
+		case KindDegrade, KindRearm:
+			t.TraceEvents = append(t.TraceEvents, pftEvent{
+				Name: e.Kind.String(), Cat: "degrade", Ph: "i",
+				Ts: cycleTicks(e.Cycle), Pid: 1 + int(e.FU), Tid: 0, Sc: "p",
+			})
+		}
+		// Wakeup/grant/deny/recycle/width-replay stay stream-only: they are
+		// per-cycle scheduler detail the metrics and golden streams carry;
+		// rendering them would bury the execution tracks.
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}

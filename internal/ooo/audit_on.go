@@ -25,6 +25,7 @@ package ooo
 import (
 	"fmt"
 
+	"redsoc/internal/obs"
 	"redsoc/internal/timing"
 )
 
@@ -94,9 +95,19 @@ func (a *auditState) onIssue(s *Simulator, e *entry, unit int) {
 	a.lastComp[e.fu][unit] = sched.Comp
 }
 
-// auditFailf reports an invariant violation and aborts the run.
+// auditFailf reports an invariant violation and aborts the run. When a
+// flight recorder is attached, the panic message carries the recorder's tail
+// so the events leading up to the failure survive into the crash report.
 func auditFailf(s *Simulator, e *entry, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	panic(fmt.Sprintf("ooo: audit: %s/%s seq %d op %v: %s",
-		s.cfg.Name, s.cfg.Policy, e.seq, e.in.Op, msg))
+	head := fmt.Sprintf("ooo: audit: %s/%s seq %d op %v: %s",
+		s.cfg.Name, s.cfg.Policy, e.seq, e.in.Op, msg)
+	if ring, ok := s.obs.(*obs.Ring); ok && ring.Len() > 0 {
+		head += "\nflight recorder (last " + fmt.Sprint(len(ring.Tail(flightTail))) + " events):\n" +
+			obs.FormatStream(ring.Tail(flightTail), s.clock.TicksPerCycle())
+	}
+	panic(head)
 }
+
+// flightTail bounds how many trailing events an audit panic reproduces.
+const flightTail = 16

@@ -80,6 +80,7 @@ type entry struct {
 	multiSrc   bool // >= 2 in-flight producers at rename (prediction counted)
 	validated  bool // after a tag misprediction, fall back to all-tag wakeup
 	specWakeup bool // request in flight is a speculative GP wakeup
+	obsWoke    bool // wakeup event already emitted for the current request
 
 	state          entryState
 	broadcastCycle int64 // select cycle at which (tag, CI) went on the bus; -1 = not yet

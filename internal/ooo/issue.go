@@ -9,6 +9,7 @@ import (
 	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
+	"redsoc/internal/obs"
 	"redsoc/internal/timing"
 )
 
@@ -122,11 +123,25 @@ func (s *Simulator) issue(cycle int64) {
 		if ok, ready := s.trackedReady(e, cycle); ok {
 			if params.IssueEligible(s.clock, window, ready, s.canTransparent(e)) {
 				reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: false})
+				if s.obs != nil && !e.obsWoke {
+					e.obsWoke = true
+					src := int64(-1)
+					if e.lastIdx >= 0 && e.srcs[e.lastIdx].producer != nil {
+						src = e.srcs[e.lastIdx].producer.seq
+					}
+					s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+						PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Arg: src})
+				}
 			}
 			continue
 		}
 		if s.specEligible(e, cycle) {
 			reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: true})
+			if s.obs != nil && !e.obsWoke {
+				e.obsWoke = true
+				s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+					PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Flags: obs.FlagSpec, Arg: e.gp.seq})
+			}
 		}
 	}
 
@@ -149,8 +164,29 @@ func (s *Simulator) issue(cycle int64) {
 		if conv > free {
 			stalled = true
 		}
-		for _, gi := range s.arbiter.Grant(arb, free) {
+		grants := s.arbiter.Grant(arb, free)
+		for _, gi := range grants {
 			granted = append(granted, rk[gi])
+		}
+		if s.obs != nil {
+			// Per-request select outcome, in request (reservation-station)
+			// order within the pool.
+			won := make([]bool, len(rk))
+			for _, gi := range grants {
+				won[gi] = true
+			}
+			for i, r := range rk {
+				kind := obs.KindDeny
+				if won[i] {
+					kind = obs.KindGrant
+				}
+				var fl obs.Flag
+				if r.spec {
+					fl = obs.FlagSpec
+				}
+				s.obs.Emit(obs.Event{Kind: kind, Cycle: cycle, Seq: r.e.seq, Op: r.e.in.Op,
+					PC: r.e.in.PC, FU: uint8(k), Unit: -1, Flags: fl})
+			}
 		}
 	}
 	if stalled {
@@ -211,7 +247,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 			// An untracked operand is not even in flight towards a value:
 			// last-arrival misprediction. Cancel and fall back to all-tag
 			// wakeup for this entry.
-			return s.cancelGrant(e, spec)
+			return s.cancelGrant(e, cycle, spec)
 		}
 		if p.estComp > trueReady {
 			trueReady = p.estComp
@@ -229,7 +265,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	}
 	transparent := s.canTransparent(e)
 	if !params.IssueEligible(s.clock, window, trueReady, transparent) {
-		return s.cancelGrant(e, spec)
+		return s.cancelGrant(e, cycle, spec)
 	}
 
 	// Plan the execution window and FU occupancy.
@@ -243,7 +279,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		var ok bool
 		sched, ok = core.PlanTransparent(s.clock, window, trueReady, e.exTicks)
 		if !ok {
-			return s.cancelGrant(e, spec)
+			return s.cancelGrant(e, cycle, spec)
 		}
 		occupancy = sched.FUCycles
 	case e.isLoad:
@@ -282,6 +318,10 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 			e.exTicks = s.estimator.CorrectedTicks(e.in, out.ActualWidth)
 			sched = core.PlanSynchronous(s.clock, window+2*tpc, trueReady, tpc)
 			e.replays++
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{Kind: obs.KindWidthReplay, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+					PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit)})
+			}
 		}
 	}
 
@@ -342,7 +382,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	if sched.Start < trueActual {
 		dur := sched.Comp - sched.Start
 		sched = core.PlanSynchronous(s.clock, window+2*tpc, trueActual, dur)
-		s.recordViolation(e, cycle)
+		s.recordViolation(e, cycle, unit, false)
 	}
 
 	// Razor-style detection, producer side: the evaluation overran the
@@ -355,7 +395,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 			ready = trueActual
 		}
 		sched = core.PlanSynchronous(s.clock, window+2*tpc, ready, evalTicks)
-		s.recordViolation(e, cycle)
+		s.recordViolation(e, cycle, unit, true)
 	}
 	e.trueComp = trueCompOf(sched)
 
@@ -389,6 +429,26 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	if s.tracer != nil {
 		s.tracer.issue(cycle, e, spec)
 	}
+	if s.obs != nil {
+		var fl obs.Flag
+		if spec {
+			fl |= obs.FlagSpec
+		}
+		if sched.Recycled {
+			fl |= obs.FlagRecycled
+		}
+		if sched.FUCycles == 2 {
+			fl |= obs.FlagHold2
+		}
+		s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Flags: fl, Start: sched.Start, Comp: sched.Comp})
+		if sched.Recycled {
+			// Transparent-latch recycling: the evaluation began mid-cycle on
+			// a producer's output latch, extending a chain of Arg links.
+			s.obs.Emit(obs.Event{Kind: obs.KindRecycle, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+				PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Arg: int64(e.chainLen), Start: sched.Start})
+		}
+	}
 
 	if s.cfg.Policy == PolicyMOS {
 		s.tryFuse(e, cycle)
@@ -400,7 +460,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 // the entry reverts to all-tag wakeup (replaying like a latency
 // misprediction, at lower cost). The recovery also trains the last-arrival
 // predictor — the cancel itself identifies the operand that was late.
-func (s *Simulator) cancelGrant(e *entry, spec bool) bool {
+func (s *Simulator) cancelGrant(e *entry, cycle int64, spec bool) bool {
 	if spec {
 		s.res.GPWakeupWasted++
 	} else {
@@ -409,6 +469,14 @@ func (s *Simulator) cancelGrant(e *entry, spec bool) bool {
 	}
 	if s.tracer != nil {
 		s.tracer.cancel(e.dispatchCycle, e, spec)
+	}
+	if s.obs != nil {
+		var fl obs.Flag
+		if spec {
+			fl = obs.FlagSpec
+		}
+		s.obs.Emit(obs.Event{Kind: obs.KindCancel, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Flags: fl})
 	}
 	e.validated = true
 	return false
@@ -432,12 +500,20 @@ func (s *Simulator) trueParentComp(e *entry, fwdDep *entry) timing.Ticks {
 
 // recordViolation accounts one detected timing violation and its selective
 // reissue, and reports it to the op's degradation controller.
-func (s *Simulator) recordViolation(e *entry, cycle int64) {
+func (s *Simulator) recordViolation(e *entry, cycle int64, unit int, latch bool) {
 	s.res.TimingViolations++
 	s.res.ViolationReplays++
 	e.replays++
 	e.violated = true
 	s.degr[e.fu].Record(cycle)
+	if s.obs != nil {
+		var fl obs.Flag
+		if latch {
+			fl = obs.FlagLatch
+		}
+		s.obs.Emit(obs.Event{Kind: obs.KindViolation, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Flags: fl})
+	}
 }
 
 // producerAt finds the source producer whose completion instant the recycled
@@ -633,6 +709,11 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		s.res.FusedOps++
 		s.trainLastArrival(b)
 		s.classify(b, out)
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: b.seq, Op: b.in.Op,
+				PC: b.in.PC, FU: uint8(b.fu), Unit: -1, Flags: obs.FlagFused,
+				Start: b.sched.Start, Comp: b.sched.Comp, Arg: e.seq})
+		}
 		return
 	}
 }

@@ -1,0 +1,200 @@
+package ooo
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/obs"
+)
+
+// runObserved simulates prog with a capturing buffer attached and returns
+// the rendered event stream.
+func runObserved(t *testing.T, cfg Config, prog *isa.Program) (*obs.Buffer, string) {
+	t.Helper()
+	sim, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &obs.Buffer{}
+	sim.SetObserver(buf)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return buf, obs.FormatStream(buf.Events(), sim.Clock().TicksPerCycle())
+}
+
+// TestGoldenEventStream pins the exact ordered event sequence of a
+// hand-written dependency chain. The stream is part of the observability
+// contract: scheduler changes that reorder or reshape events must update
+// this golden deliberately.
+func TestGoldenEventStream(t *testing.T) {
+	_, got := runObserved(t, SmallConfig().WithPolicy(PolicyRedsoc), longChain(isa.OpEOR, 4))
+	want := goldenChainStream
+	if got != want {
+		t.Errorf("event stream drifted from the golden sequence.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEventStreamDeterminism runs the same workload twice and demands
+// byte-identical streams.
+func TestEventStreamDeterminism(t *testing.T) {
+	cfg := BigConfig().WithPolicy(PolicyRedsoc)
+	_, a := runObserved(t, cfg, longChain(isa.OpEOR, 64))
+	_, b := runObserved(t, cfg, longChain(isa.OpEOR, 64))
+	if a != b {
+		t.Error("two identical runs produced different event streams")
+	}
+}
+
+// TestObserverDoesNotPerturbSimulation attaches a sink and checks that every
+// counter of the run is identical to an unobserved run — observation must
+// never change simulation outcomes.
+func TestObserverDoesNotPerturbSimulation(t *testing.T) {
+	prog := longChain(isa.OpADD, 48)
+	cfg := MediumConfig().WithPolicy(PolicyRedsoc)
+	plain, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetObserver(&obs.Buffer{})
+	observed, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles || plain.RecycledOps != observed.RecycledOps ||
+		plain.Instructions != observed.Instructions || plain.TagMispredicts != observed.TagMispredicts {
+		t.Errorf("observation changed the run: cycles %d vs %d, recycled %d vs %d",
+			plain.Cycles, observed.Cycles, plain.RecycledOps, observed.RecycledOps)
+	}
+}
+
+// TestEventStreamCoversLifecycle checks the per-instruction event protocol
+// on a recycling-heavy workload: one dispatch/wakeup/commit per instruction,
+// grants precede issues, and recycled issues carry their chain events.
+func TestEventStreamCoversLifecycle(t *testing.T) {
+	buf, stream := runObserved(t, SmallConfig().WithPolicy(PolicyRedsoc), longChain(isa.OpEOR, 16))
+	counts := map[obs.Kind]int{}
+	for _, e := range buf.Events() {
+		counts[e.Kind]++
+	}
+	n := 18 // 2 MovImm + 16 EOR
+	if counts[obs.KindDispatch] != n || counts[obs.KindCommit] != n {
+		t.Errorf("dispatch=%d commit=%d, want %d each", counts[obs.KindDispatch], counts[obs.KindCommit], n)
+	}
+	if counts[obs.KindWakeup] != n {
+		t.Errorf("wakeup=%d, want one per instruction on this contention-free chain", counts[obs.KindWakeup])
+	}
+	if counts[obs.KindIssue] != counts[obs.KindGrant]-counts[obs.KindCancel] {
+		t.Errorf("issue=%d, want grants-cancels = %d-%d", counts[obs.KindIssue], counts[obs.KindGrant], counts[obs.KindCancel])
+	}
+	if counts[obs.KindRecycle] == 0 {
+		t.Error("an EOR chain under ReDSOC must recycle")
+	}
+	if !strings.Contains(stream, "recycled") || !strings.Contains(stream, "chain=") {
+		t.Errorf("stream missing recycling annotations:\n%s", stream)
+	}
+}
+
+// TestFUTaxonomyMatchesObs pins the correspondence between the scheduler's
+// fuKind values and the obs layer's FU constants — Perfetto tracks and
+// flight-recorder dumps are labeled through obs.FUName(uint8(fuKind)).
+func TestFUTaxonomyMatchesObs(t *testing.T) {
+	if uint8(numFUKinds) != obs.NumFUs {
+		t.Fatalf("numFUKinds=%d, obs.NumFUs=%d", numFUKinds, obs.NumFUs)
+	}
+	want := map[fuKind]string{fuALU: "ALU", fuSIMD: "SIMD", fuFP: "FP", fuMEM: "MEM"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("fuKind(%d).String()=%q, want %q", k, k, name)
+		}
+	}
+	if uint8(fuALU) != obs.FUALU || uint8(fuSIMD) != obs.FUSIMD ||
+		uint8(fuFP) != obs.FUFP || uint8(fuMEM) != obs.FUMEM {
+		t.Error("fuKind ordering diverged from obs FU constants")
+	}
+}
+
+// TestFlightRecorderRetainsTail attaches a small ring and checks it holds
+// exactly the last events of the run, ending at the final commit.
+func TestFlightRecorderRetainsTail(t *testing.T) {
+	prog := longChain(isa.OpEOR, 32)
+	sim, err := New(SmallConfig().WithPolicy(PolicyRedsoc), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := sim.AttachFlightRecorder(8)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 8 {
+		t.Fatalf("ring retained %d events, want 8", ring.Len())
+	}
+	tail := ring.Tail(8)
+	last := tail[len(tail)-1]
+	if last.Kind != obs.KindCommit || last.Seq != int64(prog.Len()-1) {
+		t.Errorf("last event = %v seq %d, want the final commit (seq %d)", last.Kind, last.Seq, prog.Len()-1)
+	}
+}
+
+// TestMetricsSnapshotDeterminism checks that Result.Metrics serializes
+// byte-identically across two runs and carries the headline counters.
+func TestMetricsSnapshotDeterminism(t *testing.T) {
+	cfg := BigConfig().WithPolicy(PolicyRedsoc)
+	prog := longChain(isa.OpEOR, 64)
+	render := func() string {
+		r, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := obs.WriteJSON(&sb, r.Metrics("chain", "Big", "redsoc")); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("metrics snapshots of identical runs differ")
+	}
+	for _, key := range []string{`"cycles"`, `"recycled_ops"`, `"egpw_hit_rate"`, `"recycled_op_fraction"`, `"ipc"`} {
+		if !strings.Contains(a, key) {
+			t.Errorf("metrics snapshot missing %s:\n%s", key, a)
+		}
+	}
+}
+
+// goldenChainStream is the pinned stream for longChain(EOR, 4) on the Small
+// core under ReDSOC (regenerate deliberately when the scheduler or event
+// format changes: run this test with -v and copy the reported stream).
+const goldenChainStream = `c0     dispatch     seq=0    MOV  pc=0x1000 lut=3 ex=4t
+c0     dispatch     seq=1    MOV  pc=0x1004 lut=3 ex=4t
+c0     dispatch     seq=2    EOR  pc=0x2000 lut=3 ex=4t
+c0     wakeup       seq=0    MOV  src=-1
+c0     wakeup       seq=1    MOV  src=-1
+c0     grant        seq=0    MOV  ALU
+c0     grant        seq=1    MOV  ALU
+c0     issue        seq=0    MOV  ALU/0 [1.0..1.4)
+c0     issue        seq=1    MOV  ALU/1 [1.0..1.4)
+c1     dispatch     seq=3    EOR  pc=0x2000 lut=3 ex=4t
+c1     dispatch     seq=4    EOR  pc=0x2000 lut=3 ex=4t
+c1     dispatch     seq=5    EOR  pc=0x2000 lut=3 ex=4t
+c1     wakeup       seq=2    EOR  src=0
+c1     wakeup       seq=3    EOR  gp=0
+c1     grant        seq=2    EOR  ALU
+c1     grant        seq=3    EOR  ALU egpw
+c1     issue        seq=2    EOR  ALU/0 [2.0..2.4)
+c1     issue        seq=3    EOR  ALU/1 [2.4..3.0) egpw recycled
+c1     recycle      seq=3    EOR  chain=2 start=2.4
+c2     commit       seq=0    MOV ` + "\n" + `c2     commit       seq=1    MOV ` + "\n" + `c2     wakeup       seq=4    EOR  src=3
+c2     wakeup       seq=5    EOR  gp=3
+c2     grant        seq=4    EOR  ALU
+c2     grant        seq=5    EOR  ALU egpw
+c2     issue        seq=4    EOR  ALU/0 [3.0..3.4)
+c2     issue        seq=5    EOR  ALU/1 [3.4..4.0) egpw recycled
+c2     recycle      seq=5    EOR  chain=2 start=3.4
+c3     commit       seq=2    EOR ` + "\n" + `c3     commit       seq=3    EOR ` + "\n" + `c4     commit       seq=4    EOR ` + "\n" + `c4     commit       seq=5    EOR ` + "\n"

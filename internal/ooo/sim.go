@@ -8,6 +8,7 @@ import (
 	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
+	"redsoc/internal/obs"
 	"redsoc/internal/predict"
 	"redsoc/internal/timing"
 )
@@ -44,8 +45,12 @@ type Simulator struct {
 	adapt *core.ThresholdController
 	// cpm drives the optional PVT guard-band recalibration.
 	cpm *timing.CPM
-	// tracer, when set, receives pipeline events.
+	// tracer, when set, receives pipeline events as text.
 	tracer *Tracer
+	// obs, when set, receives structured sub-cycle pipeline events. Every
+	// emission is behind an `if s.obs != nil` guard (enforced by the
+	// obszeroalloc analyzer), so the disabled path costs one branch.
+	obs obs.Sink
 
 	rat      [isa.NumRenamedRegs]*entry
 	archRegs [isa.NumRenamedRegs]alu.Value
@@ -171,9 +176,15 @@ func (s *Simulator) tickDegraders(cycle int64) {
 		tripped, rearmed := s.degr[k].Tick(cycle)
 		if tripped {
 			s.res.DegradationEvents++
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{Kind: obs.KindDegrade, Cycle: cycle, Seq: -1, FU: uint8(k), Unit: -1})
+			}
 		}
 		if rearmed {
 			s.res.DegradeRearms++
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{Kind: obs.KindRearm, Cycle: cycle, Seq: -1, FU: uint8(k), Unit: -1})
+			}
 		}
 		if s.degr[k].Degraded() {
 			any = true
@@ -221,6 +232,9 @@ func (s *Simulator) commit(cycle int64) {
 		}
 		if s.tracer != nil {
 			s.tracer.commit(cycle, e)
+		}
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{Kind: obs.KindCommit, Cycle: cycle, Seq: e.seq, Op: in.Op, PC: in.PC, FU: uint8(e.fu), Unit: -1})
 		}
 		e.state = stCommitted
 		s.rob = s.rob[1:]
@@ -336,12 +350,21 @@ func (s *Simulator) dispatch(cycle int64) {
 		if s.tracer != nil {
 			s.tracer.dispatch(cycle, e)
 		}
+		if s.obs != nil {
+			// Decode-time slack-bucket assignment: the LUT address the
+			// estimate was read from and the bucketed EX-TIME in ticks.
+			s.obs.Emit(obs.Event{Kind: obs.KindDispatch, Cycle: cycle, Seq: e.seq, Op: in.Op,
+				PC: in.PC, FU: uint8(e.fu), Unit: -1, Arg: int64(e.est.Addr), Start: e.exTicks})
+		}
 		if in.Op == isa.OpB && s.branchPred.Update(in.PC, in.Taken) {
 			// Mispredicted: everything younger is a front-end bubble until
 			// this branch resolves.
 			s.redirect = e
 			if s.tracer != nil {
 				s.tracer.redirect(cycle, e)
+			}
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{Kind: obs.KindRedirect, Cycle: cycle, Seq: e.seq, Op: in.Op, PC: in.PC, FU: uint8(e.fu), Unit: -1})
 			}
 			return
 		}

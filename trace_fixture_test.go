@@ -1,0 +1,54 @@
+package redsoc
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"redsoc/internal/harness"
+	"redsoc/internal/obs"
+	"redsoc/internal/ooo"
+)
+
+// TestTraceSmokeFixture regenerates the Perfetto export that CI's trace
+// smoke produces (redsoc-sim -bench bitcnt -core small -trace-limit 64) and
+// compares it byte-for-byte against the committed golden fixture. Refresh
+// the fixture deliberately when the event layer or scheduler changes:
+//
+//	go run ./cmd/redsoc-sim -bench bitcnt -core small \
+//	    -trace-out .github/fixtures/trace-smoke.json -trace-limit 64 > /dev/null
+func TestTraceSmokeFixture(t *testing.T) {
+	const fixture = ".github/fixtures/trace-smoke.json"
+	want, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate via redsoc-sim): %v", err)
+	}
+
+	benchmarks := append(harness.Benchmarks(harness.Full), harness.Extras()...)
+	bench, err := harness.FindBenchmark(benchmarks, "bitcnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ooo.SmallConfig().WithPolicy(ooo.PolicyRedsoc)
+	sim, err := ooo.New(cfg, bench.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &obs.Buffer{Limit: 64}
+	sim.SetObserver(buf)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	meta := obs.Meta{
+		Benchmark: bench.Name, Core: cfg.Name, Policy: cfg.Policy.String(),
+		TicksPerCycle: sim.Clock().TicksPerCycle(),
+	}
+	if err := obs.WritePerfetto(&sb, buf.Events(), meta); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("Perfetto export drifted from %s (refresh it deliberately if the change is intended)", fixture)
+	}
+}
