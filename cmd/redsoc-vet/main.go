@@ -25,6 +25,7 @@ import (
 	"redsoc/internal/analysis/framework"
 	"redsoc/internal/analysis/obszeroalloc"
 	"redsoc/internal/analysis/panicpolicy"
+	"redsoc/internal/analysis/schedalloc"
 	"redsoc/internal/analysis/simdeterminism"
 	"redsoc/internal/analysis/tickunits"
 )
@@ -35,6 +36,7 @@ var analyzers = []*framework.Analyzer{
 	panicpolicy.Analyzer,
 	conservativeround.Analyzer,
 	obszeroalloc.Analyzer,
+	schedalloc.Analyzer,
 }
 
 func main() {

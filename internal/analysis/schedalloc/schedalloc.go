@@ -1,0 +1,163 @@
+// Package schedalloc guards the scheduler's zero-allocation steady state.
+// The hot loop — wakeup, select, execute, commit — promises that a warm
+// simulator allocates nothing per cycle (testing.AllocsPerRun == 0 over the
+// issue window), which is what lets a parameter-sweep campaign run thousands
+// of configurations without the garbage collector dominating wall time. The
+// property is easy to lose one innocuous line at a time: a sort.Slice closure
+// here, a string-keyed map update there, an append to a fresh slice in a
+// replay path. This analyzer makes the contract lexical: any function marked
+// with a `//redsoc:hotpath` directive in its doc comment is checked for
+// constructs that allocate on every invocation. Audited exceptions (the entry
+// arena's grow path, panic messages on broken invariants) stay visible in the
+// source under `//lint:allow schedalloc <why>` annotations.
+package schedalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"redsoc/internal/analysis/framework"
+)
+
+// Analyzer enforces the scheduler's zero-allocation steady-state contract.
+var Analyzer = &framework.Analyzer{
+	Name: "schedalloc",
+	Doc: "in functions marked //redsoc:hotpath: flags constructs that allocate on every " +
+		"invocation — make/new, slice and map literals, &composite literals, string " +
+		"concatenation or conversion, fmt and sort calls, function literals passed to calls, " +
+		"and append to anything but a named reusable buffer — so the scheduler's warm-window " +
+		"AllocsPerRun stays zero",
+	Run: run,
+}
+
+// marker is the directive that opts a function into the rule. It must appear
+// as its own line in the function's doc comment (directive comments attach to
+// the doc group but are excluded from godoc text).
+const marker = "redsoc:hotpath"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks one hot function body and reports every allocating construct.
+func check(pass *framework.Pass, body *ast.BlockStmt) {
+	// escaping marks function literals appearing as call arguments: those are
+	// passed out of the frame and allocate their closure. A literal assigned
+	// to a local and invoked in place stays on the stack and is not flagged.
+	escaping := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot-path function allocates a slice literal; hoist it out of the steady state")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot-path function allocates a map literal; hoist it out of the steady state")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "hot-path function heap-allocates (&composite literal); recycle through the entry arena or a reusable scratch value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(), "hot-path function concatenates strings, which allocates; accumulate numeric state and format at capture time")
+			}
+		case *ast.FuncLit:
+			if escaping[n] {
+				pass.Reportf(n.Pos(), "hot-path function passes a function literal to a call, which allocates its closure; hoist it to a named function")
+			}
+		case *ast.CallExpr:
+			if skipArgs := checkCall(pass, n, escaping); skipArgs {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkCall applies the call-site rules and returns whether the arguments
+// should be skipped (a flagged sort call's comparator needs no second report).
+func checkCall(pass *framework.Pass, call *ast.CallExpr, escaping map[*ast.FuncLit]bool) (skipArgs bool) {
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			escaping[fl] = true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make", "new":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "hot-path function calls %s, which allocates; reuse a per-Simulator scratch buffer", fun.Name)
+			}
+		case "append":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin && len(call.Args) > 0 && !bufferExpr(call.Args[0]) {
+				pass.Reportf(call.Pos(), "hot-path function appends to a fresh slice; append into a reusable scratch buffer (e.g. buf[:0])")
+			}
+		case "string":
+			pass.Reportf(call.Pos(), "hot-path function converts to string, which allocates; accumulate numeric state and format at capture time")
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "fmt":
+				pass.Reportf(call.Pos(), "hot-path function calls fmt.%s, which allocates; format at capture time", fn.Name())
+			case "sort":
+				pass.Reportf(call.Pos(), "hot-path function calls sort.%s, which allocates its closure and interface header; insert into a sorted scratch buffer instead", fn.Name())
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bufferExpr reports whether an append destination names an existing buffer —
+// an identifier, a field or element of one, or a reslice (buf[:0]) — as
+// opposed to a fresh slice built in place (literal, conversion, call result).
+func bufferExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+		return true
+	case *ast.ParenExpr:
+		return bufferExpr(e.X)
+	}
+	return false
+}
+
+func isString(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

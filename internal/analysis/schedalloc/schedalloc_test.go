@@ -1,0 +1,12 @@
+package schedalloc_test
+
+import (
+	"testing"
+
+	"redsoc/internal/analysis/analysistest"
+	"redsoc/internal/analysis/schedalloc"
+)
+
+func TestSchedAlloc(t *testing.T) {
+	analysistest.Run(t, schedalloc.Analyzer, "sched")
+}

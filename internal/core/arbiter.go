@@ -18,9 +18,22 @@ type Request struct {
 	Spec bool
 }
 
-// Arbiter is the (optionally skewed) oldest-first select logic.
+// Arbiter is the (optionally skewed) oldest-first select logic. It owns the
+// age-mask and grant scratch storage for its Grant evaluations, so a
+// steady-state select cycle allocates nothing; an Arbiter is consequently not
+// safe for concurrent use (each Simulator owns one).
 type Arbiter struct {
 	skewed bool
+
+	// Scratch reused across Grant calls: one flat word buffer backing the
+	// per-request age masks, the three working bitsets, and the grant list
+	// handed back to the caller.
+	maskWords []uint64
+	older     []bitset
+	awake     bitset
+	nonSpec   bitset
+	eff       bitset
+	grants    []int
 }
 
 // NewArbiter returns an arbiter; skewed enables the P-over-GP priority.
@@ -33,7 +46,11 @@ const wordBits = 64
 
 type bitset []uint64
 
-func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
 
 func (b bitset) set(i int)      { b[i/wordBits] |= 1 << (i % wordBits) }
 func (b bitset) clear(i int)    { b[i/wordBits] &^= 1 << (i % wordBits) }
@@ -55,31 +72,37 @@ func (b bitset) intersects(c bitset) bool {
 // no awake entry. Skewing ORs every non-speculative requester into a
 // speculative entry's mask and clears speculative bits from a
 // non-speculative entry's mask.
+//
+// The returned slice aliases the arbiter's scratch storage and is valid only
+// until the next Grant call.
 func (a *Arbiter) Grant(reqs []Request, m int) []int {
 	n := len(reqs)
 	if n == 0 || m <= 0 {
 		return nil
 	}
+	a.grow(n)
 	// Age masks: older[i] = set of indices with smaller Age.
-	older := make([]bitset, n)
+	older := a.older[:n]
 	for i := range reqs {
-		older[i] = newBitset(n)
+		older[i].zero()
 		for j := range reqs {
 			if reqs[j].Age < reqs[i].Age {
 				older[i].set(j)
 			}
 		}
 	}
-	awake := newBitset(n)
-	nonSpecAwake := newBitset(n)
+	awake := a.awake
+	nonSpecAwake := a.nonSpec
+	awake.zero()
+	nonSpecAwake.zero()
 	for i, r := range reqs {
 		awake.set(i)
 		if !r.Spec {
 			nonSpecAwake.set(i)
 		}
 	}
-	var grants []int
-	eff := newBitset(n)
+	grants := a.grants[:0]
+	eff := a.eff
 	for len(grants) < m {
 		winner := -1
 		for i := range reqs {
@@ -110,7 +133,26 @@ func (a *Arbiter) Grant(reqs []Request, m int) []int {
 		awake.clear(winner)
 		nonSpecAwake.clear(winner)
 	}
+	a.grants = grants
 	return grants
+}
+
+// grow resizes the scratch storage for n requests. The per-request age masks
+// share one flat word buffer so regrowth is a single allocation.
+func (a *Arbiter) grow(n int) {
+	words := (n + wordBits - 1) / wordBits
+	if cap(a.older) < n || len(a.maskWords) < (n+3)*words {
+		a.maskWords = make([]uint64, (n+3)*words)
+		a.older = make([]bitset, n)
+	}
+	a.older = a.older[:n]
+	buf := a.maskWords
+	for i := range a.older {
+		a.older[i] = buf[i*words : (i+1)*words]
+	}
+	a.awake = buf[n*words : (n+1)*words]
+	a.nonSpec = buf[(n+1)*words : (n+2)*words]
+	a.eff = buf[(n+2)*words : (n+3)*words]
 }
 
 // bit returns the mask word w with only index i's bit (when it lives in w).

@@ -76,6 +76,15 @@ func (e *Estimator) Validate(in *isa.Instruction, est Estimate, actual isa.Width
 	return est.Width < actual
 }
 
+// Aggressive reports whether a width-predicted estimate understates the width
+// the operands actually exercised, without training the predictor. The MOS
+// fusion comparator uses it as a side-effect-free precheck: an abandoned
+// pairing must leave no predictor or counter residue, since the op will
+// execute — and Validate — through the normal issue path later.
+func (e *Estimator) Aggressive(est Estimate, actual isa.WidthClass) bool {
+	return est.Predicted && est.Width < actual
+}
+
 // CorrectedTicks returns the EX-TIME the instruction should have carried,
 // given its actual width — used when replaying an aggressive misprediction.
 func (e *Estimator) CorrectedTicks(in *isa.Instruction, actual isa.WidthClass) timing.Ticks {

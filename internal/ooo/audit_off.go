@@ -12,3 +12,5 @@ type auditState struct{}
 func (auditState) Enabled() bool { return false }
 
 func (auditState) onIssue(*Simulator, *entry, int) {}
+
+func (auditState) onCommitMem(*Simulator, *entry, *entry) {}

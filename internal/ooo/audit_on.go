@@ -95,6 +95,20 @@ func (a *auditState) onIssue(s *Simulator, e *entry, unit int) {
 	a.lastComp[e.fu][unit] = sched.Comp
 }
 
+// onCommitMem asserts the LSQ-head alignment invariant: when a memory op
+// retires from the ROB head, the LSQ head must be that same op — in-order
+// commit keeps the two queues in lockstep, and the ring-buffer LSQ pops
+// blindly on that assumption.
+func (a *auditState) onCommitMem(s *Simulator, e, lsqHead *entry) {
+	if lsqHead != e {
+		head := int64(-1)
+		if lsqHead != nil {
+			head = lsqHead.seq
+		}
+		auditFailf(s, e, "LSQ head seq %d misaligned with committing memory op", head)
+	}
+}
+
 // auditFailf reports an invariant violation and aborts the run. When a
 // flight recorder is attached, the panic message carries the recorder's tail
 // so the events leading up to the failure survive into the crash report.

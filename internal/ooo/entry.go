@@ -118,6 +118,32 @@ type entry struct {
 	replays int32
 
 	dispatchCycle int64
+
+	// Scheduler bookkeeping for the tag-indexed wakeup and the entry arena.
+	//
+	// waiters is this entry's consumer list: waiting entries registered at
+	// dispatch to be re-examined when this entry broadcasts (and, for
+	// stores, when it commits — the memory-dependence wakeup). inReady marks
+	// membership in the scheduler's ready set (or its pending wake buffer),
+	// so multiple same-cycle broadcasts enqueue a consumer once. refs counts
+	// incoming references (source operand, grandparent tag, memory
+	// dependence, front-end redirect); an entry returns to the arena only
+	// once it has committed and refs reaches zero — see arena.go for the
+	// recycle-safety rule.
+	waiters []*entry
+	inReady bool
+	refs    int32
+}
+
+// storeOutcome latches an execution outcome into the entry. It is separate
+// from execute so speculative evaluations (MOS fusion probes) can inspect an
+// outcome without mutating reservation-station state.
+func (e *entry) storeOutcome(out alu.Outcome) {
+	e.result = out.Result
+	e.flagsOut = out.FlagsOut
+	e.writesFlags = out.WritesFlags
+	e.actualWidth = out.ActualWidth
+	e.delayPS = out.DelayPS
 }
 
 // srcValue reads a resolved source operand; the producer (if any) must have

@@ -2,7 +2,6 @@ package ooo
 
 import (
 	"fmt"
-	"sort"
 
 	"redsoc/internal/alu"
 	"redsoc/internal/core"
@@ -25,6 +24,8 @@ func (s *Simulator) issueParams() core.Params {
 // awake reports whether a producer's (tag, CI) broadcast is visible to
 // selection at the given cycle: broadcasts are visible from the cycle after
 // they happen (same-cycle visibility is exactly what EGPW exists for).
+//
+//redsoc:hotpath
 func awake(p *entry, cycle int64) bool {
 	return p != nil && p.broadcastCycle >= 0 && p.broadcastCycle < cycle
 }
@@ -33,6 +34,8 @@ func awake(p *entry, cycle int64) bool {
 // tag: baseline/MOS cores do (2 tags per RSE), the ReDSOC Illustrative
 // design does, and the Operational design falls back to it after a
 // last-arrival misprediction.
+//
+//redsoc:hotpath
 func (s *Simulator) tracksAllParents(e *entry) bool {
 	if s.cfg.Policy != PolicyRedsoc {
 		return true
@@ -43,6 +46,8 @@ func (s *Simulator) tracksAllParents(e *entry) bool {
 // canTransparent reports whether the op may evaluate through the transparent
 // bypass under the current policy. A degraded FU pool schedules everything
 // synchronously (baseline conservative timing) until its controller re-arms.
+//
+//redsoc:hotpath
 func (s *Simulator) canTransparent(e *entry) bool {
 	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && transparentCapable(e.in.Op) &&
 		!s.degr[e.fu].Degraded()
@@ -51,6 +56,8 @@ func (s *Simulator) canTransparent(e *entry) bool {
 // trackedReady returns whether the entry's tracked parents have all
 // broadcast, and the latest tracked completion instant. This is the
 // hardware's view at wakeup; untracked operands are validated at issue.
+//
+//redsoc:hotpath
 func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
 	var ready timing.Ticks
 	consider := func(p *entry) bool {
@@ -92,6 +99,8 @@ func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
 
 // specEligible reports whether the entry can place a speculative EGPW
 // request: parent not yet awake, grandparent tag seen (Sec. IV-B).
+//
+//redsoc:hotpath
 func (s *Simulator) specEligible(e *entry, cycle int64) bool {
 	if s.cfg.Policy != PolicyRedsoc || !s.params.EGPW || !s.canTransparent(e) {
 		return false
@@ -106,23 +115,121 @@ func (s *Simulator) specEligible(e *entry, cycle int64) bool {
 	return awake(e.gp, cycle)
 }
 
+// specPending reports whether the entry is an EGPW candidate whose only
+// obstacle may be transient pool degradation: grandparent seen, parent not
+// yet awake, but canTransparent currently false. A degradation controller
+// re-arms silently (no broadcast fires), so such entries must stay in the
+// ready set and be re-examined each cycle rather than wait for a tag event.
+//
+//redsoc:hotpath
+func (s *Simulator) specPending(e *entry, cycle int64) bool {
+	if s.cfg.Policy != PolicyRedsoc || !s.params.EGPW || !s.params.Recycle ||
+		!transparentCapable(e.in.Op) {
+		return false
+	}
+	if e.lastIdx < 0 {
+		return false
+	}
+	if awake(e.srcs[e.lastIdx].producer, cycle) {
+		return false
+	}
+	return awake(e.gp, cycle)
+}
+
+// issueReq is one reservation-station entry asking its FU pool's select logic
+// for a grant this cycle.
+type issueReq struct {
+	e    *entry
+	spec bool
+}
+
+// mergeReady folds the entries woken since the last scan into the ready set,
+// keeping it sorted ascending by seq — the order the old full-RS scan emitted
+// wakeup events in, which the golden event-stream fixtures pin. The wake
+// buffer is sorted in place (it is small and nearly sorted: dispatch and
+// broadcast both produce ascending seqs) and then merged; the two backing
+// arrays are swapped each merge so steady state allocates nothing.
+//
+//redsoc:hotpath
+func (s *Simulator) mergeReady() {
+	buf := s.wakeBuf
+	if len(buf) == 0 {
+		return
+	}
+	for i := 1; i < len(buf); i++ {
+		e := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j].seq > e.seq {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = e
+	}
+	out := s.readyScratch[:0]
+	i, j := 0, 0
+	for i < len(s.ready) && j < len(buf) {
+		if s.ready[i].seq < buf[j].seq {
+			out = append(out, s.ready[i])
+			i++
+		} else {
+			out = append(out, buf[j])
+			j++
+		}
+	}
+	out = append(out, s.ready[i:]...)
+	out = append(out, buf[j:]...)
+	s.readyScratch = s.ready[:0]
+	s.ready = out
+	s.wakeBuf = buf[:0]
+}
+
+// insertBySeq inserts r into the seq-sorted grant list. Pools hand out grants
+// in priority (not age) order, and the lists are a handful of entries, so an
+// insertion shift replaces the per-cycle sort.Slice closure the old path
+// allocated.
+//
+//redsoc:hotpath
+func insertBySeq(granted []issueReq, r issueReq) []issueReq {
+	granted = append(granted, r)
+	for i := len(granted) - 1; i > 0 && granted[i-1].e.seq > r.e.seq; i-- {
+		granted[i], granted[i-1] = granted[i-1], granted[i]
+	}
+	return granted
+}
+
 // issue runs one wakeup–select–execute round.
+//
+// Wakeup is tag-indexed: instead of re-scanning the whole reservation
+// station, the scheduler examines only the ready set — entries whose
+// registered tag events (producer/grandparent broadcast, store commit) have
+// fired since they were last examined, plus entries retained by the keep
+// rules below. An entry found unschedulable for a reason that *will* fire a
+// registered event is dropped from the set; everything else stays:
+//
+//   - tracked-ready entries (all monitored tags awake) stay until granted —
+//     their remaining obstacles (issue-window eligibility, select bandwidth,
+//     validation cancels) emit no broadcast;
+//   - EGPW candidates whose grandparent is awake stay even while their pool
+//     is degraded (specPending): re-arming is silent.
+//
+//redsoc:hotpath
 func (s *Simulator) issue(cycle int64) {
+	s.mergeReady()
 	window := s.clock.CycleStart(cycle + 1)
 	params := s.issueParams()
 
-	type request struct {
-		e    *entry
-		spec bool
-	}
-	var reqs [numFUKinds][]request
-	for _, e := range s.rs {
+	live := s.ready[:0]
+	for _, e := range s.ready {
 		if e.state != stWaiting {
+			// Issued or fused since its last examination; registration on a
+			// recycled successor is impossible (waiters fire before commit).
+			e.inReady = false
 			continue
 		}
 		if ok, ready := s.trackedReady(e, cycle); ok {
+			live = append(live, e)
 			if params.IssueEligible(s.clock, window, ready, s.canTransparent(e)) {
-				reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: false})
+				s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{e: e, spec: false})
 				if s.obs != nil && !e.obsWoke {
 					e.obsWoke = true
 					src := int64(-1)
@@ -136,45 +243,60 @@ func (s *Simulator) issue(cycle int64) {
 			continue
 		}
 		if s.specEligible(e, cycle) {
-			reqs[e.fu] = append(reqs[e.fu], request{e: e, spec: true})
+			live = append(live, e)
+			s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{e: e, spec: true})
 			if s.obs != nil && !e.obsWoke {
 				e.obsWoke = true
 				s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
 					PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Flags: obs.FlagSpec, Arg: e.gp.seq})
 			}
+			continue
 		}
+		if s.specPending(e, cycle) {
+			live = append(live, e)
+			continue
+		}
+		// Blocked on a tag that has not broadcast (or an uncommitted store):
+		// the dispatch-time registration re-adds this entry when it fires.
+		e.inReady = false
 	}
+	s.ready = live
 
-	var granted []request
+	granted := s.granted[:0]
 	stalled := false
 	for k := fuKind(0); k < numFUKinds; k++ {
-		rk := reqs[k]
+		rk := s.reqs[k]
 		if len(rk) == 0 {
 			continue
 		}
 		free := s.fus[k].free(cycle + 1)
 		conv := 0
-		arb := make([]core.Request, len(rk))
-		for i, r := range rk {
-			arb[i] = core.Request{Age: r.e.seq, Spec: r.spec}
+		arb := s.arb[:0]
+		for _, r := range rk {
+			arb = append(arb, core.Request{Age: r.e.seq, Spec: r.spec})
 			if !r.spec {
 				conv++
 			}
 		}
+		s.arb = arb
 		if conv > free {
 			stalled = true
 		}
 		grants := s.arbiter.Grant(arb, free)
 		for _, gi := range grants {
-			granted = append(granted, rk[gi])
+			granted = insertBySeq(granted, rk[gi])
 		}
 		if s.obs != nil {
 			// Per-request select outcome, in request (reservation-station)
 			// order within the pool.
-			won := make([]bool, len(rk))
+			won := s.won[:0]
+			for range rk {
+				won = append(won, false)
+			}
 			for _, gi := range grants {
 				won[gi] = true
 			}
+			s.won = won
 			for i, r := range rk {
 				kind := obs.KindDeny
 				if won[i] {
@@ -188,14 +310,15 @@ func (s *Simulator) issue(cycle int64) {
 					PC: r.e.in.PC, FU: uint8(k), Unit: -1, Flags: fl})
 			}
 		}
+		s.reqs[k] = rk[:0]
 	}
+	s.granted = granted
 	if stalled {
 		s.res.FUStallCycles++
 	}
 
-	// Process grants in age order so producers execute before same-cycle
-	// (EGPW-woken) consumers.
-	sort.Slice(granted, func(a, b int) bool { return granted[a].e.seq < granted[b].e.seq })
+	// Grants were inserted in age order so producers execute before
+	// same-cycle (EGPW-woken) consumers.
 	issuedAny := false
 	for _, g := range granted {
 		if s.issueEntry(g.e, cycle, g.spec) {
@@ -207,7 +330,7 @@ func (s *Simulator) issue(cycle int64) {
 	}
 
 	// Compact the reservation stations.
-	live := s.rs[:0]
+	live = s.rs[:0]
 	for _, e := range s.rs {
 		if e.state == stWaiting {
 			live = append(live, e)
@@ -219,6 +342,8 @@ func (s *Simulator) issue(cycle int64) {
 // issueEntry consumes one select grant: validate operand availability, plan
 // the execution window, allocate the FU, execute functionally, and broadcast
 // (tag, CI). Returns false if the grant was cancelled (wasted).
+//
+//redsoc:hotpath
 func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	window := s.clock.CycleStart(cycle + 1)
 	tpc := s.clock.CyclesToTicks(1)
@@ -304,10 +429,11 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	if !ok {
 		// The select arbiter granted at most free(cycle+1) requests, so a
 		// full pool here is a scheduler bug, not a recoverable condition.
-		panic(fmt.Sprintf("ooo: FU overcommit on %v at cycle %d", e.fu, cycle)) //lint:allow panicpolicy audited invariant: grants are bounded by the free-unit count
+		panic(fmt.Sprintf("ooo: FU overcommit on %v at cycle %d", e.fu, cycle)) //lint:allow panicpolicy,schedalloc audited invariant: grants are bounded by the free-unit count, so this never runs
 	}
 
 	out := s.execute(e, fwdDep)
+	e.storeOutcome(out)
 
 	// Width-prediction validation (Sec. II-B): aggressive mispredictions are
 	// replayed via selective reissue — the op re-executes synchronously two
@@ -359,19 +485,6 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	if e.in.Op.SingleCycle() {
 		evalTicks = s.clock.PSToTicks(e.delayPS)
 	}
-	// trueCompOf is the instant a schedule's result is actually valid at its
-	// output latch: the planned completion, or later if the evaluation (plus
-	// any transparent-latch slip) overruns it.
-	trueCompOf := func(sc core.Schedule) timing.Ticks {
-		t := sc.Start + evalTicks
-		if sc.Recycled {
-			t += latchDrift
-		}
-		if t < sc.Comp {
-			t = sc.Comp // finished early: the output still latches at Comp
-		}
-		return t
-	}
 
 	// Razor-style detection, consumer side: this op latched an operand before
 	// the producer's value was truly stable (the producer violated and its
@@ -389,7 +502,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// planned completion instant (optimistic LUT estimate, delay drift or
 	// latch slip) and the shadow comparator at the output latch caught it.
 	// Replay synchronously with the honest evaluation time.
-	if trueCompOf(sched) > sched.Comp {
+	if trueCompOf(sched, evalTicks, latchDrift) > sched.Comp {
 		ready := trueReady
 		if trueActual > ready {
 			ready = trueActual
@@ -397,7 +510,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		sched = core.PlanSynchronous(s.clock, window+2*tpc, ready, evalTicks)
 		s.recordViolation(e, cycle, unit, true)
 	}
-	e.trueComp = trueCompOf(sched)
+	e.trueComp = trueCompOf(sched, evalTicks, latchDrift)
 
 	// Transparent-sequence accounting.
 	if sched.Recycled {
@@ -425,6 +538,10 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	e.estComp = broadcastComp
 	e.broadcastCycle = cycle
 	e.state = stIssued
+	// The (tag, CI) broadcast: consumers registered on this tag re-enter the
+	// ready set; they see the broadcast from the next cycle (awake), except
+	// for EGPW children granted alongside this parent this very cycle.
+	s.wakeWaiters(e)
 	s.audit.onIssue(s, e, unit)
 	if s.tracer != nil {
 		s.tracer.issue(cycle, e, spec)
@@ -460,6 +577,8 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 // the entry reverts to all-tag wakeup (replaying like a latency
 // misprediction, at lower cost). The recovery also trains the last-arrival
 // predictor — the cancel itself identifies the operand that was late.
+//
+//redsoc:hotpath
 func (s *Simulator) cancelGrant(e *entry, cycle int64, spec bool) bool {
 	if spec {
 		s.res.GPWakeupWasted++
@@ -482,9 +601,27 @@ func (s *Simulator) cancelGrant(e *entry, cycle int64, spec bool) bool {
 	return false
 }
 
+// trueCompOf is the instant a schedule's result is actually valid at its
+// output latch: the planned completion, or later if the evaluation (plus any
+// transparent-latch slip) overruns it.
+//
+//redsoc:hotpath
+func trueCompOf(sc core.Schedule, evalTicks, latchDrift timing.Ticks) timing.Ticks {
+	t := sc.Start + evalTicks
+	if sc.Recycled {
+		t += latchDrift
+	}
+	if t < sc.Comp {
+		t = sc.Comp // finished early: the output still latches at Comp
+	}
+	return t
+}
+
 // trueParentComp returns the latest instant any operand of e was truly
 // stable — the detector's ground truth, as opposed to the broadcast
 // estimates trueReady aggregates at register read.
+//
+//redsoc:hotpath
 func (s *Simulator) trueParentComp(e *entry, fwdDep *entry) timing.Ticks {
 	var t timing.Ticks
 	for i := 0; i < e.nsrc; i++ {
@@ -500,6 +637,8 @@ func (s *Simulator) trueParentComp(e *entry, fwdDep *entry) timing.Ticks {
 
 // recordViolation accounts one detected timing violation and its selective
 // reissue, and reports it to the op's degradation controller.
+//
+//redsoc:hotpath
 func (s *Simulator) recordViolation(e *entry, cycle int64, unit int, latch bool) {
 	s.res.TimingViolations++
 	s.res.ViolationReplays++
@@ -518,6 +657,8 @@ func (s *Simulator) recordViolation(e *entry, cycle int64, unit int, latch bool)
 
 // producerAt finds the source producer whose completion instant the recycled
 // op started at.
+//
+//redsoc:hotpath
 func (s *Simulator) producerAt(e *entry, start timing.Ticks) *entry {
 	for i := 0; i < e.nsrc; i++ {
 		if p := e.srcs[i].producer; p != nil && p.estComp == start {
@@ -529,6 +670,8 @@ func (s *Simulator) producerAt(e *entry, start timing.Ticks) *entry {
 
 // loadLatency resolves a load's latency: store-forwarded loads cost an L1
 // hit; others probe the hierarchy. Classification for Fig. 10 happens here.
+//
+//redsoc:hotpath
 func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
 	if fwdDep != nil && forwardable(fwdDep, e) {
 		s.res.Mix.MemLL++
@@ -545,7 +688,11 @@ func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
 	return lat
 }
 
-// execute computes the entry's architectural result.
+// execute computes the entry's architectural result without mutating the
+// entry: callers latch the outcome with storeOutcome once the issue (or MOS
+// fusion) actually lands, so an abandoned fusion probe leaves no residue.
+//
+//redsoc:hotpath
 func (s *Simulator) execute(e *entry, fwdDep *entry) alu.Outcome {
 	var ops alu.Operands
 	if e.iSrc1 >= 0 {
@@ -563,17 +710,13 @@ func (s *Simulator) execute(e *entry, fwdDep *entry) alu.Outcome {
 	if e.isLoad {
 		ops.MemValue = s.loadValue(e, fwdDep)
 	}
-	out := alu.Exec(e.in, &ops)
-	e.result = out.Result
-	e.flagsOut = out.FlagsOut
-	e.writesFlags = out.WritesFlags
-	e.actualWidth = out.ActualWidth
-	e.delayPS = out.DelayPS
-	return out
+	return alu.Exec(e.in, &ops)
 }
 
 // loadValue resolves a load's data: forwarded from the youngest overlapping
 // in-flight store, or read from (committed) memory.
+//
+//redsoc:hotpath
 func (s *Simulator) loadValue(e *entry, fwdDep *entry) alu.Value {
 	if fwdDep != nil {
 		sLo, _ := addrRange(fwdDep.in)
@@ -599,16 +742,19 @@ func (s *Simulator) loadValue(e *entry, fwdDep *entry) alu.Value {
 // correct when no *other* operand arrives strictly later than the tracked
 // one — a tie means both values were available at register read, which is
 // exactly what the scoreboard validates.
+//
+//redsoc:hotpath
 func (s *Simulator) trainLastArrival(e *entry) {
 	if !e.multiSrc {
 		return
 	}
-	var cands []int
+	cands := s.cands[:0]
 	for i := 0; i < e.nsrc; i++ {
 		if e.srcs[i].producer != nil {
 			cands = append(cands, i)
 		}
 	}
+	s.cands = cands
 	if len(cands) < 2 {
 		return
 	}
@@ -619,13 +765,30 @@ func (s *Simulator) trainLastArrival(e *entry) {
 		}
 		return p.estComp
 	}
+	// pred is the tracked operand's position among the candidates; actual is
+	// the position of the operand that arrived strictly last, across *all*
+	// candidates — a 3-producer op (e.g. Src1–Src3, or two sources plus
+	// carry) whose third candidate arrives last must train the predictor
+	// away from the tracked slot, not be scored against cands[0]/cands[1]
+	// only. Ties keep actual == pred: when no other operand is strictly
+	// later, the prediction was correct.
 	pred := 0
-	if e.lastIdx == cands[1] {
-		pred = 1
+	for ci, idx := range cands {
+		if idx == e.lastIdx {
+			pred = ci
+			break
+		}
 	}
 	actual := pred
-	if comp(cands[1-pred]) > comp(cands[pred]) {
-		actual = 1 - pred
+	latest := comp(cands[pred])
+	for ci, idx := range cands {
+		if ci == pred {
+			continue
+		}
+		if t := comp(idx); t > latest {
+			latest = t
+			actual = ci
+		}
 	}
 	s.lastPred.Update(e.in.PC, pred, actual)
 }
@@ -633,6 +796,8 @@ func (s *Simulator) trainLastArrival(e *entry) {
 // classify buckets the op for Fig. 10 and records the actual-delay histogram
 // consumed by the timing-speculation comparator. Memory ops were classified
 // at latency resolution.
+//
+//redsoc:hotpath
 func (s *Simulator) classify(e *entry, out alu.Outcome) {
 	op := e.in.Op
 	switch {
@@ -660,6 +825,8 @@ func (s *Simulator) classify(e *entry, out alu.Outcome) {
 // producer, look for the oldest waiting single-cycle dependent whose delay
 // fits in the producer's remaining cycle budget and execute it piggybacked
 // in the same cycle on the same unit.
+//
+//redsoc:hotpath
 func (s *Simulator) tryFuse(e *entry, cycle int64) {
 	if !transparentCapable(e.in.Op) || e.in.Op.IsMem() {
 		return
@@ -693,12 +860,20 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 			continue
 		}
 		out := s.execute(b, nil)
-		if b.est.Predicted && s.estimator.Validate(b.in, b.est, out.ActualWidth) {
-			// The fused pair would miss timing: abandon this fusion.
-			s.res.WidthReplays++
-			b.exTicks = s.estimator.CorrectedTicks(b.in, out.ActualWidth)
+		if s.estimator.Aggressive(b.est, out.ActualWidth) {
+			// The fused pair would miss timing: abandon this fusion with no
+			// side effects. b is still stWaiting and will issue (and width-
+			// validate) through the normal path later; counting a replay or
+			// rewriting its EX-TIME here would double-account that path.
 			continue
 		}
+		if b.est.Predicted {
+			// The fusion lands, so this is b's real execution: train the
+			// width predictor exactly once (the precheck above guarantees
+			// the prediction was not aggressive).
+			s.estimator.Validate(b.in, b.est, out.ActualWidth)
+		}
+		b.storeOutcome(out)
 		b.sched = core.Schedule{Start: window, Comp: window + tpc, FUCycles: 0}
 		b.estComp = b.sched.Comp
 		b.trueComp = b.sched.Comp
@@ -707,6 +882,7 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		b.fused = true
 		b.chainLen = 1
 		s.res.FusedOps++
+		s.wakeWaiters(b)
 		s.trainLastArrival(b)
 		s.classify(b, out)
 		if s.obs != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package ooo
+
+// raceEnabled reports whether the race detector is compiled in; allocation-
+// counting tests skip under it (the detector's shadow allocations make
+// testing.AllocsPerRun meaningless).
+const raceEnabled = true

@@ -1,0 +1,334 @@
+package ooo
+
+// Tests for the zero-alloc scheduler data structures (ring buffers, entry
+// arena, tag-indexed ready set) and regression tests for the tryFuse /
+// trainLastArrival / capture bugfixes that shipped with them.
+
+import (
+	"testing"
+
+	"redsoc/internal/alu"
+	"redsoc/internal/core"
+	"redsoc/internal/fault"
+	"redsoc/internal/isa"
+	"redsoc/internal/timing"
+	"redsoc/internal/workload"
+)
+
+func TestEntryRingWraparound(t *testing.T) {
+	r := newEntryRing(4)
+	next, popped := int64(0), int64(0)
+	for round := 0; round < 5; round++ {
+		for r.len() < 4 {
+			r.push(&entry{seq: next})
+			next++
+		}
+		if r.front().seq != popped {
+			t.Fatalf("round %d: front seq %d, want %d", round, r.front().seq, popped)
+		}
+		for i := 0; i < 3; i++ {
+			if e := r.popFront(); e.seq != popped {
+				t.Fatalf("FIFO order broken: popped seq %d, want %d", e.seq, popped)
+			}
+			popped++
+		}
+		for i := 0; i < r.len(); i++ {
+			if got := r.at(i).seq; got != popped+int64(i) {
+				t.Fatalf("round %d: at(%d) seq %d, want %d", round, i, got, popped+int64(i))
+			}
+		}
+	}
+	for r.len() > 0 {
+		if e := r.popFront(); e.seq != popped {
+			t.Fatalf("drain order broken: popped seq %d, want %d", e.seq, popped)
+		}
+		popped++
+	}
+	// popFront must release slot references so the ring never pins a retired
+	// entry against arena recycling.
+	for i, e := range r.buf {
+		if e != nil {
+			t.Fatalf("drained ring still pins an entry at slot %d", i)
+		}
+	}
+}
+
+func TestEntryRingOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push beyond capacity must panic: dispatch bounds occupancy")
+		}
+	}()
+	r := newEntryRing(1)
+	r.push(&entry{})
+	r.push(&entry{})
+}
+
+// TestLSQHeadAlignment drives a memory-heavy program through several LSQ
+// wraparounds and checks, every cycle, the invariant the ring-buffer LSQ pop
+// relies on: the LSQ head is the oldest in-flight memory op (the same entry
+// the ROB will retire first among memory ops), and LSQ order is ascending.
+func TestLSQHeadAlignment(t *testing.T) {
+	cfg := SmallConfig()
+	b := workload.NewBuilder("lsqwrap")
+	b.MovImm(isa.R(1), 7)
+	for i := 0; i < 3*cfg.LSQSize; i++ {
+		addr := uint64(0x100 + 8*(i%8))
+		b.Store(isa.R(1), isa.R(0), addr)
+		b.Load(isa.R(2), isa.R(0), addr)
+		b.Op3(isa.OpEOR, isa.R(1), isa.R(1), isa.R(2))
+	}
+	s, err := New(cfg, b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := int64(0); ; cycle++ {
+		if cycle > 100000 {
+			t.Fatal("runaway simulation")
+		}
+		if s.step(cycle) {
+			break
+		}
+		if s.lsq.len() == 0 {
+			continue
+		}
+		prev := int64(-1)
+		for i := 0; i < s.lsq.len(); i++ {
+			if sq := s.lsq.at(i).seq; sq <= prev {
+				t.Fatalf("cycle %d: LSQ out of order at slot %d (seq %d after %d)", cycle, i, sq, prev)
+			} else {
+				prev = sq
+			}
+		}
+		for i := 0; i < s.rob.len(); i++ {
+			if e := s.rob.at(i); e.isLoad || e.isStore {
+				if e != s.lsq.front() {
+					t.Fatalf("cycle %d: LSQ head seq %d misaligned with oldest ROB memory op seq %d",
+						cycle, s.lsq.front().seq, e.seq)
+				}
+				break
+			}
+		}
+	}
+	if s.lsq.len() != 0 || s.rob.len() != 0 {
+		t.Fatalf("queues not drained: rob %d, lsq %d", s.rob.len(), s.lsq.len())
+	}
+}
+
+// TestArenaRefcountPinsCommittedEntries exercises the recycle-safety rule: a
+// committed entry stays out of the free list while any younger consumer (or
+// the redirect) still references it, and returns reset once the last
+// reference drops.
+func TestArenaRefcountPinsCommittedEntries(t *testing.T) {
+	s := mkSim(t, SmallConfig())
+
+	g := s.arena.get()
+	g.waiters = append(g.waiters, g)
+	g.memDeps = append(g.memDeps, g)
+	retain(g) // e.g. a parent's source reference
+	retain(g) // e.g. a grandchild's gp reference
+	g.state = stCommitted
+	s.release(g)
+	if len(s.arena.free) != 0 {
+		t.Fatal("entry recycled while still referenced (gp-after-commit hazard)")
+	}
+	s.release(g)
+	if len(s.arena.free) != 1 {
+		t.Fatal("entry not recycled after its last reference dropped")
+	}
+	e := s.arena.get()
+	if e != g {
+		t.Fatal("free list must hand back the recycled entry")
+	}
+	if e.state != stWaiting || e.refs != 0 || len(e.waiters) != 0 || len(e.memDeps) != 0 || e.in != nil {
+		t.Fatalf("recycled entry not reset: %+v", e)
+	}
+	if cap(e.waiters) == 0 || cap(e.memDeps) == 0 {
+		t.Fatal("reset must keep slice capacity warm")
+	}
+
+	// Refcount alone never recycles: an in-flight entry with no references
+	// (the common case before any consumer renames against it) stays live.
+	p := s.arena.get()
+	retain(p)
+	s.release(p)
+	if len(s.arena.free) != 0 {
+		t.Fatal("in-flight entry must not recycle on refcount alone")
+	}
+}
+
+// TestArenaReusesEntriesAcrossRun bounds the arena's footprint after a long
+// run: the free list ends up holding every entry ever allocated, so its size
+// measures peak live entries — which must track core capacity, not trace
+// length.
+func TestArenaReusesEntriesAcrossRun(t *testing.T) {
+	cfg := SmallConfig().WithPolicy(PolicyRedsoc)
+	s, err := New(cfg, longChain(isa.OpEOR, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.arena.free); n == 0 || n > 4*cfg.ROBSize {
+		t.Fatalf("arena holds %d entries after a 2002-instruction run; want a core-capacity bound (<= %d)",
+			n, 4*cfg.ROBSize)
+	}
+}
+
+// TestSteadyStateIssueAllocFree pins the tentpole property: once warm, the
+// dispatch/issue/commit loop allocates nothing.
+func TestSteadyStateIssueAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not meaningful under the race detector")
+	}
+	s, err := New(BigConfig().WithPolicy(PolicyRedsoc), longChain(isa.OpEOR, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := int64(0)
+	for ; cycle < 2000; cycle++ {
+		if s.step(cycle) {
+			t.Fatal("program drained during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for end := cycle + 10; cycle < end; cycle++ {
+			if s.step(cycle) {
+				t.Fatal("program drained during the measurement window")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state scheduler allocates: %.2f allocs per 10-cycle window", avg)
+	}
+}
+
+// TestTryFuseAbandonedLeavesNoResidue is the regression test for the MOS
+// fusion bug: probing a fuse candidate whose width prediction turns out
+// aggressive used to count a width replay, rewrite the candidate's EX-TIME,
+// train the predictor and latch the execution outcome — all while the op was
+// still waiting, double-accounting its later real issue.
+func TestTryFuseAbandonedLeavesNoResidue(t *testing.T) {
+	s := mkSim(t, SmallConfig().WithPolicy(PolicyMOS))
+	e := &entry{
+		in:             &isa.Instruction{Op: isa.OpEOR, Dst: isa.R(1)},
+		state:          stIssued,
+		broadcastCycle: 5,
+		exTicks:        1,
+		fu:             fuALU,
+		result:         alu.Value{Lo: 1 << 40}, // wide operand: dependent exercises 64 bits
+	}
+	b := &entry{
+		in:      &isa.Instruction{Op: isa.OpADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)},
+		state:   stWaiting,
+		fu:      fuALU,
+		exTicks: 1,
+		est:     core.Estimate{Predicted: true, Width: isa.Width8, ExTicks: 1},
+		iSrc1:   0, iSrc2: 1, iSrc3: -1, iFlags: -1,
+		nsrc: 2,
+	}
+	b.srcs[0] = srcRef{reg: isa.R(1), producer: e}
+	b.srcs[1] = srcRef{reg: isa.R(2), value: alu.Value{Lo: 3}}
+	s.rs = append(s.rs, b)
+
+	s.tryFuse(e, 5)
+
+	if b.fused || b.state != stWaiting {
+		t.Fatal("aggressive width prediction must abandon the fusion")
+	}
+	if s.res.WidthReplays != 0 {
+		t.Fatalf("abandoned fusion counted %d width replays; the replay belongs to the later real issue",
+			s.res.WidthReplays)
+	}
+	if b.exTicks != 1 {
+		t.Fatalf("abandoned fusion rewrote the waiting op's EX-TIME to %d", b.exTicks)
+	}
+	if b.result != (alu.Value{}) || b.writesFlags || b.actualWidth != isa.Width8 || b.delayPS != 0 {
+		t.Fatal("abandoned fusion latched an execution outcome into a waiting entry")
+	}
+	if st := s.widthPred.Stats(); st.Aggressive+st.Exact+st.Conservative != 0 {
+		t.Fatalf("abandoned fusion trained the width predictor: %+v", st)
+	}
+
+	// The same pairing with an adequate width prediction lands — and trains
+	// the predictor exactly once.
+	b.est.Width = isa.Width64
+	s.tryFuse(e, 5)
+	if !b.fused || b.state != stIssued {
+		t.Fatal("fusion with a safe width prediction must land")
+	}
+	if s.res.FusedOps != 1 {
+		t.Fatalf("FusedOps = %d, want 1", s.res.FusedOps)
+	}
+	if b.result.Lo != (1<<40)+3 {
+		t.Fatalf("fused execution result %#x, want %#x", b.result.Lo, uint64(1<<40)+3)
+	}
+	if st := s.widthPred.Stats(); st.Aggressive != 0 || st.Exact+st.Conservative != 1 {
+		t.Fatalf("landed fusion must train the width predictor exactly once: %+v", st)
+	}
+}
+
+// TestTrainLastArrivalConsidersAllCandidates is the regression test for the
+// predictor-training bug: with three in-flight producers the trainer used to
+// compare only the first two candidates, mislabeling the actual last arrival
+// when the third candidate was the late one.
+func TestTrainLastArrivalConsidersAllCandidates(t *testing.T) {
+	mk := func() (*Simulator, *entry) {
+		s := mkSim(t, SmallConfig().WithPolicy(PolicyRedsoc))
+		prod := func(comp timing.Ticks) *entry {
+			return &entry{state: stIssued, broadcastCycle: 3, estComp: comp}
+		}
+		e := &entry{
+			in:       &isa.Instruction{Op: isa.OpADC, PC: 0x40},
+			multiSrc: true,
+			nsrc:     3,
+		}
+		e.srcs[0] = srcRef{producer: prod(10)}
+		e.srcs[1] = srcRef{producer: prod(20)}
+		e.srcs[2] = srcRef{producer: prod(30)} // the true last arrival
+		return s, e
+	}
+
+	// Tracked operand is candidate 0; candidate 2 arrives last. The old
+	// two-candidate comparison concluded actual=1 and flipped the predictor
+	// towards slot 1; the correct training records a mispredict without
+	// moving the table to slot 1.
+	s, e := mk()
+	e.lastIdx = 0
+	s.trainLastArrival(e)
+	if st := s.lastPred.Stats(); st.Mispredictions != 1 {
+		t.Fatalf("third-candidate-last must count one mispredict, got %+v", st)
+	}
+	if got := s.lastPred.Predict(e.in.PC); got != 0 {
+		t.Fatalf("training moved the predictor to slot %d although candidate 2 arrived last", got)
+	}
+
+	// Tracked operand is candidate 2 and it does arrive last: the prediction
+	// is correct. The old mapping scored this as pred=0/actual=1 — a phantom
+	// mispredict that also poisoned the table entry.
+	s, e = mk()
+	e.lastIdx = 2
+	s.trainLastArrival(e)
+	if st := s.lastPred.Stats(); st.Mispredictions != 0 {
+		t.Fatalf("correctly tracked third candidate scored as mispredict: %+v", st)
+	}
+	if got := s.lastPred.Predict(e.in.PC); got != 0 {
+		t.Fatalf("correct prediction flipped the table entry to %d", got)
+	}
+}
+
+// TestCaptureWithoutInjector is the regression test for the capture guard:
+// every injector site nil-checks s.inject, and capture must too.
+func TestCaptureWithoutInjector(t *testing.T) {
+	s := mkSim(t, SmallConfig())
+	if s.inject != nil {
+		t.Fatal("inactive fault config must produce a nil injector")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.res.FaultStats != (fault.Stats{}) {
+		t.Fatalf("nil injector must leave zero fault stats, got %+v", s.res.FaultStats)
+	}
+}

@@ -55,11 +55,38 @@ type Simulator struct {
 	rat      [isa.NumRenamedRegs]*entry
 	archRegs [isa.NumRenamedRegs]alu.Value
 
-	rob []*entry // FIFO, head first
-	rs  []*entry // dispatch order (ascending seq)
-	lsq []*entry // memory ops, dispatch order
+	rob entryRing // FIFO, head first
+	rs  []*entry  // dispatch order (ascending seq)
+	lsq entryRing // memory ops, dispatch order
+
+	// arena recycles retired entries (see arena.go); ready is the scheduler's
+	// wakeup set — the only entries issue examines — kept sorted ascending by
+	// seq so events are emitted in the same order the old full-RS scan
+	// produced. wakeBuf collects entries woken since the last merge (producer
+	// broadcasts, store commits, fresh dispatches); readyScratch is the merge
+	// target, swapped with ready each merge so neither list reallocates in
+	// steady state.
+	arena        entryArena
+	ready        []*entry
+	wakeBuf      []*entry
+	readyScratch []*entry
+
+	// Reusable issue-path scratch: per-FU request lists, the arbiter request
+	// view, the seq-ordered grant list, the per-pool win flags for select
+	// observability, and the rename/training candidate indices.
+	reqs    [numFUKinds][]issueReq
+	arb     []core.Request
+	granted []issueReq
+	won     []bool
+	cands   []int
 
 	fus [numFUKinds]*fuPool
+
+	// headWait accumulates commit-blocking cycles per op class ([1] = head
+	// not yet issued); capture materializes it into Result.HeadWait. The old
+	// map-with-concatenated-key accounting allocated a string per blocked
+	// cycle in the hot loop.
+	headWait [isa.NumClasses][2]int64
 
 	pc      int // trace cursor
 	nextSeq int64
@@ -101,6 +128,8 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		arbiter:    core.NewArbiter(cfg.Policy == PolicyRedsoc && params.SkewedSelect),
 		params:     params,
 	}
+	s.rob = newEntryRing(cfg.ROBSize)
+	s.lsq = newEntryRing(cfg.LSQSize)
 	s.fus[fuALU] = newFUPool(cfg.NumALU)
 	s.fus[fuSIMD] = newFUPool(cfg.NumSIMD)
 	s.fus[fuFP] = newFUPool(cfg.NumFP)
@@ -146,30 +175,44 @@ func (s *Simulator) Run() (*Result, error) {
 	for cycle := int64(0); ; cycle++ {
 		if cycle > limit {
 			return nil, fmt.Errorf("ooo: %s/%s exceeded %d cycles at seq %d (rob %d, rs %d) — deadlock?",
-				s.cfg.Name, s.cfg.Policy, limit, s.nextSeq, len(s.rob), len(s.rs))
+				s.cfg.Name, s.cfg.Policy, limit, s.nextSeq, s.rob.len(), len(s.rs))
 		}
-		s.commit(cycle)
-		if s.pc >= len(s.prog.Instrs) && len(s.rob) == 0 {
+		if s.step(cycle) {
 			s.res.Cycles = cycle
 			break
-		}
-		if s.cpm != nil && s.cpm.Tick(cycle) {
-			s.res.PVTRecalibrations++
-		}
-		s.dispatch(cycle)
-		s.issue(cycle)
-		s.tickDegraders(cycle)
-		if s.adapt != nil && s.adapt.Observe(cycle, s.res.RecycledOps, s.res.FUStallCycles) {
-			s.params.ThresholdTicks = s.adapt.Threshold()
-			s.res.ThresholdAdjustments++
 		}
 	}
 	s.capture()
 	return &s.res, nil
 }
 
+// step advances the pipeline one cycle and reports whether the program
+// drained. It is split out of Run so white-box tests (the steady-state
+// allocation test in particular) can drive a warm simulator cycle by cycle.
+//
+//redsoc:hotpath
+func (s *Simulator) step(cycle int64) (done bool) {
+	s.commit(cycle)
+	if s.pc >= len(s.prog.Instrs) && s.rob.len() == 0 {
+		return true
+	}
+	if s.cpm != nil && s.cpm.Tick(cycle) {
+		s.res.PVTRecalibrations++
+	}
+	s.dispatch(cycle)
+	s.issue(cycle)
+	s.tickDegraders(cycle)
+	if s.adapt != nil && s.adapt.Observe(cycle, s.res.RecycledOps, s.res.FUStallCycles) {
+		s.params.ThresholdTicks = s.adapt.Threshold()
+		s.res.ThresholdAdjustments++
+	}
+	return false
+}
+
 // tickDegraders advances each pool's graceful-degradation controller one
 // cycle and accounts transitions and degraded residency.
+//
+//redsoc:hotpath
 func (s *Simulator) tickDegraders(cycle int64) {
 	any := false
 	for k := range s.degr {
@@ -196,20 +239,19 @@ func (s *Simulator) tickDegraders(cycle int64) {
 }
 
 // commit retires completed instructions in order, up to the front-end width.
+//
+//redsoc:hotpath
 func (s *Simulator) commit(cycle int64) {
 	now := s.clock.CycleStart(cycle)
-	for n := 0; n < s.cfg.FrontEndWidth && len(s.rob) > 0; n++ {
-		e := s.rob[0]
+	for n := 0; n < s.cfg.FrontEndWidth && s.rob.len() > 0; n++ {
+		e := s.rob.front()
 		if e.state != stIssued || e.sched.Comp > now {
-			if n == 0 && len(s.rob) >= s.cfg.ROBSize {
-				if s.res.HeadWait == nil {
-					s.res.HeadWait = make(map[string]int64)
-				}
-				key := e.in.Op.Class().String()
+			if n == 0 && s.rob.len() >= s.cfg.ROBSize {
+				slot := 0
 				if e.state != stIssued {
-					key += "/unissued"
+					slot = 1
 				}
-				s.res.HeadWait[key]++
+				s.headWait[e.in.Op.Class()][slot]++
 			}
 			return
 		}
@@ -237,18 +279,34 @@ func (s *Simulator) commit(cycle int64) {
 			s.obs.Emit(obs.Event{Kind: obs.KindCommit, Cycle: cycle, Seq: e.seq, Op: in.Op, PC: in.PC, FU: uint8(e.fu), Unit: -1})
 		}
 		e.state = stCommitted
-		s.rob = s.rob[1:]
+		s.rob.popFront()
 		if e.isLoad || e.isStore {
 			// Memory ops leave the LSQ at commit; in-order commit keeps the
-			// LSQ head aligned.
-			s.lsq = s.lsq[1:]
+			// LSQ head aligned (asserted by the audit build).
+			s.audit.onCommitMem(s, e, s.lsq.front())
+			s.lsq.popFront()
+		}
+		if e.isStore {
+			// Loads blocked on this store's memory dependence become
+			// schedulable the moment it retires; commit runs before issue, so
+			// the wake is visible the same cycle — matching the old full-RS
+			// scan's view of dep.state.
+			s.wakeWaiters(e)
 		}
 		s.res.Instructions++
+		// Drop e's outgoing references and recycle it (or park it on its
+		// refcount if a younger consumer, or the redirect, still points here).
+		s.releaseRefs(e)
+		if e.refs == 0 {
+			s.arena.put(e)
+		}
 	}
 }
 
 // writeArch retires a destination into architectural state and releases the
 // RAT mapping if it still points at this entry.
+//
+//redsoc:hotpath
 func (s *Simulator) writeArch(d isa.Reg, e *entry) {
 	idx := d.RenameIndex()
 	if d.IsFlags() {
@@ -270,6 +328,8 @@ const RedirectPenalty = 2
 // branch stalls dispatch until it resolves plus the refill penalty — so a
 // branch whose compare chain finishes earlier (e.g. via slack recycling)
 // redirects the front end earlier.
+//
+//redsoc:hotpath
 func (s *Simulator) dispatch(cycle int64) {
 	if s.redirect != nil {
 		e := s.redirect
@@ -283,9 +343,10 @@ func (s *Simulator) dispatch(cycle int64) {
 			return
 		}
 		s.redirect = nil
+		s.release(e)
 	}
 	for n := 0; n < s.cfg.FrontEndWidth && s.pc < len(s.prog.Instrs); n++ {
-		if len(s.rob) >= s.cfg.ROBSize {
+		if s.rob.len() >= s.cfg.ROBSize {
 			s.res.StallROB++
 			return
 		}
@@ -295,22 +356,21 @@ func (s *Simulator) dispatch(cycle int64) {
 		}
 		in := &s.prog.Instrs[s.pc]
 		isMem := in.Op.IsMem()
-		if isMem && len(s.lsq) >= s.cfg.LSQSize {
+		if isMem && s.lsq.len() >= s.cfg.LSQSize {
 			s.res.StallLSQ++
 			return
 		}
 		s.pc++
 
-		e := &entry{
-			in:             in,
-			seq:            s.nextSeq,
-			broadcastCycle: -1,
-			lastIdx:        -1,
-			isLoad:         in.Op == isa.OpLDR,
-			isStore:        in.Op == isa.OpSTR,
-			fu:             fuKindOf(in.Op.Class()),
-			dispatchCycle:  cycle,
-		}
+		e := s.arena.get()
+		e.in = in
+		e.seq = s.nextSeq
+		e.broadcastCycle = -1
+		e.lastIdx = -1
+		e.isLoad = in.Op == isa.OpLDR
+		e.isStore = in.Op == isa.OpSTR
+		e.fu = fuKindOf(in.Op.Class())
+		e.dispatchCycle = cycle
 		s.nextSeq++
 		// Predictor faults corrupt shared table state before this op reads
 		// it, so the op itself can observe the corruption; the ordinary
@@ -333,6 +393,7 @@ func (s *Simulator) dispatch(cycle int64) {
 
 		s.rename(e)
 		s.linkMemDep(e)
+		s.watchWakeups(e)
 
 		// Destination renaming (including the implicit flags destination).
 		if d := in.DestReg(); d.Valid() {
@@ -342,10 +403,10 @@ func (s *Simulator) dispatch(cycle int64) {
 			s.rat[isa.Flags.RenameIndex()] = e
 		}
 
-		s.rob = append(s.rob, e)
+		s.rob.push(e)
 		s.rs = append(s.rs, e)
 		if isMem {
-			s.lsq = append(s.lsq, e)
+			s.lsq.push(e)
 		}
 		if s.tracer != nil {
 			s.tracer.dispatch(cycle, e)
@@ -358,8 +419,11 @@ func (s *Simulator) dispatch(cycle int64) {
 		}
 		if in.Op == isa.OpB && s.branchPred.Update(in.PC, in.Taken) {
 			// Mispredicted: everything younger is a front-end bubble until
-			// this branch resolves.
+			// this branch resolves. The redirect reference can outlive the
+			// branch's commit (dispatch reads its schedule while refilling),
+			// so it participates in the arena refcount.
 			s.redirect = e
+			retain(e)
 			if s.tracer != nil {
 				s.tracer.redirect(cycle, e)
 			}
@@ -374,6 +438,8 @@ func (s *Simulator) dispatch(cycle int64) {
 // rename resolves the entry's sources against the RAT and picks the
 // predicted last-arriving parent and its grandparent tag (Operational
 // design: the grandparent tag travels parent→child through the RAT).
+//
+//redsoc:hotpath
 func (s *Simulator) rename(e *entry) {
 	e.iSrc1, e.iSrc2, e.iSrc3, e.iFlags = -1, -1, -1, -1
 	addSrc := func(r isa.Reg) int8 {
@@ -381,6 +447,7 @@ func (s *Simulator) rename(e *entry) {
 		idx := r.RenameIndex()
 		if p := s.rat[idx]; p != nil {
 			ref.producer = p
+			retain(p)
 		} else {
 			ref.value = s.archRegs[idx]
 		}
@@ -402,13 +469,14 @@ func (s *Simulator) rename(e *entry) {
 		e.iFlags = addSrc(isa.Flags)
 	}
 
-	// Find in-flight producers.
-	var cands []int
+	// Find in-flight producers (s.cands is reusable scratch).
+	cands := s.cands[:0]
 	for i := 0; i < e.nsrc; i++ {
 		if e.srcs[i].producer != nil {
 			cands = append(cands, i)
 		}
 	}
+	s.cands = cands
 	switch len(cands) {
 	case 0:
 		// All operands ready at rename.
@@ -425,27 +493,84 @@ func (s *Simulator) rename(e *entry) {
 	if e.lastIdx >= 0 {
 		p := e.srcs[e.lastIdx].producer
 		if p.lastIdx >= 0 {
+			// The grandparent may already have committed; p's own source
+			// reference pins it until p retires, and e's retain extends that
+			// across e's lifetime (the recycle-safety rule in arena.go).
 			e.gp = p.srcs[p.lastIdx].producer
+			if e.gp != nil {
+				retain(e.gp)
+			}
 		}
 	}
+}
+
+// wake queues a waiting entry for the scheduler's next wakeup scan; the
+// inReady flag makes it idempotent while the entry is already in the ready
+// set or the pending buffer.
+//
+//redsoc:hotpath
+func (s *Simulator) wake(e *entry) {
+	if e.state == stWaiting && !e.inReady {
+		e.inReady = true
+		s.wakeBuf = append(s.wakeBuf, e)
+	}
+}
+
+// wakeWaiters fires e's consumer list: every waiting entry that registered on
+// e's tag at dispatch re-enters the ready set.
+//
+//redsoc:hotpath
+func (s *Simulator) wakeWaiters(e *entry) {
+	for _, w := range e.waiters {
+		s.wake(w)
+	}
+}
+
+// watchWakeups registers a freshly dispatched entry on the consumer list of
+// every event that can make it schedulable: each in-flight producer's
+// broadcast, the grandparent's broadcast (the EGPW trigger — specEligible
+// entries "ride the grandparent's list"), and the blocking store's commit for
+// loads. The entry itself starts in the ready set so the same-cycle
+// examination the old full-RS scan performed still happens; entries whose
+// remaining obstacle emits no broadcast (degraded pools, issue-window
+// eligibility) simply stay in the set — see the keep rules in issue.
+//
+//redsoc:hotpath
+func (s *Simulator) watchWakeups(e *entry) {
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.broadcastCycle < 0 {
+			p.waiters = append(p.waiters, e)
+		}
+	}
+	if gp := e.gp; gp != nil && gp.broadcastCycle < 0 {
+		gp.waiters = append(gp.waiters, e)
+	}
+	if len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
+		dep.waiters = append(dep.waiters, e)
+	}
+	s.wake(e)
 }
 
 // linkMemDep points a load at the youngest older overlapping store still in
 // the LSQ. Addresses are exact in trace form, so this is perfect (oracle)
 // memory disambiguation; the latency rules still respect store completion.
+//
+//redsoc:hotpath
 func (s *Simulator) linkMemDep(e *entry) {
 	if !e.isLoad {
 		return
 	}
 	lo, hi := addrRange(e.in)
-	for i := len(s.lsq) - 1; i >= 0; i-- {
-		st := s.lsq[i]
+	for i := s.lsq.len() - 1; i >= 0; i-- {
+		st := s.lsq.at(i)
 		if !st.isStore {
 			continue
 		}
 		sLo, sHi := addrRange(st.in)
 		if rangesOverlap(lo, hi, sLo, sHi) {
 			e.memDeps = append(e.memDeps, st)
+			retain(st)
 			return
 		}
 	}
@@ -453,6 +578,8 @@ func (s *Simulator) linkMemDep(e *entry) {
 
 // forwardable reports whether the load can take its value straight from the
 // store's queue entry (the store's data covers the load's range).
+//
+//redsoc:hotpath
 func forwardable(st, ld *entry) bool {
 	sLo, sHi := addrRange(st.in)
 	lLo, lHi := addrRange(ld.in)
@@ -474,8 +601,28 @@ func (s *Simulator) capture() {
 	s.res.LastArrival = s.lastPred.Stats()
 	s.res.Branches = s.branchPred.Stats()
 	s.res.MemStats = s.hier.Stats()
+	for c := range s.headWait {
+		issued, unissued := s.headWait[c][0], s.headWait[c][1]
+		if issued == 0 && unissued == 0 {
+			continue
+		}
+		if s.res.HeadWait == nil {
+			s.res.HeadWait = make(map[string]int64)
+		}
+		name := isa.Class(c).String()
+		if issued != 0 {
+			s.res.HeadWait[name] += issued
+		}
+		if unissued != 0 {
+			s.res.HeadWait[name+"/unissued"] += unissued
+		}
+	}
 	s.res.FinalThreshold = s.params.ThresholdTicks
-	s.res.FaultStats = s.inject.Stats()
+	// Every other injector site nil-checks s.inject; capture must too, so a
+	// configuration without an injector cannot panic at snapshot time.
+	if s.inject != nil {
+		s.res.FaultStats = s.inject.Stats()
+	}
 }
 
 // Clock exposes the simulator's clock (for harness reporting).
