@@ -75,7 +75,7 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow detflow wall time is operator diagnostics; BaselineOf strips WallSeconds before the gate compares
 	benchmarks := harness.Benchmarks(scale)
 	opts := harness.Options{SweepThreshold: *sweep, Workers: *workers}
 	if *verbose {

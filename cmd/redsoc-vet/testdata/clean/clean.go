@@ -1,0 +1,12 @@
+// Package clean is a fixture module with nothing for any analyzer to flag:
+// redsoc-vet over it must exit 0.
+package clean
+
+// Sum folds a slice in index order — fully deterministic.
+func Sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

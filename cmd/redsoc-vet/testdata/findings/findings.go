@@ -1,0 +1,22 @@
+// Package findings is the seeded-bug fixture: a map iteration whose
+// order-dependent fold reaches a Metrics sink through a call boundary.
+// detflow must report it — redsoc-vet over this module exits 1, and the CI
+// smoke job asserts exactly that, proving the gate can actually fail.
+package findings
+
+type Metrics struct{ Cycles int64 }
+
+// tally folds the map in iteration order; the nondeterminism is invisible at
+// Fill's call site and only the interprocedural summary carries it there.
+func tally(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s = s<<3 + v
+	}
+	return s
+}
+
+// Fill publishes the order-dependent fold into the sink.
+func Fill(met *Metrics, counts map[string]int64) {
+	met.Cycles = tally(counts)
+}

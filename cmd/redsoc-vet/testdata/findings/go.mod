@@ -1,0 +1,3 @@
+module findings
+
+go 1.22

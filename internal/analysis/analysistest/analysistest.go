@@ -22,6 +22,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -38,10 +39,11 @@ func Run(t *testing.T, a *framework.Analyzer, pkgs ...string) {
 		t.Fatal(err)
 	}
 	ld := &loader{
-		root:   root,
-		fset:   token.NewFileSet(),
-		parsed: map[string]*parsedPkg{},
-		types:  map[string]*types.Package{},
+		root:    root,
+		fset:    token.NewFileSet(),
+		parsed:  map[string]*parsedPkg{},
+		types:   map[string]*types.Package{},
+		checked: map[string]*framework.Package{},
 	}
 	// Phase 1: parse the requested packages and their testdata imports so
 	// every external (standard-library) dependency is known up front.
@@ -54,17 +56,37 @@ func Run(t *testing.T, a *framework.Analyzer, pkgs ...string) {
 	if err := ld.resolveExternal(); err != nil {
 		t.Fatal(err)
 	}
-	// Phase 3: type-check and run the analyzer per requested package.
-	for _, name := range pkgs {
+	// Phase 3: type-check the full corpus — the requested packages and every
+	// testdata package they import — so whole-program analyzers (Summarize,
+	// call graph) see across the boundaries, exactly as redsoc-vet does.
+	var names []string
+	for name := range ld.parsed { //lint:allow simdeterminism order-independent: sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var corpus []*framework.Package
+	for _, name := range names {
 		pkg, err := ld.check(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, []*framework.Analyzer{a})
-		if err != nil {
-			t.Fatal(err)
+		corpus = append(corpus, pkg)
+	}
+	// Phase 4: run the analyzer over the corpus once, then compare each
+	// requested package's diagnostics (by file location) against its wants.
+	diags, err := framework.RunAnalyzers(corpus, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		p := ld.parsed[name]
+		var mine []framework.Diagnostic
+		for _, d := range diags {
+			if filepath.Dir(d.Pos.Filename) == p.dir {
+				mine = append(mine, d)
+			}
 		}
-		compare(t, ld.fset, ld.parsed[name], diags)
+		compare(t, ld.fset, p, mine)
 	}
 }
 
@@ -79,6 +101,7 @@ type loader struct {
 	fset     *token.FileSet
 	parsed   map[string]*parsedPkg
 	types    map[string]*types.Package
+	checked  map[string]*framework.Package
 	external []string
 	exports  map[string]string
 }
@@ -170,6 +193,9 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 func (l *loader) check(name string) (*framework.Package, error) {
+	if pkg, ok := l.checked[name]; ok {
+		return pkg, nil
+	}
 	p := l.parsed[name]
 	info := framework.NewTypesInfo()
 	conf := types.Config{Importer: l}
@@ -178,14 +204,16 @@ func (l *loader) check(name string) (*framework.Package, error) {
 		return nil, fmt.Errorf("type-checking testdata package %q: %w", name, err)
 	}
 	l.types[name] = tpkg
-	return &framework.Package{
+	pkg := &framework.Package{
 		Path:      name,
 		Dir:       p.dir,
 		Fset:      l.fset,
 		Files:     p.files,
 		Types:     tpkg,
 		TypesInfo: info,
-	}, nil
+	}
+	l.checked[name] = pkg
+	return pkg, nil
 }
 
 // want is one expectation: a diagnostic matching re at file:line.

@@ -1,0 +1,23 @@
+// Package metrics is the sink side of the detflow fixtures: a stand-in for
+// obs.Metrics, matched by type name. Its helpers carry the interprocedural
+// summaries the runner package's flows compose through.
+package metrics
+
+type Metrics struct {
+	Cycles   int64
+	IPC      float64
+	Counters map[string]int64
+}
+
+// Store writes v into m: a parameter-to-sink flow. The write itself is
+// untainted here; callers passing nondeterministic values are reported at
+// their call sites through the summary.
+func Store(m *Metrics, v int64) {
+	m.Cycles = v
+}
+
+// Identity passes its argument through, so a caller's taint survives the
+// cross-package hop.
+func Identity(v int64) int64 {
+	return v
+}

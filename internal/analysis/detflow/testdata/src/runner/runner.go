@@ -1,0 +1,170 @@
+// Package runner exercises detflow's taint flows: every finding here crosses
+// at least one statement between source and sink, and most cross a call
+// boundary — the flows simdeterminism's lexical rules cannot see.
+package runner
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"time"
+
+	"metrics"
+)
+
+// tally folds a map in iteration order. Its nondeterminism is invisible
+// lexically at the call sites below; only the summary carries it there.
+func tally(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s = s<<3 + v // order-dependent mixing
+	}
+	return s
+}
+
+// fill is the seeded acceptance shape: map-range nondeterminism reaching a
+// Metrics field through a call boundary.
+func fill(met *metrics.Metrics, counts map[string]int64) {
+	met.Cycles = tally(counts) // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+}
+
+// fillViaStore crosses the boundary the other way: the sink write is inside
+// the callee, and the tainted argument is reported at the call site.
+func fillViaStore(met *metrics.Metrics, counts map[string]int64) {
+	metrics.Store(met, tally(counts)) // want `an iteration/arrival-order-dependent value flows into a determinism sink inside metrics\.Store`
+}
+
+// fillIdentity threads the taint through a cross-package pass-through helper.
+func fillIdentity(met *metrics.Metrics, counts map[string]int64) {
+	met.Cycles = metrics.Identity(tally(counts)) // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+}
+
+// sortedFill is the sanctioned iteration idiom: collect the keys, sort them,
+// fold in sorted order. sort.Strings launders the order taint — no finding.
+func sortedFill(met *metrics.Metrics, counts map[string]int64) {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s int64
+	for _, k := range keys {
+		s = s<<3 + counts[k]
+	}
+	met.Cycles = s
+}
+
+// auditedFill carries a simdeterminism audit on the range: the reviewer
+// asserted order-independence, and detflow honors it — no finding.
+func auditedFill(met *metrics.Metrics, counts map[string]int64) {
+	var s int64
+	for _, v := range counts { //lint:allow simdeterminism order-independent: saturating max
+		if v > s {
+			s = v
+		}
+	}
+	met.Cycles = s
+}
+
+// stamp embeds a wall-clock read: value taint, which nothing launders.
+func stamp(met *metrics.Metrics) {
+	met.IPC = float64(time.Now().UnixNano()) // want `a wall-clock- or RNG-derived value flows into the Metrics field IPC`
+}
+
+// jitter draws from the global source; a seeded generator is sanctioned.
+func jitter(met *metrics.Metrics) {
+	met.IPC = rand.Float64() // want `a wall-clock- or RNG-derived value flows into the Metrics field IPC`
+}
+
+func seeded(met *metrics.Metrics, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	met.IPC = rng.Float64() // seeded and explicit: deterministic, no finding
+}
+
+type outcome struct {
+	index int
+	value int64
+}
+
+// mergeByIndex is the campaign engine's contract, modeled precisely: arrival
+// order on a worker-fed channel is nondeterministic (oc carries order taint),
+// but the index-addressed store reassembles a slice that is identical
+// whatever the arrival order — the taint is laundered, no finding.
+func mergeByIndex(met *metrics.Metrics, tasks []func() int64) {
+	outcomes := make(chan outcome)
+	for i := range tasks {
+		i := i
+		go func() {
+			outcomes <- outcome{index: i, value: tasks[i]()}
+		}()
+	}
+	results := make([]int64, len(tasks))
+	for range tasks {
+		oc := <-outcomes
+		results[oc.index] = oc.value
+	}
+	met.Cycles = results[0]
+}
+
+// mergeByArrival appends in arrival order instead: the order taint survives
+// through the slice to the sink.
+func mergeByArrival(met *metrics.Metrics, tasks []func() int64) {
+	outcomes := make(chan outcome)
+	for i := range tasks {
+		i := i
+		go func() {
+			outcomes <- outcome{index: i, value: tasks[i]()}
+		}()
+	}
+	var results []int64
+	for range tasks {
+		oc := <-outcomes
+		results = append(results, oc.value)
+	}
+	met.Cycles = results[0] // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+}
+
+// pick takes whichever channel is ready first: the runtime's choice is a
+// nondeterminism source.
+func pick(met *metrics.Metrics, a, b chan int64) {
+	select {
+	case v := <-a:
+		met.Cycles = v // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+	case v := <-b:
+		met.Cycles = v // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+	}
+}
+
+// viaClosure: the sink write happens inside a literal, with the taint
+// arriving through a capture.
+func viaClosure(met *metrics.Metrics, counts map[string]int64) {
+	t := tally(counts)
+	set := func() {
+		met.Cycles = t // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+	}
+	set()
+}
+
+// viaChannel: taint rides a channel send/receive pair within the function.
+func viaChannel(met *metrics.Metrics, counts map[string]int64) {
+	ch := make(chan int64, 1)
+	ch <- tally(counts)
+	met.Cycles = <-ch // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+}
+
+type box struct{ v int64 }
+
+// viaField: taint stored into a struct field taints the struct, and reads of
+// any field carry it onward.
+func viaField(met *metrics.Metrics, counts map[string]int64) {
+	var b box
+	b.v = tally(counts)
+	met.Cycles = b.v // want `an iteration/arrival-order-dependent value flows into the Metrics field Cycles`
+}
+
+// publish hands a tainted value straight to the JSON encoder.
+func publish(counts map[string]int64) []byte {
+	total := tally(counts)
+	blob, _ := json.Marshal(total) // want `an iteration/arrival-order-dependent value flows into the encoded output of Marshal`
+	return blob
+}

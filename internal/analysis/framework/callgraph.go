@@ -1,0 +1,174 @@
+// A type-informed whole-program call graph over the loaded packages. Direct
+// calls resolve through the type-checker's Uses map; calls through an
+// interface method resolve by class-hierarchy analysis (CHA): every named
+// type in the analyzed packages that implements the interface contributes
+// its method as a possible callee. Calls through plain function values are
+// not resolved here — analyzers that care (detflow) track function values as
+// data instead, which is both sounder and cheaper than a points-to analysis.
+//
+// Function literals are attributed to their enclosing declaration: a call
+// made inside a closure is an edge from the function that textually contains
+// it, which matches how the zero-alloc and determinism contracts are audited
+// (the closure runs on behalf of its host).
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallEdge is one possible call from Caller to Callee (both FactKey strings)
+// at Pos. Interface-dispatched edges carry the concrete method as Callee,
+// one edge per implementation.
+type CallEdge struct {
+	Caller string
+	Callee string
+	Pos    token.Pos
+	// Interface is true for a CHA-resolved edge: the source names an
+	// interface method and Callee is one possible implementation.
+	Interface bool
+}
+
+// DeclSite locates a function declaration in the loaded corpus.
+type DeclSite struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// CallGraph is the whole-program view RunAnalyzers attaches to every Pass.
+type CallGraph struct {
+	// Callees maps a caller's FactKey to its outgoing edges in source order.
+	Callees map[string][]CallEdge
+	// Decls maps a FactKey to the source declaration, for every function
+	// declared in an analyzed package.
+	Decls map[string]DeclSite
+}
+
+// BuildCallGraph constructs the call graph of the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Callees: map[string][]CallEdge{},
+		Decls:   map[string]DeclSite{},
+	}
+	impls := collectNamedTypes(pkgs)
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FactKey(obj)
+				g.Decls[key] = DeclSite{Pkg: pkg, Decl: fd}
+				g.addCalls(key, pkg, fd.Body, impls)
+			}
+		}
+	}
+	return g
+}
+
+// addCalls records every resolvable call inside body as an edge from caller.
+func (g *CallGraph) addCalls(caller string, pkg *Package, body ast.Node, impls []types.Type) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(pkg.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			// Interface dispatch: add one edge per implementing type.
+			iface := recv.Type().Underlying().(*types.Interface)
+			for _, t := range impls {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				m := lookupMethod(t, fn)
+				if m == nil {
+					continue
+				}
+				g.Callees[caller] = append(g.Callees[caller], CallEdge{
+					Caller: caller, Callee: FactKey(m), Pos: call.Pos(), Interface: true,
+				})
+			}
+			return true
+		}
+		g.Callees[caller] = append(g.Callees[caller], CallEdge{
+			Caller: caller, Callee: FactKey(fn), Pos: call.Pos(),
+		})
+		return true
+	})
+}
+
+// CalleeFunc resolves the statically-known target of a call: a package
+// function, a concrete method, or an interface method (to be expanded by
+// CHA). Calls through function-typed values, built-ins and type conversions
+// return nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// lookupMethod finds t's method with the same name as the interface method.
+func lookupMethod(t types.Type, iface *types.Func) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, iface.Pkg(), iface.Name())
+	m, _ := obj.(*types.Func)
+	return m
+}
+
+// collectNamedTypes gathers every named type (and its pointer form) declared
+// in the analyzed packages, sorted by name for deterministic CHA edges.
+func collectNamedTypes(pkgs []*Package) []types.Type {
+	type namedType struct {
+		key string
+		t   types.Type
+	}
+	var all []namedType
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			all = append(all, namedType{pkg.Path + "." + name, named})
+			all = append(all, namedType{pkg.Path + ".*" + name, types.NewPointer(named)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	out := make([]types.Type, len(all))
+	for i, nt := range all {
+		out[i] = nt.t
+	}
+	return out
+}

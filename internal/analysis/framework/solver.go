@@ -1,0 +1,63 @@
+// A generic forward worklist solver over the CFG. Analyzers supply the
+// lattice (join) and the transfer function; the solver iterates to a
+// fixpoint. Termination is the analyzer's obligation in the usual way: join
+// must be monotone (the merged state "changed" only when it strictly grew)
+// and the lattice must have finite height — true for the set-union domains
+// the determinism and allocation analyzers use, where the universe is the
+// finite set of objects declared in one function.
+package framework
+
+// Solve runs forward worklist iteration over cfg and returns the in-state of
+// every block, indexed by Block.Index.
+//
+//   - entry is the state flowing into cfg.Entry.
+//   - transfer computes a block's out-state from its in-state. It must not
+//     mutate the input state (copy-on-write or pure-functional states both
+//     work); the solver treats states as values.
+//   - join merges a predecessor's out-state into a successor's current
+//     in-state, returning the merged state and whether it differs from dst.
+//     dst may be the zero value of S for a block not yet visited, with
+//     seen=false on first merge.
+//
+// Blocks are processed in index order (reverse-postorder for the structured
+// control flow BuildCFG emits), so the iteration count — and therefore
+// every diagnostic an analyzer derives — is deterministic.
+func Solve[S any](cfg *CFG, entry S, transfer func(*Block, S) S, join func(dst S, seen bool, src S) (S, bool)) []S {
+	n := len(cfg.Blocks)
+	in := make([]S, n)
+	seen := make([]bool, n)
+	onList := make([]bool, n)
+
+	in[cfg.Entry.Index] = entry
+	seen[cfg.Entry.Index] = true
+
+	work := []*Block{cfg.Entry}
+	onList[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		// Pop the lowest-index block: deterministic and close to
+		// reverse-postorder for the builder's block numbering.
+		min := 0
+		for i := range work {
+			if work[i].Index < work[min].Index {
+				min = i
+			}
+		}
+		blk := work[min]
+		work = append(work[:min], work[min+1:]...)
+		onList[blk.Index] = false
+
+		out := transfer(blk, in[blk.Index])
+		for _, succ := range blk.Succs {
+			merged, changed := join(in[succ.Index], seen[succ.Index], out)
+			if changed || !seen[succ.Index] {
+				in[succ.Index] = merged
+				seen[succ.Index] = true
+				if !onList[succ.Index] {
+					work = append(work, succ)
+					onList[succ.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,147 @@
+package framework
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// taintState is the solver test lattice: a set of tainted variable names.
+type taintState map[string]bool
+
+func (s taintState) clone() taintState {
+	c := make(taintState, len(s))
+	for k := range s { //lint:allow simdeterminism order-independent: set copy
+		c[k] = true
+	}
+	return c
+}
+
+// nameTransfer propagates name-level taint through `lhs = rhs` assignments
+// where both sides are plain identifiers; src() calls taint their target.
+func nameTransfer(b *Block, in taintState) taintState {
+	out := in.clone()
+	for _, s := range b.Stmts {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			continue
+		}
+		lhs, ok := a.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch r := a.Rhs[0].(type) {
+		case *ast.Ident:
+			out[lhs.Name] = out[r.Name]
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "src" {
+				out[lhs.Name] = true
+			}
+		case *ast.BasicLit:
+			out[lhs.Name] = false
+		}
+	}
+	return out
+}
+
+func taintJoin(dst taintState, seen bool, src taintState) (taintState, bool) {
+	if !seen {
+		return src.clone(), true
+	}
+	changed := false
+	merged := dst.clone()
+	for k, v := range src { //lint:allow simdeterminism order-independent: set union
+		if v && !merged[k] {
+			merged[k] = true
+			changed = true
+		}
+	}
+	return merged, changed
+}
+
+// TestSolverFixpointOnLoop drives the worklist solver over a loop whose
+// back-edge is what propagates the taint: y picks it up from x only on the
+// second trip around, so a single forward sweep would miss it. The solver
+// must terminate (finite lattice, monotone join) and converge on y tainted
+// at the loop exit.
+func TestSolverFixpointOnLoop(t *testing.T) {
+	_, cfg := buildFor(t, `package p
+func f(n int) {
+	x := src()
+	y := 0
+	z := 0
+	for i := 0; i < n; i++ {
+		z = y
+		y = x
+	}
+	sink(z)
+}`, "f")
+	if !hasBackEdge(cfg) {
+		t.Fatal("test loop must have a back-edge")
+	}
+	in := Solve(cfg, taintState{}, nameTransfer, taintJoin)
+
+	// Find the block containing sink(z): its in-state is the loop's exit
+	// fixpoint.
+	var exitIn taintState
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if e, ok := s.(*ast.ExprStmt); ok {
+				if c, ok := e.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "sink" {
+						exitIn = in[b.Index]
+					}
+				}
+			}
+		}
+	}
+	if exitIn == nil {
+		t.Fatal("sink block not found")
+	}
+	if !exitIn["x"] {
+		t.Error("x must be tainted at exit (tainted before the loop)")
+	}
+	if !exitIn["y"] {
+		t.Error("y must be tainted at exit (first iteration: y = x)")
+	}
+	if !exitIn["z"] {
+		t.Error("z must be tainted at exit: the taint takes two trips around the back-edge (z = y after y = x), so only the fixpoint sees it")
+	}
+}
+
+// TestSolverZeroTripLoop checks that the loop-exit state joins the
+// zero-iteration path: a variable tainted only inside the loop body is
+// *may*-tainted at exit, while one tainted before the loop stays tainted.
+func TestSolverZeroTripLoop(t *testing.T) {
+	_, cfg := buildFor(t, `package p
+func f(n int) {
+	a := src()
+	b := 0
+	for i := 0; i < n; i++ {
+		b = a
+	}
+	sink(b)
+}`, "f")
+	in := Solve(cfg, taintState{}, nameTransfer, taintJoin)
+	// The exit block's in-state must include both the zero-trip state
+	// (b clean) and the looped state (b tainted) — union: b tainted.
+	last := in[len(cfg.Blocks)-1]
+	var merged taintState
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if e, ok := s.(*ast.ExprStmt); ok {
+				if c, ok := e.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "sink" {
+						merged = in[b.Index]
+					}
+				}
+			}
+		}
+	}
+	_ = last
+	if merged == nil {
+		t.Fatal("sink block not found")
+	}
+	if !merged["a"] || !merged["b"] {
+		t.Errorf("a and b must both be may-tainted at sink; got %v", merged)
+	}
+}

@@ -1,0 +1,170 @@
+// Package hotpathflow extends schedalloc's lexical zero-allocation contract
+// through the call graph: a //redsoc:hotpath function must not *reach* an
+// allocation, not merely avoid writing one in its own body. schedalloc sees
+// `s.wake(e)` as a harmless call; hotpathflow asks what wake does, and what
+// wake's callees do, across package boundaries.
+//
+// Mechanically it is the framework's two-phase whole-program pipeline:
+//
+//   - Summarize runs over every package in dependency order and exports an
+//     "allocates in its own body" fact per function, using the same
+//     allocation-site scanner schedalloc applies lexically. Sites audited
+//     under //lint:allow schedalloc (or hotpathflow) are excluded — an
+//     audited amortized-growth site must not re-surface as a transitive
+//     finding in every caller.
+//   - Run walks the call graph from each hotpath-marked root and reports the
+//     first call edge whose transitive closure contains an allocating
+//     function, with the full chain in the message so the finding is
+//     actionable without re-deriving the path.
+//
+// Roots prune at other hotpath-marked functions (each marked function is its
+// own root, so a shared subpath is reported once, where it starts), and
+// unanalyzed callees — the standard library beyond fmt/sort, export-data-only
+// packages — are treated as allocation-free: the lexical rules already ban
+// the allocating stdlib entry points from marked bodies, and everything this
+// contract guards is in-repo and therefore summarized.
+package hotpathflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"redsoc/internal/analysis/framework"
+	"redsoc/internal/analysis/schedalloc"
+)
+
+// Analyzer proves hotpath functions allocation-free transitively.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpathflow",
+	Doc: "whole-program companion to schedalloc: a //redsoc:hotpath function must not reach " +
+		"an allocating function through any chain of calls (direct, method, or interface-" +
+		"dispatched). Reports the call edge into the offending chain with the full path; " +
+		"sites audited under //lint:allow schedalloc do not propagate",
+	Summarize: summarize,
+	Run:       run,
+}
+
+// allocFact marks a function that allocates in its own body.
+type allocFact struct {
+	// Where locates and describes the first unaudited allocation site,
+	// "file:line: message", for the transitive report.
+	Where string
+}
+
+func summarize(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, site := range schedalloc.Scan(pass.TypesInfo, fd.Body) {
+				if pass.Allowed("schedalloc", site.Pos) || pass.Allowed("hotpathflow", site.Pos) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					break
+				}
+				pos := pass.Fset.Position(site.Pos)
+				msg := strings.TrimPrefix(site.Message, "hot-path function ")
+				pass.ExportFact(obj, allocFact{Where: trimPath(pos.String()) + ": " + msg})
+				break // one site per function suffices for the summary
+			}
+		}
+	}
+	return nil
+}
+
+// trimPath shortens an absolute position to its last two path segments so
+// report messages stay readable ("ooo/sim.go:412").
+func trimPath(pos string) string {
+	parts := strings.Split(pos, "/")
+	if len(parts) > 2 {
+		return strings.Join(parts[len(parts)-2:], "/")
+	}
+	return pos
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !schedalloc.HotPath(fd) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			checkRoot(pass, framework.FactKey(obj))
+		}
+	}
+	return nil
+}
+
+// checkRoot reports each call edge of root whose transitive closure reaches
+// an allocating function. Each immediate callee is reported at most once per
+// root, with one sample chain.
+func checkRoot(pass *framework.Pass, root string) {
+	reportedCallee := map[string]bool{}
+	for _, edge := range pass.Graph.Callees[root] {
+		if reportedCallee[edge.Callee] {
+			continue
+		}
+		visited := map[string]bool{root: true}
+		if chain := allocChain(pass, edge.Callee, visited); chain != nil {
+			reportedCallee[edge.Callee] = true
+			fact, _ := pass.ImportFactKey(chain[len(chain)-1])
+			where := ""
+			if af, ok := fact.(allocFact); ok {
+				where = af.Where
+			}
+			pass.Reportf(edge.Pos,
+				"hot-path function reaches an allocation through %s (%s); make the chain allocation-free, hoist the call off the hot path, or audit it with lint:allow",
+				strings.Join(shorten(chain), " -> "), where)
+		}
+	}
+}
+
+// allocChain returns a call chain from key to an allocating function (key
+// first), or nil when the closure is allocation-free. Hotpath-marked callees
+// prune the walk: they are audited as their own roots.
+func allocChain(pass *framework.Pass, key string, visited map[string]bool) []string {
+	if visited[key] {
+		return nil
+	}
+	visited[key] = true
+	decl, analyzed := pass.Graph.Decls[key]
+	if analyzed && schedalloc.HotPath(decl.Decl) {
+		return nil
+	}
+	if _, ok := pass.ImportFactKey(key); ok {
+		return []string{key}
+	}
+	if !analyzed {
+		// Export-data-only callee: no source, no summary. The lexical rules
+		// ban the known-allocating stdlib entry points from marked bodies.
+		return nil
+	}
+	for _, edge := range pass.Graph.Callees[key] {
+		if chain := allocChain(pass, edge.Callee, visited); chain != nil {
+			return append([]string{key}, chain...)
+		}
+	}
+	return nil
+}
+
+// shorten strips package paths down to their last segment for the report
+// message ("redsoc/internal/ooo.(*Simulator).wake" -> "ooo.(*Simulator).wake").
+func shorten(chain []string) []string {
+	out := make([]string, len(chain))
+	for i, key := range chain {
+		if j := strings.LastIndex(key, "/"); j >= 0 {
+			out[i] = key[j+1:]
+		} else {
+			out[i] = key
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package hotpathflow_test
+
+import (
+	"testing"
+
+	"redsoc/internal/analysis/analysistest"
+	"redsoc/internal/analysis/hotpathflow"
+)
+
+func TestHotPathFlow(t *testing.T) {
+	analysistest.Run(t, hotpathflow.Analyzer, "hot")
+}

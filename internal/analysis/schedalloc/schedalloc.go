@@ -10,9 +10,14 @@
 // constructs that allocate on every invocation. Audited exceptions (the entry
 // arena's grow path, panic messages on broken invariants) stay visible in the
 // source under `//lint:allow schedalloc <why>` annotations.
+//
+// The allocation-site scanner is exported (Scan, HotPath) so hotpathflow can
+// build per-function allocation summaries and chase the same property
+// *transitively* through the call graph, not just inside marked bodies.
 package schedalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -27,8 +32,10 @@ var Analyzer = &framework.Analyzer{
 	Doc: "in functions marked //redsoc:hotpath: flags constructs that allocate on every " +
 		"invocation — make/new, slice and map literals, &composite literals, string " +
 		"concatenation or conversion, fmt and sort calls, function literals passed to calls, " +
-		"and append to anything but a named reusable buffer — so the scheduler's warm-window " +
-		"AllocsPerRun stays zero",
+		"interface conversions that box their operand (explicit any(x) or implicit at a call " +
+		"argument), append to a struct field (grows the backing array: reslice with buf[:0] " +
+		"or audit the amortized growth), and append to anything but a named reusable buffer — " +
+		"so the scheduler's warm-window AllocsPerRun stays zero",
 	Run: run,
 }
 
@@ -41,16 +48,20 @@ func run(pass *framework.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !marked(fd) {
+			if !ok || fd.Body == nil || !HotPath(fd) {
 				continue
 			}
-			check(pass, fd.Body)
+			for _, site := range Scan(pass.TypesInfo, fd.Body) {
+				pass.Reportf(site.Pos, "%s", site.Message)
+			}
 		}
 	}
 	return nil
 }
 
-func marked(fd *ast.FuncDecl) bool {
+// HotPath reports whether the declaration carries the //redsoc:hotpath
+// directive.
+func HotPath(fd *ast.FuncDecl) bool {
 	if fd.Doc == nil {
 		return false
 	}
@@ -62,99 +73,198 @@ func marked(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// check walks one hot function body and reports every allocating construct.
-func check(pass *framework.Pass, body *ast.BlockStmt) {
-	// escaping marks function literals appearing as call arguments: those are
-	// passed out of the frame and allocate their closure. A literal assigned
-	// to a local and invoked in place stays on the stack and is not flagged.
-	escaping := map[*ast.FuncLit]bool{}
+// Site is one allocating construct found by Scan.
+type Site struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Scan walks one function body and returns every construct that allocates on
+// each invocation. It is pure analysis — suppression and attribution are the
+// caller's job — so both the lexical schedalloc pass and hotpathflow's
+// summary builder share one definition of "allocates".
+func Scan(info *types.Info, body ast.Node) []Site {
+	s := &scanner{info: info, escaping: map[*ast.FuncLit]bool{}}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			tv, ok := pass.TypesInfo.Types[n]
+			tv, ok := info.Types[n]
 			if !ok {
 				return true
 			}
 			switch tv.Type.Underlying().(type) {
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "hot-path function allocates a slice literal; hoist it out of the steady state")
+				s.add(n.Pos(), "hot-path function allocates a slice literal; hoist it out of the steady state")
 			case *types.Map:
-				pass.Reportf(n.Pos(), "hot-path function allocates a map literal; hoist it out of the steady state")
+				s.add(n.Pos(), "hot-path function allocates a map literal; hoist it out of the steady state")
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, isLit := n.X.(*ast.CompositeLit); isLit {
-					pass.Reportf(n.Pos(), "hot-path function heap-allocates (&composite literal); recycle through the entry arena or a reusable scratch value")
+					s.add(n.Pos(), "hot-path function heap-allocates (&composite literal); recycle through the entry arena or a reusable scratch value")
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass, n.X) {
-				pass.Reportf(n.Pos(), "hot-path function concatenates strings, which allocates; accumulate numeric state and format at capture time")
+			if n.Op == token.ADD && s.isString(n.X) {
+				s.add(n.Pos(), "hot-path function concatenates strings, which allocates; accumulate numeric state and format at capture time")
 			}
 		case *ast.FuncLit:
-			if escaping[n] {
-				pass.Reportf(n.Pos(), "hot-path function passes a function literal to a call, which allocates its closure; hoist it to a named function")
+			if s.escaping[n] {
+				s.add(n.Pos(), "hot-path function passes a function literal to a call, which allocates its closure; hoist it to a named function")
 			}
 		case *ast.CallExpr:
-			if skipArgs := checkCall(pass, n, escaping); skipArgs {
+			if skipArgs := s.call(n); skipArgs {
 				return false
 			}
 		}
 		return true
 	})
+	return s.sites
 }
 
-// checkCall applies the call-site rules and returns whether the arguments
-// should be skipped (a flagged sort call's comparator needs no second report).
-func checkCall(pass *framework.Pass, call *ast.CallExpr, escaping map[*ast.FuncLit]bool) (skipArgs bool) {
+type scanner struct {
+	info  *types.Info
+	sites []Site
+	// escaping marks function literals appearing as call arguments: those are
+	// passed out of the frame and allocate their closure. A literal assigned
+	// to a local and invoked in place stays on the stack and is not flagged.
+	escaping map[*ast.FuncLit]bool
+}
+
+func (s *scanner) add(pos token.Pos, format string, args ...any) {
+	s.sites = append(s.sites, Site{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// call applies the call-site rules and returns whether the arguments should
+// be skipped (a flagged fmt or sort call's arguments need no second report).
+func (s *scanner) call(call *ast.CallExpr) (skipArgs bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			// A panic aborts the run, so building its message — Sprintf,
+			// concatenation, boxing — is never a steady-state cost.
+			return true
+		}
+	}
 	for _, arg := range call.Args {
 		if fl, ok := arg.(*ast.FuncLit); ok {
-			escaping[fl] = true
+			s.escaping[fl] = true
 		}
 	}
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		switch fun.Name {
 		case "make", "new":
-			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
-				pass.Reportf(call.Pos(), "hot-path function calls %s, which allocates; reuse a per-Simulator scratch buffer", fun.Name)
+			if _, isBuiltin := s.info.Uses[fun].(*types.Builtin); isBuiltin {
+				s.add(call.Pos(), "hot-path function calls %s, which allocates; reuse a per-Simulator scratch buffer", fun.Name)
+				return false
 			}
 		case "append":
-			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin && len(call.Args) > 0 && !bufferExpr(call.Args[0]) {
-				pass.Reportf(call.Pos(), "hot-path function appends to a fresh slice; append into a reusable scratch buffer (e.g. buf[:0])")
+			if _, isBuiltin := s.info.Uses[fun].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				s.checkAppendDst(call)
+				return false
 			}
 		case "string":
-			pass.Reportf(call.Pos(), "hot-path function converts to string, which allocates; accumulate numeric state and format at capture time")
+			if _, isType := s.info.Uses[fun].(*types.TypeName); isType {
+				s.add(call.Pos(), "hot-path function converts to string, which allocates; accumulate numeric state and format at capture time")
+				return false
+			}
 		}
 	case *ast.SelectorExpr:
-		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn, ok := s.info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
 			switch fn.Pkg().Path() {
 			case "fmt":
-				pass.Reportf(call.Pos(), "hot-path function calls fmt.%s, which allocates; format at capture time", fn.Name())
+				s.add(call.Pos(), "hot-path function calls fmt.%s, which allocates; format at capture time", fn.Name())
+				return true
 			case "sort":
-				pass.Reportf(call.Pos(), "hot-path function calls sort.%s, which allocates its closure and interface header; insert into a sorted scratch buffer instead", fn.Name())
+				s.add(call.Pos(), "hot-path function calls sort.%s, which allocates its closure and interface header; insert into a sorted scratch buffer instead", fn.Name())
 				return true
 			}
 		}
 	}
+	s.checkBoxing(call)
 	return false
 }
 
-// bufferExpr reports whether an append destination names an existing buffer —
-// an identifier, a field or element of one, or a reslice (buf[:0]) — as
-// opposed to a fresh slice built in place (literal, conversion, call result).
-func bufferExpr(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
-		return true
-	case *ast.ParenExpr:
-		return bufferExpr(e.X)
+// checkAppendDst classifies the append destination. A named reusable buffer
+// — an identifier, an element of one, or a reslice (buf[:0]) — is the
+// sanctioned shape. A bare struct field grows its backing array in place
+// (the classic unbounded-growth leak on a replay path), and anything built
+// in place (literal, conversion, call result) is a fresh slice.
+func (s *scanner) checkAppendDst(call *ast.CallExpr) {
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident, *ast.IndexExpr, *ast.SliceExpr:
+		return
+	case *ast.SelectorExpr:
+		_ = dst
+		s.add(call.Pos(), "hot-path function appends to a struct field, which reallocates the backing array as it grows; reslice a warm buffer (field[:0]) or audit the amortized growth")
+	default:
+		s.add(call.Pos(), "hot-path function appends to a fresh slice; append into a reusable scratch buffer (e.g. buf[:0])")
 	}
-	return false
 }
 
-func isString(pass *framework.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+// checkBoxing flags interface conversions, which allocate when the operand
+// is not already an interface: the explicit any(x)/I(x) form when the call
+// is a type conversion, and the implicit form when a concrete value meets an
+// interface-typed parameter. (panic calls never reach here — call skips their
+// whole argument subtree.)
+func (s *scanner) checkBoxing(call *ast.CallExpr) {
+	tv, ok := s.info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion I(x): boxing iff target is an interface and
+		// the operand is a concrete (non-interface, non-nil) value.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && s.boxes(call.Args[0]) {
+			s.add(call.Pos(), "hot-path function converts to an interface, which boxes the value on the heap; keep the concrete type through the steady state")
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // built-in or otherwise signatureless
+	}
+	if call.Ellipsis != token.NoPos {
+		return // f(xs...) passes an existing slice; nothing boxes per call
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue // instantiation decides; not a boxing site per se
+		}
+		if types.IsInterface(pt) && s.boxes(arg) {
+			s.add(arg.Pos(), "hot-path function passes a concrete value where %s is expected, which boxes it on the heap; take or keep the concrete type on the hot path", pt.String())
+		}
+	}
+}
+
+// boxes reports whether passing/converting arg to an interface type
+// allocates: true for concrete non-constant values, false for values that
+// are already interfaces, for nil, and for constants — the compiler backs a
+// constant-to-interface conversion with static data, so nothing reaches the
+// heap.
+func (s *scanner) boxes(arg ast.Expr) bool {
+	tv, ok := s.info.Types[arg]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func (s *scanner) isString(e ast.Expr) bool {
+	tv, ok := s.info.Types[e]
 	if !ok {
 		return false
 	}

@@ -32,12 +32,15 @@ func (s *sim) mergeReady(woken []*entry) {
 	s.ready = out
 }
 
-// fieldAppend appends into named buffers reached through fields and
-// elements — all views of existing backing arrays.
+// fieldAppend: a bare struct-field append grows its backing array in place —
+// the unbounded-growth shape that leaked allocations on the replay path —
+// while a reslice of the same field and an element of an array stay views of
+// warm backing arrays.
 //
 //redsoc:hotpath
 func (s *sim) fieldAppend(e, p *entry, byFU [2][]*entry) {
-	p.waiters = append(p.waiters, e)
+	p.waiters = append(p.waiters, e) // want `appends to a struct field`
+	p.waiters = append(p.waiters[:0], e)
 	byFU[0] = append(byFU[0], e)
 }
 
@@ -104,6 +107,39 @@ func (s *sim) snapshot() []*entry { return s.ready }
 //redsoc:hotpath
 func (s *sim) freshAppend(e *entry) []*entry {
 	return append(s.snapshot(), e) // want `appends to a fresh slice`
+}
+
+// observer is the boxing magnet: emit takes any.
+type observer struct{}
+
+func (observer) emit(v any)       {}
+func (observer) typed(e *entry)   {}
+func sinkAny(v any)               {}
+func sinkIface(err error)         {}
+func already(v any) any           { return v }
+
+// boxing: explicit interface conversions and concrete values meeting
+// interface-typed parameters allocate the interface's data word.
+//
+//redsoc:hotpath
+func (s *sim) boxing(o observer, e *entry, err error) {
+	v := any(e.seq) // want `converts to an interface, which boxes`
+	_ = v
+	o.emit(e.seq)  // want `passes a concrete value where any is expected`
+	sinkAny(e)     // want `passes a concrete value where any is expected`
+	sinkIface(err) // already an interface: no boxing
+	o.typed(e)     // concrete parameter: no boxing
+	sinkAny(nil)   // nil boxes nothing
+	sinkAny(42)    // constants are backed by static data: no allocation
+	_ = already(v) // interface-to-interface: no boxing
+	if e == nil {
+		panic("sched: nil entry") // a panic aborts the run: never a steady-state cost
+	}
+	if e.seq < 0 {
+		// The whole panic argument is exempt: Sprintf, boxing, concatenation —
+		// none of it is steady-state work.
+		panic(fmt.Sprintf("sched: negative seq %d for %s", e.seq, s.name+"/panic"))
+	}
 }
 
 // grow demonstrates the audited escape hatch: the arena's grow path allocates

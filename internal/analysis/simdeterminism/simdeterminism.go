@@ -34,7 +34,9 @@ var Analyzer = &framework.Analyzer{
 		"calls through math/rand's global source, `go` statements and multi-case selects — " +
 		"anything whose order or value can differ between two runs of the same workload. " +
 		"In the orchestration scope (campaign) goroutines and selects are sanctioned, but " +
-		"global-rand draws and map iteration in workers are still flagged",
+		"global-rand draws and map iteration in workers are still flagged, and so is a " +
+		"seeded *rand.Rand reached from more than one worker goroutine: seeding makes the " +
+		"sequence reproducible, but which worker gets which draw depends on scheduling",
 	Run: run,
 }
 
@@ -95,6 +97,9 @@ func run(pass *framework.Pass) error {
 				if sc == simScope {
 					pass.Reportf(n.Pos(), "goroutine spawned in a simulation package: scheduling order is nondeterministic; keep per-run state single-threaded and parallelize across runs instead")
 				}
+				if sc == orchestrationScope {
+					checkSharedRand(pass, f, n)
+				}
 			case *ast.SelectStmt:
 				if sc == simScope && n.Body != nil && len(n.Body.List) > 1 {
 					pass.Reportf(n.Pos(), "multi-case select: case choice among ready channels is randomized by the runtime")
@@ -104,6 +109,107 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkSharedRand guards the one seeded-generator shape seeding does NOT
+// sanction: a *rand.Rand (often inside an injector-style struct) captured by
+// a worker goroutine's closure. Each worker's draws then interleave by
+// scheduling order, so the sequence each task observes differs between a
+// 1-worker and an N-worker campaign even though the generator is seeded.
+// The fix is a generator per task (seeded from the task index) or draws
+// serialized before the workers fork.
+//
+// A generator declared *inside* the loop that spawns the workers is a fresh
+// per-task instance and stays sanctioned; only captures reaching outside the
+// innermost enclosing loop are shared between iterations' goroutines.
+func checkSharedRand(pass *framework.Pass, file *ast.File, g *ast.GoStmt) {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	loop := innermostLoop(file, g)
+	if loop == nil {
+		// A lone goroutine is not a worker pool; the pool shapes that break
+		// merge-by-index all spawn inside a loop.
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || reported[obj] {
+			return true
+		}
+		// Declared inside the spawning loop (including inside the closure
+		// itself): per-iteration state, not shared between workers.
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return true
+		}
+		if !containsRand(obj.Type(), 0, map[types.Type]bool{}) {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(), "worker goroutine captures %q, which holds a *rand.Rand: a seeded generator shared across campaign workers hands out its sequence in scheduling order; give each task its own generator seeded from the task index", obj.Name())
+		return true
+	})
+}
+
+// innermostLoop returns the smallest for/range statement in file that
+// encloses n, or nil when n sits outside any loop.
+func innermostLoop(file *ast.File, n ast.Node) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(cand ast.Node) bool {
+		switch cand.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if cand.Pos() <= n.Pos() && n.End() <= cand.End() {
+				if best == nil || (best.Pos() <= cand.Pos() && cand.End() <= best.End()) {
+					best = cand
+				}
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// containsRand reports whether t holds a math/rand generator: a *rand.Rand
+// directly, or one reachable through pointers, struct fields, slices, arrays
+// or maps (bounded depth — the injector-in-a-config shape, not arbitrary
+// object graphs).
+func containsRand(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if depth > 4 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Name() == "Rand" {
+			if p := obj.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+				return true
+			}
+		}
+		return containsRand(named.Underlying(), depth+1, seen)
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return containsRand(t.Elem(), depth, seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsRand(t.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return containsRand(t.Elem(), depth+1, seen)
+	case *types.Array:
+		return containsRand(t.Elem(), depth+1, seen)
+	case *types.Map:
+		return containsRand(t.Elem(), depth+1, seen)
+	}
+	return false
 }
 
 // globalRandCall reports a call to a package-level function of math/rand or

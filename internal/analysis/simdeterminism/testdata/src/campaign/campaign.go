@@ -44,3 +44,50 @@ func seededJitter(seed int64) int64 {
 	rng := rand.New(rand.NewSource(seed)) // task-local seeded generator: sanctioned
 	return rng.Int63()
 }
+
+// injector mirrors internal/fault's Injector: a seeded generator stored in a
+// struct field. Seeding sanctions the *sequence*; it does not sanction
+// sharing the instance across workers, where scheduling decides which worker
+// gets which draw.
+type injector struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+func newInjector(seed int64) *injector {
+	return &injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+func sharedInjector(tasks []func(*injector) int64) []int64 {
+	inj := newInjector(1)
+	results := make([]int64, len(tasks))
+	done := make(chan int)
+	for i := range tasks {
+		i := i
+		go func() {
+			results[i] = tasks[i](inj) // want `captures "inj", which holds a \*rand\.Rand`
+			done <- i
+		}()
+	}
+	for range tasks {
+		<-done
+	}
+	return results
+}
+
+func perTaskInjector(tasks []func(*injector) int64) []int64 {
+	results := make([]int64, len(tasks))
+	done := make(chan int)
+	for i := range tasks {
+		i := i
+		inj := newInjector(int64(i)) // a generator per task: sanctioned
+		go func() {
+			results[i] = tasks[i](inj)
+			done <- i
+		}()
+	}
+	for range tasks {
+		<-done
+	}
+	return results
+}

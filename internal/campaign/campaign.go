@@ -125,6 +125,7 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 	done := make([]bool, n)
 	next := 0
 	var failed []outcome
+	//lint:allow detflow arrival order is consumed order-independently: results merge by index, OnDone fires in index order, and pickError selects the lowest-indexed failure
 	for oc := range outcomes {
 		if oc.err != nil {
 			failed = append(failed, oc)

@@ -142,8 +142,8 @@ func (a *Arbiter) Grant(reqs []Request, m int) []int {
 func (a *Arbiter) grow(n int) {
 	words := (n + wordBits - 1) / wordBits
 	if cap(a.older) < n || len(a.maskWords) < (n+3)*words {
-		a.maskWords = make([]uint64, (n+3)*words)
-		a.older = make([]bitset, n)
+		a.maskWords = make([]uint64, (n+3)*words) //lint:allow schedalloc amortized: grow fires only when capacity is exceeded, once per high-water mark
+		a.older = make([]bitset, n)               //lint:allow schedalloc amortized: grow fires only when capacity is exceeded, once per high-water mark
 	}
 	a.older = a.older[:n]
 	buf := a.maskWords

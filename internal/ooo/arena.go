@@ -37,7 +37,7 @@ func (a *entryArena) get() *entry {
 //redsoc:hotpath
 func (a *entryArena) put(e *entry) {
 	*e = entry{memDeps: e.memDeps[:0], waiters: e.waiters[:0]}
-	a.free = append(a.free, e)
+	a.free = append(a.free, e) //lint:allow schedalloc amortized: the free list grows to pool size while the arena warms, then recycles in place
 }
 
 // retain counts one incoming reference to p.

@@ -404,7 +404,7 @@ func (s *Simulator) dispatch(cycle int64) {
 		}
 
 		s.rob.push(e)
-		s.rs = append(s.rs, e)
+		s.rs = append(s.rs, e) //lint:allow schedalloc amortized: rs grows to window occupancy once, then appends into warm capacity
 		if isMem {
 			s.lsq.push(e)
 		}
@@ -512,7 +512,7 @@ func (s *Simulator) rename(e *entry) {
 func (s *Simulator) wake(e *entry) {
 	if e.state == stWaiting && !e.inReady {
 		e.inReady = true
-		s.wakeBuf = append(s.wakeBuf, e)
+		s.wakeBuf = append(s.wakeBuf, e) //lint:allow schedalloc amortized: wakeBuf peaks at ready-set size early in the run, then stays warm
 	}
 }
 
@@ -539,15 +539,15 @@ func (s *Simulator) wakeWaiters(e *entry) {
 func (s *Simulator) watchWakeups(e *entry) {
 	for i := 0; i < e.nsrc; i++ {
 		if p := e.srcs[i].producer; p != nil && p.broadcastCycle < 0 {
-			p.waiters = append(p.waiters, e)
+			p.waiters = append(p.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling (see entryArena.put), so appends reuse warm capacity
 		}
 	}
 	if gp := e.gp; gp != nil && gp.broadcastCycle < 0 {
-		gp.waiters = append(gp.waiters, e)
+		gp.waiters = append(gp.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling, so appends reuse warm capacity
 	}
 	if len(e.memDeps) > 0 {
 		dep := e.memDeps[0]
-		dep.waiters = append(dep.waiters, e)
+		dep.waiters = append(dep.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling, so appends reuse warm capacity
 	}
 	s.wake(e)
 }
@@ -569,7 +569,7 @@ func (s *Simulator) linkMemDep(e *entry) {
 		}
 		sLo, sHi := addrRange(st.in)
 		if rangesOverlap(lo, hi, sLo, sHi) {
-			e.memDeps = append(e.memDeps, st)
+			e.memDeps = append(e.memDeps, st) //lint:allow schedalloc amortized: memDeps backing arrays survive arena recycling, so appends reuse warm capacity
 			retain(st)
 			return
 		}

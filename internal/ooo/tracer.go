@@ -26,11 +26,11 @@ func (s *Simulator) SetTracer(w io.Writer) {
 }
 
 func (t *Tracer) instant(tk timing.Ticks) string {
-	return fmt.Sprintf("%d.%d", t.clock.CycleOf(tk), t.clock.FracOf(tk))
+	return fmt.Sprintf("%d.%d", t.clock.CycleOf(tk), t.clock.FracOf(tk)) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
 func (t *Tracer) dispatch(cycle int64, e *entry) {
-	fmt.Fprintf(t.w, "c%-5d dispatch seq=%-5d %s\n", cycle, e.seq, e.in)
+	fmt.Fprintf(t.w, "c%-5d dispatch seq=%-5d %s\n", cycle, e.seq, e.in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
 func (t *Tracer) issue(cycle int64, e *entry, spec bool) {
@@ -44,7 +44,7 @@ func (t *Tracer) issue(cycle int64, e *entry, spec bool) {
 	if e.sched.FUCycles == 2 {
 		tag += " hold2"
 	}
-	fmt.Fprintf(t.w, "c%-5d issue    seq=%-5d %-24s exec[%s..%s)%s\n",
+	fmt.Fprintf(t.w, "c%-5d issue    seq=%-5d %-24s exec[%s..%s)%s\n", //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 		cycle, e.seq, e.in, t.instant(e.sched.Start), t.instant(e.sched.Comp), tag)
 }
 
@@ -53,13 +53,13 @@ func (t *Tracer) cancel(cycle int64, e *entry, spec bool) {
 	if spec {
 		why = "gp-wasted"
 	}
-	fmt.Fprintf(t.w, "c%-5d cancel   seq=%-5d %s (%s)\n", cycle, e.seq, e.in, why)
+	fmt.Fprintf(t.w, "c%-5d cancel   seq=%-5d %s (%s)\n", cycle, e.seq, e.in, why) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
 func (t *Tracer) commit(cycle int64, e *entry) {
-	fmt.Fprintf(t.w, "c%-5d commit   seq=%-5d %s\n", cycle, e.seq, e.in)
+	fmt.Fprintf(t.w, "c%-5d commit   seq=%-5d %s\n", cycle, e.seq, e.in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
 func (t *Tracer) redirect(cycle int64, e *entry) {
-	fmt.Fprintf(t.w, "c%-5d redirect seq=%-5d mispredicted branch stalls the front end\n", cycle, e.seq)
+	fmt.Fprintf(t.w, "c%-5d redirect seq=%-5d mispredicted branch stalls the front end\n", cycle, e.seq) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
