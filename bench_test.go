@@ -9,6 +9,7 @@
 package redsoc
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ var (
 func evalGrid(b *testing.B) *harness.Grid {
 	b.Helper()
 	gridOnce.Do(func() {
-		grid, gridErr = harness.Run(harness.Benchmarks(harness.Quick), harness.Cores(),
+		grid, gridErr = harness.Run(context.Background(), harness.Benchmarks(harness.Quick), harness.Cores(),
 			harness.Options{SweepThreshold: true})
 	})
 	if gridErr != nil {

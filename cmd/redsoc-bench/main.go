@@ -10,6 +10,14 @@
 //	redsoc-bench [-scale quick|full] [-quick] [-sweep] [-v] [-j N]
 //	             [-md FILE] [-report BENCH_report.json] [-metrics-out FILE]
 //	             [-baseline .github/bench-baseline.json] [-update-baseline]
+//	             [-journal DIR] [-resume] [-cell-timeout D] [-retries N]
+//
+// -journal DIR arms the crash-safe campaign journal: every completed sweep
+// total and grid cell is persisted (content-addressed, atomically written)
+// as the run proceeds, and SIGINT cancels in-flight cells while keeping
+// everything already journaled. Re-running with -resume serves journaled
+// cells instead of re-simulating them; determinism makes the resumed report
+// bit-identical to an uninterrupted run (wall_seconds aside).
 //
 // -baseline arms the CI bench-regression gate: the run's per-cell cycle
 // counts must match the committed baseline exactly or the command exits
@@ -20,14 +28,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
+	"redsoc/internal/campaign"
+	"redsoc/internal/cellstore"
 	"redsoc/internal/harness"
 	"redsoc/internal/obs"
 	"redsoc/internal/ooo"
@@ -51,6 +64,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write aggregated per-run metrics snapshots (JSON) to this file")
 	baselineFile := flag.String("baseline", "", "check per-cell cycle counts against this committed baseline; any drift fails")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite .github/bench-baseline.json from this run and exit 0")
+	journalDir := flag.String("journal", "", "crash-safe cell journal directory (content-addressed; arms -resume)")
+	resume := flag.Bool("resume", false, "serve journaled cells instead of re-simulating (requires -journal)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 90s (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for cells that panic or exceed -cell-timeout")
+	stallAfter := flag.Duration("stall-after", time.Minute, "report a cell as hung after this much heartbeat silence")
 	flag.Parse()
 
 	scale := harness.Full
@@ -77,15 +95,57 @@ func main() {
 	}
 	start := time.Now() //lint:allow detflow wall time is operator diagnostics; BaselineOf strips WallSeconds before the gate compares
 	benchmarks := harness.Benchmarks(scale)
-	opts := harness.Options{SweepThreshold: *sweep, Workers: *workers}
+	var stats campaign.Stats
+	opts := harness.Options{
+		SweepThreshold: *sweep, Workers: *workers,
+		Resume: *resume, CellTimeout: *cellTimeout, Retries: *retries,
+		StallAfter: *stallAfter, Stats: &stats,
+		OnStall: func(s campaign.Stall) {
+			log.Printf("watchdog: cell %q silent for %s (last event: %s)", s.Label, s.Idle.Round(time.Second), s.LastEvent)
+		},
+	}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Println("  " + line) }
 	}
-	grid, err := harness.Run(benchmarks, harness.Cores(), opts)
+	if *resume && *journalDir == "" {
+		log.Fatal("-resume requires -journal DIR")
+	}
+	if *journalDir != "" {
+		journal, err := cellstore.Open(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		opts.Journal = journal
+	}
+
+	// SIGINT cancels in-flight cells; everything already journaled stays. The
+	// deferred journal.Close above flushes the manifest on the way out.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	grid, err := harness.Run(ctx, benchmarks, harness.Cores(), opts)
 	if err != nil {
+		var cancelled *campaign.CancelledError
+		if errors.As(err, &cancelled) && opts.Journal != nil {
+			opts.Journal.Close()
+			if n, derr := cellstore.DoneCount(*journalDir); derr == nil {
+				log.Printf("interrupted; journal %s holds %d completed cells — rerun with -journal %s -resume",
+					*journalDir, n, *journalDir)
+			}
+		}
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
+	if opts.Journal != nil {
+		js := opts.Journal.Stats()
+		fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
+			js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
+	}
+	if n := stats.Retries.Load() + stats.Panics.Load() + stats.Timeouts.Load() + stats.Stalls.Load(); n > 0 {
+		fmt.Printf("resilience: %d retries (%d panics, %d timeouts), %d stall reports\n",
+			stats.Retries.Load(), stats.Panics.Load(), stats.Timeouts.Load(), stats.Stalls.Load())
+	}
 
 	if *mdOut != "" {
 		f, err := os.Create(*mdOut)

@@ -11,22 +11,32 @@
 //
 //	redsoc-chaos [-core medium] [-seeds 3] [-rates 0.001,0.01,0.1]
 //	             [-bench NAME] [-quick] [-j N] [-flight N]
+//	             [-journal DIR] [-resume] [-cell-timeout D] [-retries N]
 //
 // -quick is the CI smoke configuration: one benchmark per suite,
 // 3 seeds × 2 fault rates. When a faulted run fails verification, -flight
 // re-runs the cell with a flight recorder attached and dumps its last N
-// sub-cycle pipeline events to stderr. -h lists the available benchmark
-// names, sorted.
+// sub-cycle pipeline events to stderr; when a cell panics, the dump carries
+// the panic's task-frame stack. -journal DIR arms the crash-safe campaign
+// journal (SIGINT keeps completed cells; -resume serves them back), and
+// -cell-timeout/-retries bound and retry hung or panicking cells. -h lists
+// the available benchmark names, sorted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
+	"redsoc/internal/campaign"
+	"redsoc/internal/cellstore"
 	"redsoc/internal/chaos"
 	"redsoc/internal/harness"
 	"redsoc/internal/ooo"
@@ -42,6 +52,11 @@ func main() {
 	quick := flag.Bool("quick", false, "CI smoke: one benchmark per suite, 3 seeds x 2 rates")
 	workers := flag.Int("j", 0, "campaign workers (0 = all CPUs); results are identical at any -j")
 	flight := flag.Int("flight", 64, "flight-recorder depth: dump the last N pipeline events of any verification-failed cell (0 = off)")
+	journalDir := flag.String("journal", "", "crash-safe cell journal directory (content-addressed; arms -resume)")
+	resume := flag.Bool("resume", false, "serve journaled cells instead of re-simulating (requires -journal)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 90s (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for cells that panic or exceed -cell-timeout")
+	stallAfter := flag.Duration("stall-after", time.Minute, "report a cell as hung after this much heartbeat silence")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintln(out, "usage: redsoc-chaos [flags]")
@@ -81,17 +96,66 @@ func main() {
 		benchmarks = []harness.Benchmark{b}
 	}
 
-	report, err := chaos.RunCampaign(chaos.Options{
-		Core:       cfg,
-		Seeds:      *seeds,
-		Rates:      rates,
-		Benchmarks: benchmarks,
-		Workers:    *workers,
-		Flight:     *flight,
-		FlightLog:  os.Stderr,
-	})
+	var stats campaign.Stats
+	opts := chaos.Options{
+		Core:        cfg,
+		Seeds:       *seeds,
+		Rates:       rates,
+		Benchmarks:  benchmarks,
+		Workers:     *workers,
+		Flight:      *flight,
+		FlightLog:   os.Stderr,
+		Resume:      *resume,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+		StallAfter:  *stallAfter,
+		Stats:       &stats,
+		OnStall: func(s campaign.Stall) {
+			log.Printf("watchdog: cell %q silent for %s (last event: %s)", s.Label, s.Idle.Round(time.Second), s.LastEvent)
+		},
+	}
+	if *resume && *journalDir == "" {
+		log.Fatal("-resume requires -journal DIR")
+	}
+	if *journalDir != "" {
+		journal, err := cellstore.Open(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		opts.Journal = journal
+	}
+
+	// SIGINT cancels in-flight cells; everything already journaled stays.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	report, err := chaos.RunCampaign(ctx, opts)
 	if err != nil {
+		// A panicking cell carries its task-frame stack; surface it next to
+		// the flight dumps so the operator sees where the cell died.
+		var pe *campaign.PanicError
+		if errors.As(err, &pe) && *flight > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: cell panicked; task frames:\n%s\n", pe.TaskStack())
+		}
+		var cancelled *campaign.CancelledError
+		if errors.As(err, &cancelled) && opts.Journal != nil {
+			opts.Journal.Close()
+			if n, derr := cellstore.DoneCount(*journalDir); derr == nil {
+				log.Printf("interrupted; journal %s holds %d completed cells — rerun with -journal %s -resume",
+					*journalDir, n, *journalDir)
+			}
+		}
 		log.Fatal(err)
+	}
+	if opts.Journal != nil {
+		js := opts.Journal.Stats()
+		fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
+			js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
+	}
+	if n := stats.Retries.Load() + stats.Stalls.Load(); n > 0 {
+		fmt.Printf("resilience: %d retries (%d panics, %d timeouts), %d stall reports\n",
+			stats.Retries.Load(), stats.Panics.Load(), stats.Timeouts.Load(), stats.Stalls.Load())
 	}
 	report.Table.Render(os.Stdout)
 	if report.ArchFailures > 0 {

@@ -8,15 +8,27 @@
 // shows: results are merged by task index, progress is reported in task
 // index order, and a campaign run with one worker is bit-identical to the
 // same campaign run with N.
+//
+// On top of the pool the engine layers a resilience story for long
+// campaigns (see Options.Timeout, Options.Retries and Options.StallAfter):
+// per-task deadlines, bounded retry with exponential backoff for transient
+// failures (a panic or a deadline hit retries; a genuine simulation error
+// does not), and a heartbeat watchdog that names a hung cell instead of
+// wedging forever. Because every task is strictly deterministic, a retried
+// task produces the exact bytes its first attempt would have — retries are
+// invisible in the merged results, which is what makes them safe.
 package campaign
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Options tunes a campaign run.
@@ -32,11 +44,76 @@ type Options[T any] struct {
 	// progress output byte-identical between one-worker and N-worker runs.
 	// Reporting stops at the first task error.
 	OnDone func(index int, result T)
+
+	// Timeout, when positive, bounds each task attempt with
+	// context.WithTimeout. An attempt that overruns its deadline is
+	// abandoned (its goroutine is left to drain; a simulation always
+	// terminates via its MaxCycles guard) and the attempt counts as
+	// retryable. A task whose retries are exhausted fails the campaign with
+	// a *TimeoutError — a genuine, attributed failure, never mistaken for a
+	// collateral cancellation.
+	Timeout time.Duration
+	// Retries is the number of extra attempts granted to a task whose
+	// attempt failed retryably (panic or deadline). Genuine task errors
+	// never retry: a deterministic simulation that returned an error will
+	// return the same error every time.
+	Retries int
+	// Backoff is the initial delay before the first retry; it doubles per
+	// subsequent retry of the same task. Zero means DefaultBackoff. The
+	// backoff sleep aborts early if the campaign is torn down.
+	Backoff time.Duration
+
+	// StallAfter, when positive, arms the watchdog: a running task whose
+	// last heartbeat (task start, or the task's own Heartbeat calls) is
+	// older than StallAfter is reported through OnStall — once per stall
+	// episode — with its label and last observed event. The watchdog only
+	// reports; abandoning a stuck attempt is Timeout's job.
+	StallAfter time.Duration
+	// OnStall receives hung-cell reports from the watchdog goroutine. It
+	// must be safe to call concurrently with OnDone (it is called from a
+	// different goroutine) and should only do operator-facing output.
+	OnStall func(Stall)
+
+	// Stats, if non-nil, is populated with resilience counters as the
+	// campaign runs. The counters are operational telemetry (retry and
+	// watchdog activity); they never influence results.
+	Stats *Stats
+}
+
+// DefaultBackoff is the initial retry backoff when Options.Backoff is zero.
+const DefaultBackoff = 100 * time.Millisecond
+
+// Stats counts the resilience events of one campaign. All fields are
+// updated atomically and may be read while the campaign runs.
+type Stats struct {
+	// Retries counts re-attempts granted (each panic or timeout that was
+	// followed by another attempt).
+	Retries atomic.Int64
+	// Panics counts attempts that ended in a recovered panic.
+	Panics atomic.Int64
+	// Timeouts counts attempts abandoned at their Options.Timeout deadline.
+	Timeouts atomic.Int64
+	// Stalls counts watchdog reports (stall episodes, not ticks).
+	Stalls atomic.Int64
+}
+
+// Stall is one watchdog report: a task that has not completed or heartbeat
+// within Options.StallAfter.
+type Stall struct {
+	// Index and Label identify the stuck cell.
+	Index int
+	Label string
+	// Idle is how long the task has been silent.
+	Idle time.Duration
+	// LastEvent is the most recent Heartbeat note ("" if the task never
+	// beat) — typically the last observed simulation event or phase.
+	LastEvent string
 }
 
 // TaskError attributes a failed task. Run returns the failure of the
 // lowest-indexed task that produced a genuine error, so the reported error
-// is the same no matter how many workers raced.
+// is the same no matter how many workers raced. When the underlying failure
+// is a panic, the message includes the panic site's trimmed stack.
 type TaskError struct {
 	Index int
 	Label string
@@ -44,10 +121,17 @@ type TaskError struct {
 }
 
 func (e *TaskError) Error() string {
+	msg := fmt.Sprintf("campaign: task %d: %v", e.Index, e.Err)
 	if e.Label != "" {
-		return fmt.Sprintf("campaign: task %d (%s): %v", e.Index, e.Label, e.Err)
+		msg = fmt.Sprintf("campaign: task %d (%s): %v", e.Index, e.Label, e.Err)
 	}
-	return fmt.Sprintf("campaign: task %d: %v", e.Index, e.Err)
+	var pe *PanicError
+	if errors.As(e.Err, &pe) {
+		if stack := pe.TaskStack(); stack != "" {
+			msg += "\n" + stack
+		}
+	}
+	return msg
 }
 
 func (e *TaskError) Unwrap() error { return e.Err }
@@ -61,9 +145,125 @@ type PanicError struct {
 
 func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
+// TaskStack trims the recovered stack to the frames below the panic site —
+// the task's own frames, without the goroutine header and the recovery
+// machinery above it — so error output points straight at the culprit.
+func (e *PanicError) TaskStack() string {
+	lines := bytes.Split(bytes.TrimRight(e.Stack, "\n"), []byte("\n"))
+	// debug.Stack inside the deferred recover yields:
+	//   goroutine N [running]:
+	//   runtime/debug.Stack(...)
+	//   <recovery frames>
+	//   panic(...)
+	//   <task frames>        <- keep these
+	// Keep everything after the last "panic(" frame line (each frame is a
+	// function line plus a tab-indented location line).
+	start := 0
+	for i, l := range lines {
+		if bytes.HasPrefix(l, []byte("panic(")) {
+			start = i + 2 // skip the panic() frame and its location line
+		}
+	}
+	if start <= 0 || start >= len(lines) {
+		return string(bytes.Join(lines, []byte("\n")))
+	}
+	kept := lines[start:]
+	// Below the task's own frames sit the engine's: runRecovered, the retry
+	// loop, the worker goroutine and its "created by" trailer. Cut there.
+	for i, l := range kept {
+		if bytes.Contains(l, []byte(".runRecovered[")) {
+			kept = kept[:i]
+			break
+		}
+	}
+	const maxFrames = 16 // 8 call sites: function line + location line each
+	if len(kept) > maxFrames {
+		kept = kept[:maxFrames]
+	}
+	return string(bytes.Join(kept, []byte("\n")))
+}
+
+// TimeoutError is the genuine failure of a task that overran its per-task
+// deadline on every allowed attempt. It deliberately does not unwrap to
+// context.DeadlineExceeded: the engine treats context errors as collateral
+// damage of a campaign teardown, and an exhausted per-cell deadline is the
+// opposite — it is the cell's own, attributable failure.
+type TimeoutError struct {
+	// Timeout is the per-attempt deadline that was exceeded.
+	Timeout time.Duration
+	// Attempts is how many attempts were made.
+	Attempts int
+	// LastEvent is the task's final heartbeat note before the deadline.
+	LastEvent string
+}
+
+func (e *TimeoutError) Error() string {
+	msg := fmt.Sprintf("cell exceeded a deadline on all %d attempts", e.Attempts)
+	if e.Timeout > 0 {
+		msg = fmt.Sprintf("cell exceeded its %v deadline on all %d attempts", e.Timeout, e.Attempts)
+	}
+	if e.LastEvent != "" {
+		msg += fmt.Sprintf(" (last event: %s)", e.LastEvent)
+	}
+	return msg
+}
+
+// CancelledError reports a campaign torn down by its parent context even
+// though no task failed: every task that ran succeeded, and then (or
+// meanwhile) the caller cancelled. It wraps the context error so
+// errors.Is(err, context.Canceled) keeps working.
+type CancelledError struct {
+	// Done is how many of the N tasks completed before the teardown.
+	Done, N int
+	Err     error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("campaign: cancelled by parent context (%d/%d tasks completed): %v", e.Done, e.N, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
+
 type outcome struct {
 	index int
 	err   error
+}
+
+// beatState is one running attempt's heartbeat record, shared between the
+// worker (via Heartbeat) and the watchdog.
+type beatState struct {
+	last     atomic.Int64 // wall nanos of the latest heartbeat
+	note     atomic.Pointer[string]
+	reported atomic.Bool // current stall episode already surfaced
+}
+
+func (b *beatState) beat(note string) {
+	b.last.Store(time.Now().UnixNano())
+	if note != "" {
+		b.note.Store(&note)
+	}
+	b.reported.Store(false)
+}
+
+func (b *beatState) lastNote() string {
+	if p := b.note.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+type beatKeyType struct{}
+
+// Heartbeat records liveness for the campaign task that owns ctx, with a
+// short note naming the task's latest observed event (a completed
+// simulation phase, a cycle milestone, ...). The watchdog surfaces the most
+// recent note when it reports the cell as hung. Outside a campaign task —
+// or inside one run by an engine with no watchdog armed — it is a no-op, so
+// library code can beat unconditionally.
+func Heartbeat(ctx context.Context, note string) {
+	if bs, ok := ctx.Value(beatKeyType{}).(*beatState); ok {
+		bs.beat(note)
+	}
 }
 
 // Run executes tasks 0..n-1 on a bounded worker pool and returns their
@@ -71,7 +271,11 @@ type outcome struct {
 // error cancels the context handed to the remaining tasks and stops new
 // tasks from being scheduled; tasks already in flight finish (a simulation
 // task does not poll the context). Panics are captured per task and
-// surfaced as a *TaskError wrapping a *PanicError.
+// surfaced as a *TaskError wrapping a *PanicError; retryable failures
+// (panics, per-task deadline hits) are re-attempted per Options.Retries
+// before they count. A campaign whose tasks all succeeded but whose parent
+// context was cancelled returns a *CancelledError wrapping the context
+// error.
 func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx context.Context, index int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n <= 0 {
@@ -87,6 +291,13 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	e := &engine[T]{opts: opts, cctx: cctx, running: make(map[int]*beatState)}
+	if opts.StallAfter > 0 && opts.OnStall != nil {
+		watchdogDone := make(chan struct{})
+		defer close(watchdogDone)
+		go e.watchdog(watchdogDone)
+	}
 
 	indices := make(chan int)
 	outcomes := make(chan outcome)
@@ -109,7 +320,7 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				outcomes <- outcome{i, runTask(cctx, i, &results[i], task)}
+				outcomes <- outcome{i, e.runTask(i, &results[i], task)}
 			}
 		}()
 	}
@@ -123,6 +334,7 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 	// outcome channel's send/receive ordering makes the worker's write of
 	// results[i] visible before OnDone(i) fires.
 	done := make([]bool, n)
+	completed := 0
 	next := 0
 	var failed []outcome
 	//lint:allow detflow arrival order is consumed order-independently: results merge by index, OnDone fires in index order, and pickError selects the lowest-indexed failure
@@ -133,6 +345,7 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 			continue
 		}
 		done[oc.index] = true
+		completed++
 		if opts.OnDone != nil && len(failed) == 0 {
 			for next < n && done[next] {
 				opts.OnDone(next, results[next])
@@ -144,30 +357,229 @@ func Run[T any](ctx context.Context, n int, opts Options[T], task func(ctx conte
 	if err := pickError(failed, opts.Label); err != nil {
 		return results, err
 	}
-	// The campaign itself succeeded; report a parent cancellation if any.
-	return results, ctx.Err()
+	// The campaign itself succeeded; report a parent cancellation (if any)
+	// wrapped and attributed to the campaign rather than as a bare context
+	// error.
+	if err := ctx.Err(); err != nil {
+		return results, &CancelledError{Done: completed, N: n, Err: err}
+	}
+	return results, nil
 }
 
-// runTask executes one task, converting a panic into an error so the worker
-// pool survives and the campaign can name the culprit.
-func runTask[T any](ctx context.Context, i int, dst *T, task func(context.Context, int) (T, error)) (err error) {
+// engine carries the per-run resilience state shared by workers and the
+// watchdog.
+type engine[T any] struct {
+	opts Options[T]
+	cctx context.Context
+
+	mu      sync.Mutex
+	running map[int]*beatState
+}
+
+func (e *engine[T]) label(i int) string {
+	if e.opts.Label != nil {
+		return e.opts.Label(i)
+	}
+	return ""
+}
+
+// track registers a fresh heartbeat record for an attempt of task i.
+func (e *engine[T]) track(i int) *beatState {
+	bs := &beatState{}
+	bs.beat("")
+	e.mu.Lock()
+	e.running[i] = bs
+	e.mu.Unlock()
+	return bs
+}
+
+func (e *engine[T]) untrack(i int, bs *beatState) {
+	e.mu.Lock()
+	if e.running[i] == bs {
+		delete(e.running, i)
+	}
+	e.mu.Unlock()
+}
+
+// watchdog periodically scans the running tasks and reports any whose
+// heartbeat has gone silent for longer than StallAfter. Each stall episode
+// is reported once; a subsequent heartbeat re-arms the report.
+func (e *engine[T]) watchdog(done <-chan struct{}) {
+	interval := e.opts.StallAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		type hit struct {
+			index int
+			idle  time.Duration
+			note  string
+		}
+		var hits []hit
+		e.mu.Lock()
+		for i, bs := range e.running { //lint:allow simdeterminism operator-facing watchdog output only: each stalled cell is reported independently (once per episode via CompareAndSwap); report order never touches results
+			idle := time.Duration(now - bs.last.Load())
+			if idle >= e.opts.StallAfter && bs.reported.CompareAndSwap(false, true) {
+				hits = append(hits, hit{i, idle, bs.lastNote()})
+			}
+		}
+		e.mu.Unlock()
+		for _, h := range hits {
+			if e.opts.Stats != nil {
+				e.opts.Stats.Stalls.Add(1)
+			}
+			e.opts.OnStall(Stall{Index: h.index, Label: e.label(h.index), Idle: h.idle, LastEvent: h.note})
+		}
+	}
+}
+
+// runTask executes one task with the retry policy: panics and per-attempt
+// deadline hits are retried with exponential backoff, anything else is
+// final. The result slot is written only by a successful attempt.
+func (e *engine[T]) runTask(i int, dst *T, task func(context.Context, int) (T, error)) error {
+	backoff := e.opts.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	attempts := e.opts.Retries + 1
+	var lastNote string
+	for attempt := 1; ; attempt++ {
+		v, err, kind, note := e.attempt(i, task)
+		if note != "" {
+			lastNote = note
+		}
+		if err == nil {
+			*dst = v
+			return nil
+		}
+		switch kind {
+		case attemptPanic:
+			if e.opts.Stats != nil {
+				e.opts.Stats.Panics.Add(1)
+			}
+		case attemptTimeout:
+			if e.opts.Stats != nil {
+				e.opts.Stats.Timeouts.Add(1)
+			}
+		default: // genuine error or campaign teardown: final
+			return err
+		}
+		if attempt >= attempts {
+			if kind == attemptTimeout {
+				return &TimeoutError{Timeout: e.opts.Timeout, Attempts: attempt, LastEvent: lastNote}
+			}
+			return err
+		}
+		if e.opts.Stats != nil {
+			e.opts.Stats.Retries.Add(1)
+		}
+		// Backoff, aborting early if the campaign is torn down meanwhile.
+		t := time.NewTimer(backoff)
+		select {
+		case <-e.cctx.Done():
+			t.Stop()
+			return e.cctx.Err()
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// attemptKind classifies one attempt's failure for the retry policy.
+type attemptKind int
+
+const (
+	attemptOK attemptKind = iota
+	attemptGenuine
+	attemptPanic
+	attemptTimeout
+)
+
+// attempt runs the task once under the per-attempt deadline. With a
+// deadline armed the task runs on its own goroutine so an attempt that
+// ignores its context can still be abandoned: the goroutine writes only
+// task-local state and a buffered channel, so abandoning it never races the
+// campaign's results (a simulation always terminates on its own via the
+// MaxCycles guard).
+func (e *engine[T]) attempt(i int, task func(context.Context, int) (T, error)) (v T, err error, kind attemptKind, note string) {
+	bs := e.track(i)
+	defer e.untrack(i, bs)
+
+	tctx := context.WithValue(e.cctx, beatKeyType{}, bs)
+	if e.opts.Timeout <= 0 {
+		v, err = runRecovered(tctx, i, task)
+		return v, err, classify(err, e.cctx), bs.lastNote()
+	}
+
+	tctx, cancel := context.WithTimeout(tctx, e.opts.Timeout)
+	defer cancel()
+	type attemptResult struct {
+		v   T
+		err error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		av, aerr := runRecovered(tctx, i, task)
+		ch <- attemptResult{av, aerr}
+	}()
+	//lint:allow detflow deadline abandonment only drops a late attempt: the success branch is the sole source of a result value, so select order cannot reorder or alter merged results
+	select {
+	case r := <-ch:
+		return r.v, r.err, classify(r.err, e.cctx), bs.lastNote()
+	case <-tctx.Done():
+		if e.cctx.Err() != nil { // campaign teardown, not a cell deadline
+			return v, e.cctx.Err(), attemptGenuine, bs.lastNote()
+		}
+		return v, tctx.Err(), attemptTimeout, bs.lastNote()
+	}
+}
+
+// classify maps an attempt error to the retry policy. deadline hits are
+// detected by the caller (the select); here a DeadlineExceeded returned by
+// the task itself while the campaign is alive also counts as a timeout —
+// that is a task honoring its per-cell deadline.
+func classify(err error, cctx context.Context) attemptKind {
+	switch {
+	case err == nil:
+		return attemptOK
+	case isPanic(err):
+		return attemptPanic
+	case errors.Is(err, context.DeadlineExceeded) && cctx.Err() == nil:
+		return attemptTimeout
+	default:
+		return attemptGenuine
+	}
+}
+
+func isPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// runRecovered executes one task attempt, converting a panic into an error
+// so the worker pool survives and the campaign can name the culprit.
+func runRecovered[T any](ctx context.Context, i int, task func(context.Context, int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	v, err := task(ctx, i)
-	if err != nil {
-		return err
-	}
-	*dst = v
-	return nil
+	return task(ctx, i)
 }
 
 // pickError chooses the campaign's reported failure deterministically: the
 // lowest-indexed task with a genuine error. Context-cancellation errors are
 // collateral — a task that noticed the campaign being torn down — and are
-// only reported when no genuine error exists.
+// only reported when no genuine error exists. A *TimeoutError is genuine:
+// it is a cell's own exhausted deadline, not teardown collateral.
 func pickError(failed []outcome, label func(int) string) error {
 	if len(failed) == 0 {
 		return nil

@@ -1,0 +1,278 @@
+package campaign_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redsoc/internal/campaign"
+)
+
+// TestRetryOnPanicProducesIdenticalResults makes every task panic on its
+// first attempt and succeed on the second, and checks the merged results are
+// bit-identical to a run that never panicked — the determinism contract that
+// makes retries safe.
+func TestRetryOnPanicProducesIdenticalResults(t *testing.T) {
+	const n = 12
+	clean := func(_ context.Context, i int) (int, error) { return i*i + 7, nil }
+	want, err := campaign.Run(context.Background(), n,
+		campaign.Options[int]{Workers: 4}, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attempts := make([]atomic.Int32, n)
+	var stats campaign.Stats
+	got, err := campaign.Run(context.Background(), n,
+		campaign.Options[int]{
+			Workers: 4,
+			Retries: 1,
+			Backoff: time.Millisecond,
+			Stats:   &stats,
+		},
+		func(ctx context.Context, i int) (int, error) {
+			if attempts[i].Add(1) == 1 {
+				panic(fmt.Sprintf("transient flake in cell %d", i))
+			}
+			return clean(ctx, i)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("results[%d] = %d after retry, want %d — retries must be invisible", i, got[i], want[i])
+		}
+	}
+	if stats.Panics.Load() != n || stats.Retries.Load() != n {
+		t.Fatalf("stats = %d panics, %d retries; want %d of each", stats.Panics.Load(), stats.Retries.Load(), n)
+	}
+}
+
+// TestGenuineErrorNeverRetries: a deterministic simulation that returned an
+// error will return it again, so the engine must not burn attempts on it.
+func TestGenuineErrorNeverRetries(t *testing.T) {
+	errBad := errors.New("architectural divergence")
+	var calls atomic.Int32
+	var stats campaign.Stats
+	_, err := campaign.Run(context.Background(), 1,
+		campaign.Options[int]{Retries: 3, Backoff: time.Millisecond, Stats: &stats},
+		func(_ context.Context, i int) (int, error) {
+			calls.Add(1)
+			return 0, errBad
+		})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("err = %v, want the genuine error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("task ran %d times, want exactly 1 — genuine errors must not retry", got)
+	}
+	if stats.Retries.Load() != 0 {
+		t.Fatalf("stats counted %d retries for a genuine error", stats.Retries.Load())
+	}
+}
+
+// TestTimeoutRetryThenSuccess: the first attempt ignores its deadline and is
+// abandoned; the retry completes. The task sees its per-attempt context, so
+// a well-behaved blocked attempt can unblock on it.
+func TestTimeoutRetryThenSuccess(t *testing.T) {
+	var attempts atomic.Int32
+	var stats campaign.Stats
+	results, err := campaign.Run(context.Background(), 1,
+		campaign.Options[int]{
+			Timeout: 30 * time.Millisecond,
+			Retries: 1,
+			Backoff: time.Millisecond,
+			Stats:   &stats,
+		},
+		func(ctx context.Context, i int) (int, error) {
+			if attempts.Add(1) == 1 {
+				<-ctx.Done() // hang until the attempt deadline abandons us
+				return 0, ctx.Err()
+			}
+			return 99, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != 99 {
+		t.Fatalf("results[0] = %d, want the retry's value", results[0])
+	}
+	if stats.Timeouts.Load() != 1 || stats.Retries.Load() != 1 {
+		t.Fatalf("stats = %d timeouts, %d retries; want 1 and 1", stats.Timeouts.Load(), stats.Retries.Load())
+	}
+}
+
+// TestTimeoutExhaustedIsGenuine: a cell that overruns its deadline on every
+// attempt fails the campaign with an attributed *TimeoutError — and that
+// error must NOT look like a collateral context cancellation, or the
+// lowest-genuine-error selection would discard it.
+func TestTimeoutExhaustedIsGenuine(t *testing.T) {
+	var stats campaign.Stats
+	_, err := campaign.Run(context.Background(), 3,
+		campaign.Options[int]{
+			Workers: 3,
+			Label:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+			Timeout: 20 * time.Millisecond,
+			Retries: 1,
+			Backoff: time.Millisecond,
+			Stats:   &stats,
+		},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 1 {
+				campaign.Heartbeat(ctx, "entered infinite loop")
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return i, nil
+		})
+	var te *campaign.TaskError
+	if !errors.As(err, &te) || te.Index != 1 || te.Label != "cell-1" {
+		t.Fatalf("err = %v, want *TaskError naming cell-1", err)
+	}
+	var toe *campaign.TimeoutError
+	if !errors.As(err, &toe) || toe.Attempts != 2 {
+		t.Fatalf("err = %v, want wrapped *TimeoutError after 2 attempts", err)
+	}
+	if toe.LastEvent != "entered infinite loop" {
+		t.Fatalf("TimeoutError.LastEvent = %q, want the final heartbeat note", toe.LastEvent)
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		t.Fatalf("a cell's exhausted deadline must not unwrap to a context error: %v", err)
+	}
+	if stats.Timeouts.Load() != 2 {
+		t.Fatalf("stats counted %d timeouts, want 2", stats.Timeouts.Load())
+	}
+}
+
+// TestWatchdogReportsStalledCell arms the watchdog over a cell that
+// heartbeats once and then goes silent: the stall report must carry the
+// cell's label and that last event, exactly once per episode.
+func TestWatchdogReportsStalledCell(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var stalls []campaign.Stall
+	var stats campaign.Stats
+	_, err := campaign.Run(context.Background(), 1,
+		campaign.Options[int]{
+			Label:      func(int) string { return "bitcnt/Small" },
+			StallAfter: 40 * time.Millisecond,
+			Stats:      &stats,
+			OnStall: func(s campaign.Stall) {
+				mu.Lock()
+				stalls = append(stalls, s)
+				mu.Unlock()
+				select {
+				case <-release:
+				default:
+					close(release)
+				}
+			},
+		},
+		func(ctx context.Context, i int) (int, error) {
+			campaign.Heartbeat(ctx, "baseline done (5000 cycles)")
+			<-release // silent until the watchdog notices
+			return 1, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stalls) == 0 {
+		t.Fatal("watchdog never reported the silent cell")
+	}
+	s := stalls[0]
+	if s.Index != 0 || s.Label != "bitcnt/Small" {
+		t.Fatalf("stall = %+v, want index 0 labeled bitcnt/Small", s)
+	}
+	if s.LastEvent != "baseline done (5000 cycles)" {
+		t.Fatalf("stall.LastEvent = %q, want the last heartbeat note", s.LastEvent)
+	}
+	if s.Idle < 40*time.Millisecond {
+		t.Fatalf("stall.Idle = %v, want >= StallAfter", s.Idle)
+	}
+	if stats.Stalls.Load() != int64(len(stalls)) {
+		t.Fatalf("stats counted %d stalls, reports saw %d", stats.Stalls.Load(), len(stalls))
+	}
+}
+
+// TestParentCancelMidCampaign is the mid-flight cancellation regression: a
+// campaign whose tasks all succeed but whose parent is cancelled partway
+// must report a *CancelledError that unwraps to context.Canceled and names
+// how far it got — not a bare context error, and not success.
+func TestParentCancelMidCampaign(t *testing.T) {
+	const n = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := campaign.Run(ctx, n,
+		campaign.Options[int]{
+			Workers: 2,
+			OnDone: func(i, _ int) {
+				if i == 3 {
+					cancel() // parent gives up after the first few cells
+				}
+			},
+		},
+		func(ctx context.Context, i int) (int, error) {
+			if i < 6 {
+				return i, nil
+			}
+			<-ctx.Done() // later cells are in flight during the teardown
+			return i, nil
+		})
+	var ce *campaign.CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must still satisfy errors.Is(err, context.Canceled)", err)
+	}
+	if ce.N != n || ce.Done < 4 || ce.Done >= n {
+		t.Fatalf("CancelledError reports %d/%d done, want partial progress", ce.Done, ce.N)
+	}
+	if len(results) != n {
+		t.Fatalf("results slice has %d slots, want %d (completed prefixes stay usable)", len(results), n)
+	}
+}
+
+// TestPanicStackTrimmedToTaskFrames: the formatted TaskError must point at
+// the panicking task frame, without the goroutine header and recovery
+// machinery above the panic site.
+func TestPanicStackTrimmedToTaskFrames(t *testing.T) {
+	_, err := campaign.Run(context.Background(), 1,
+		campaign.Options[int]{Label: func(int) string { return "gsm/Medium" }},
+		func(_ context.Context, i int) (int, error) {
+			explodeForStackTest()
+			return 0, nil
+		})
+	if err == nil {
+		t.Fatal("want the panic surfaced as an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "gsm/Medium") || !strings.Contains(msg, "slice bounds") && !strings.Contains(msg, "boom") {
+		t.Fatalf("error message lacks attribution or panic value:\n%s", msg)
+	}
+	if !strings.Contains(msg, "explodeForStackTest") {
+		t.Fatalf("error message lacks the panic site frame:\n%s", msg)
+	}
+	if strings.Contains(msg, "goroutine ") || strings.Contains(msg, "debug.Stack") {
+		t.Fatalf("stack was not trimmed to task frames:\n%s", msg)
+	}
+}
+
+//go:noinline
+func explodeForStackTest() {
+	panic("boom at the panic site")
+}
+
+// TestHeartbeatOutsideCampaignIsNoop: library code beats unconditionally, so
+// a bare context must be safe.
+func TestHeartbeatOutsideCampaignIsNoop(t *testing.T) {
+	campaign.Heartbeat(context.Background(), "no engine here")
+}

@@ -1,0 +1,120 @@
+package cellstore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the journal's append-only campaign log: one line per
+// event, each written with a single O_APPEND write so concurrent campaign
+// workers (and concurrent processes sharing the directory) interleave whole
+// lines, never fragments. It is operational truth — "which cells has this
+// journal finished" — not a deterministic artifact: completion order
+// depends on worker scheduling. Resume correctness never depends on it
+// (Get re-verifies every value file); it exists so an interrupted run, a
+// progress watcher or a crash test can see exactly how far a campaign got.
+
+// Record is one parsed manifest line.
+type Record struct {
+	// Op is "campaign" (a run started: Label is its description, N its
+	// planned cell count) or "done" (cell Key completed under Label).
+	Op    string
+	Key   Key
+	N     int
+	Label string
+}
+
+// LogCampaign appends a campaign-start record: n planned cells and a
+// human-readable description.
+func (s *Store) LogCampaign(n int, desc string) error {
+	return s.appendLine(fmt.Sprintf("campaign %d %s\n", n, sanitize(desc)))
+}
+
+// LogDone appends a cell-completion record. Label is diagnostic only.
+func (s *Store) LogDone(key Key, label string) error {
+	return s.appendLine(fmt.Sprintf("done %s %s\n", key, sanitize(label)))
+}
+
+func (s *Store) appendLine(line string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return fmt.Errorf("cellstore: store is closed")
+	}
+	_, err := s.manifest.WriteString(line)
+	return err
+}
+
+// sanitize keeps manifest records one line each.
+func sanitize(v string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, v)
+}
+
+// ReadManifest parses a journal directory's manifest. Unparseable lines
+// (a torn final line after a crash, foreign garbage) are skipped — the
+// manifest degrades, it never fails a resume. A missing manifest is an
+// empty one.
+func ReadManifest(dir string) ([]Record, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cellstore: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseRecord(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// DoneCount returns how many cell completions the manifest records — the
+// hook crash tests and progress watchers poll.
+func DoneCount(dir string) (int, error) {
+	recs, err := ReadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range recs {
+		if r.Op == "done" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func parseRecord(line string) (Record, bool) {
+	op, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
+	switch op {
+	case "campaign":
+		nStr, label, _ := strings.Cut(rest, " ")
+		var n int
+		if _, err := fmt.Sscanf(nStr, "%d", &n); err != nil {
+			return Record{}, false
+		}
+		return Record{Op: op, N: n, Label: label}, true
+	case "done":
+		keyStr, label, _ := strings.Cut(rest, " ")
+		key := Key(keyStr)
+		if !key.valid() {
+			return Record{}, false
+		}
+		return Record{Op: op, Key: key, Label: label}, true
+	}
+	return Record{}, false
+}

@@ -9,10 +9,13 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"redsoc/internal/campaign"
+	"redsoc/internal/cellstore"
 	"redsoc/internal/fault"
 	"redsoc/internal/harness"
 	"redsoc/internal/obs"
@@ -38,9 +41,92 @@ type Options struct {
 	// flight recorder retaining that many events and writes the recorder's
 	// tail to FlightLog — the sub-cycle history leading into the mismatch.
 	// The faulted run is deterministic in (benchmark, rate, seed), so the
-	// re-run reproduces the failing schedule exactly.
+	// re-run reproduces the failing schedule exactly — including for cells
+	// served from the journal, which store only the compact outcome.
 	Flight    int
 	FlightLog io.Writer
+
+	// Journal, if non-nil, records every faulted cell's outcome in the
+	// content-addressed cell journal; with Resume also set, journaled cells
+	// are served instead of re-simulated. Determinism makes the substitution
+	// exact: a resumed report is bit-identical to an uninterrupted one.
+	Journal *cellstore.Store
+	Resume  bool
+
+	// CellTimeout bounds each faulted-cell attempt; Retries grants extra
+	// attempts to cells that panicked or timed out. StallAfter/OnStall arm
+	// the hung-cell watchdog; Stats receives the resilience counters. All
+	// behave exactly as in harness.Options.
+	CellTimeout time.Duration
+	Retries     int
+	StallAfter  time.Duration
+	OnStall     func(campaign.Stall)
+	Stats       *campaign.Stats
+}
+
+// campaignOptions projects the chaos options onto one campaign phase.
+func campaignOptions[T any](opts Options, label func(int) string) campaign.Options[T] {
+	stallAfter := time.Duration(0)
+	if opts.OnStall != nil {
+		if stallAfter = opts.StallAfter; stallAfter <= 0 {
+			stallAfter = time.Minute
+		}
+	}
+	return campaign.Options[T]{
+		Workers:    opts.Workers,
+		Label:      label,
+		Timeout:    opts.CellTimeout,
+		Retries:    opts.Retries,
+		StallAfter: stallAfter,
+		OnStall:    opts.OnStall,
+		Stats:      opts.Stats,
+	}
+}
+
+// chaosPayloadVersion versions the journaled outcome encoding; it is part of
+// the cell fingerprint, so bumping it orphans old entries instead of
+// misreading them.
+const chaosPayloadVersion = 1
+
+// outcome is the compact journaled result of one faulted run: everything the
+// Phase 3 aggregation consumes, and nothing else. Verification against the
+// golden run happens inside the cell (ArchOK), so a journaled cell never
+// needs the full ooo.Result again — the flight recorder re-runs failing
+// cells deterministically when sub-cycle history is wanted.
+type outcome struct {
+	Version      int   `json:"version"`
+	Faults       int64 `json:"faults"`
+	Violations   int64 `json:"violations"`
+	Replays      int64 `json:"replays"`
+	Degradations int64 `json:"degradations"`
+	Cycles       int64 `json:"cycles"`
+	Instructions int64 `json:"instructions"`
+	ArchOK       bool  `json:"arch_ok"`
+}
+
+// chaosKey fingerprints one faulted cell: the full core configuration, the
+// workload, and the fault coordinates (rate, seed). The golden run it is
+// verified against is a pure function of the same core + workload, so it
+// needs no separate component.
+func chaosKey(cfg ooo.Config, digest []byte, rate float64, seed int64) cellstore.Key {
+	return cellstore.NewFingerprint("chaos-cell").
+		Field("payload-version", chaosPayloadVersion).
+		Field("core", cfg).
+		Bytes("workload", digest).
+		Field("rate", rate).
+		Field("seed", seed).
+		Key()
+}
+
+func decodeOutcome(data []byte) (outcome, error) {
+	var o outcome
+	if err := json.Unmarshal(data, &o); err != nil {
+		return outcome{}, err
+	}
+	if o.Version != chaosPayloadVersion {
+		return outcome{}, fmt.Errorf("chaos: journaled outcome version %d, want %d", o.Version, chaosPayloadVersion)
+	}
+	return o, nil
 }
 
 // Report is the outcome of a campaign.
@@ -52,8 +138,11 @@ type Report struct {
 	ArchFailures int
 }
 
-// RunCampaign executes the full campaign.
-func RunCampaign(opts Options) (*Report, error) {
+// RunCampaign executes the full campaign. ctx cancels in-flight cells; with
+// a journal armed everything completed before the cancellation is already
+// persisted, and a resumed campaign serves those cells instead of
+// re-simulating them.
+func RunCampaign(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Seeds < 1 {
 		return nil, fmt.Errorf("chaos: seeds = %d, want >= 1", opts.Seeds)
 	}
@@ -64,23 +153,30 @@ func RunCampaign(opts Options) (*Report, error) {
 		return nil, fmt.Errorf("chaos: no benchmarks given")
 	}
 	cfg := opts.Core
+	var digests map[string][]byte
+	if opts.Journal != nil {
+		digests = make(map[string][]byte, len(opts.Benchmarks))
+		for _, b := range opts.Benchmarks {
+			digests[b.Name] = harness.WorkloadDigest(b)
+		}
+	}
 
 	// Phase 1: per benchmark, the fault-free baseline and golden ReDSOC
-	// runs the faulted runs are verified against.
+	// runs the faulted runs are verified against. Goldens are cheap (one
+	// task per benchmark vs. benchmarks × rates × seeds faulted cells) and
+	// every faulted cell needs them, so they are never journaled.
 	type golden struct {
 		base, golden *ooo.Result
 	}
-	goldens, err := campaign.Run(context.Background(), len(opts.Benchmarks),
-		campaign.Options[golden]{
-			Workers: opts.Workers,
-			Label:   func(i int) string { return opts.Benchmarks[i].Name + "/golden" },
-		},
-		func(_ context.Context, i int) (golden, error) {
+	goldens, err := campaign.Run(ctx, len(opts.Benchmarks),
+		campaignOptions[golden](opts, func(i int) string { return opts.Benchmarks[i].Name + "/golden" }),
+		func(ctx context.Context, i int) (golden, error) {
 			b := opts.Benchmarks[i]
 			base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
 			if err != nil {
 				return golden{}, err
 			}
+			campaign.Heartbeat(ctx, b.Name+"/golden: baseline done")
 			g, err := ooo.Run(cfg.WithPolicy(ooo.PolicyRedsoc), b.Prog)
 			if err != nil {
 				return golden{}, err
@@ -95,20 +191,58 @@ func RunCampaign(opts Options) (*Report, error) {
 	}
 
 	// Phase 2: every faulted run, flattened benchmark-major then rate then
-	// seed — the aggregation order of the serial campaign loop.
+	// seed — the aggregation order of the serial campaign loop. Each cell
+	// verifies against its golden inside the task and returns the compact
+	// outcome Phase 3 consumes, which is also what the journal stores.
 	nr, ns := len(opts.Rates), opts.Seeds
 	perBench := nr * ns
-	faulted, err := campaign.Run(context.Background(), len(opts.Benchmarks)*perBench,
-		campaign.Options[*ooo.Result]{
-			Workers: opts.Workers,
-			Label: func(i int) string {
-				b, rate, seed := split(opts, i)
-				return fmt.Sprintf("%s rate=%g seed=%d", opts.Benchmarks[b].Name, opts.Rates[rate], seed)
-			},
-		},
-		func(_ context.Context, i int) (*ooo.Result, error) {
-			b, rate, seed := split(opts, i)
-			return runFaulted(cfg, opts.Benchmarks[b], opts.Rates[rate], int64(seed))
+	label := func(i int) string {
+		b, rate, seed := split(opts, i)
+		return fmt.Sprintf("%s rate=%g seed=%d", opts.Benchmarks[b].Name, opts.Rates[rate], seed)
+	}
+	if opts.Journal != nil {
+		_ = opts.Journal.LogCampaign(len(opts.Benchmarks)*perBench,
+			fmt.Sprintf("chaos cells on %s", cfg.Name))
+	}
+	faulted, err := campaign.Run(ctx, len(opts.Benchmarks)*perBench,
+		campaignOptions[outcome](opts, label),
+		func(ctx context.Context, i int) (outcome, error) {
+			bi, ri, seed := split(opts, i)
+			b, rate := opts.Benchmarks[bi], opts.Rates[ri]
+			var key cellstore.Key
+			if opts.Journal != nil {
+				key = chaosKey(cfg, digests[b.Name], rate, int64(seed))
+				if opts.Resume {
+					if data, ok := opts.Journal.Get(key); ok {
+						if o, derr := decodeOutcome(data); derr == nil {
+							campaign.Heartbeat(ctx, label(i)+": served from journal")
+							return o, nil
+						}
+					}
+				}
+			}
+			r, err := runFaulted(cfg, b, rate, int64(seed))
+			if err != nil {
+				return outcome{}, err
+			}
+			o := outcome{
+				Version:      chaosPayloadVersion,
+				Faults:       r.FaultStats.Total(),
+				Violations:   r.TimingViolations,
+				Replays:      r.ViolationReplays,
+				Degradations: r.DegradationEvents,
+				Cycles:       r.Cycles,
+				Instructions: r.Instructions,
+				ArchOK:       r.ArchEqual(goldens[bi].golden) && memOK(b, r),
+			}
+			if opts.Journal != nil {
+				if data, derr := json.Marshal(o); derr == nil {
+					if perr := opts.Journal.Put(key, data); perr == nil {
+						_ = opts.Journal.LogDone(key, label(i))
+					}
+				}
+			}
+			return o, nil
 		})
 	if err != nil {
 		return nil, err
@@ -123,10 +257,9 @@ func RunCampaign(opts Options) (*Report, error) {
 		for ri, rate := range opts.Rates {
 			cell := campaignCell{}
 			for seed := 1; seed <= ns; seed++ {
-				r := faulted[bi*perBench+ri*ns+(seed-1)]
-				ok := r.ArchEqual(goldens[bi].golden) && memOK(b, r)
-				cell.add(r, ok)
-				if !ok && opts.Flight > 0 && opts.FlightLog != nil {
+				o := faulted[bi*perBench+ri*ns+(seed-1)]
+				cell.add(o)
+				if !o.ArchOK && opts.Flight > 0 && opts.FlightLog != nil {
 					dumpFlight(opts, cfg, b, rate, int64(seed))
 				}
 			}
@@ -218,14 +351,14 @@ type campaignCell struct {
 	archBad                                   int
 }
 
-func (c *campaignCell) add(r *ooo.Result, archOK bool) {
-	c.faults += r.FaultStats.Total()
-	c.violations += r.TimingViolations
-	c.replays += r.ViolationReplays
-	c.degradations += r.DegradationEvents
-	c.cycles += r.Cycles
-	c.instructions += r.Instructions
-	if !archOK {
+func (c *campaignCell) add(o outcome) {
+	c.faults += o.Faults
+	c.violations += o.Violations
+	c.replays += o.Replays
+	c.degradations += o.Degradations
+	c.cycles += o.Cycles
+	c.instructions += o.Instructions
+	if !o.ArchOK {
 		c.archBad++
 	}
 }

@@ -1,9 +1,11 @@
 package chaos_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"redsoc/internal/cellstore"
 	"redsoc/internal/chaos"
 	"redsoc/internal/harness"
 	"redsoc/internal/ooo"
@@ -27,7 +29,7 @@ func quickOptions(workers int) chaos.Options {
 // injector draw comes from a task-local seeded RNG, so this is exactly the
 // "parallel equals serial" obligation.
 func TestCampaignWorkerCountInvariance(t *testing.T) {
-	serial, err := chaos.RunCampaign(quickOptions(1))
+	serial, err := chaos.RunCampaign(context.Background(), quickOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestCampaignWorkerCountInvariance(t *testing.T) {
 		t.Fatalf("unexpected report header:\n%s", want)
 	}
 	for _, workers := range []int{4, 0} {
-		par, err := chaos.RunCampaign(quickOptions(workers))
+		par, err := chaos.RunCampaign(context.Background(), quickOptions(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +62,7 @@ func TestCampaignOptionValidation(t *testing.T) {
 		"no rates": {Core: ooo.SmallConfig(), Seeds: 1, Benchmarks: bs},
 		"no bench": {Core: ooo.SmallConfig(), Seeds: 1, Rates: []float64{0.1}},
 	} {
-		if _, err := chaos.RunCampaign(opts); err == nil {
+		if _, err := chaos.RunCampaign(context.Background(), opts); err == nil {
 			t.Errorf("%s: campaign must refuse to run", name)
 		}
 	}
@@ -76,5 +78,50 @@ func TestPickOnePerClass(t *testing.T) {
 		if got[i].Class != class {
 			t.Fatalf("smoke set order %v, want suite order", got)
 		}
+	}
+}
+
+// TestChaosJournalResumeEquivalence runs the smoke campaign fresh into a
+// journal, then resumes it: the rendered report must be byte-identical and
+// every faulted cell must be a journal hit (goldens are recomputed — they
+// are deliberately never journaled).
+func TestChaosJournalResumeEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	fresh, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOptions(2)
+	opts.Journal = fresh
+	r1, err := chaos.RunCampaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := len(opts.Benchmarks) * len(opts.Rates) * opts.Seeds
+	if st := fresh.Stats(); int(st.Writes) != nCells {
+		t.Fatalf("fresh stats = %+v, want %d cell writes", st, nCells)
+	}
+	fresh.Close()
+
+	resumed, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	opts = quickOptions(4) // different worker count on purpose
+	opts.Journal = resumed
+	opts.Resume = true
+	r2, err := chaos.RunCampaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r2.Table.String(), r1.Table.String(); got != want {
+		t.Fatalf("resumed report diverges:\n--- fresh ---\n%s--- resumed ---\n%s", want, got)
+	}
+	if r2.ArchFailures != r1.ArchFailures {
+		t.Fatalf("resumed arch failures %d vs fresh %d", r2.ArchFailures, r1.ArchFailures)
+	}
+	if st := resumed.Stats(); int(st.Hits) != nCells || st.Misses != 0 {
+		t.Fatalf("resume stats = %+v, want all %d faulted cells served from journal", st, nCells)
 	}
 }

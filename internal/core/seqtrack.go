@@ -1,5 +1,7 @@
 package core
 
+import "encoding/json"
+
 // SeqTracker accumulates the lengths of transparent sequences: maximal chains
 // of operations in which each operation after the first began evaluating
 // mid-cycle off its producer's transparent bypass. Fig. 11 reports the
@@ -68,6 +70,26 @@ func (t *SeqTracker) Histogram() map[int]uint64 {
 		out[l] = c
 	}
 	return out
+}
+
+// MarshalJSON serializes the tracker's histogram. encoding/json sorts the
+// map keys, so identical trackers marshal to identical bytes — the property
+// the content-addressed cell journal leans on — and integer keys and counts
+// round-trip exactly.
+func (t *SeqTracker) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.hist)
+}
+
+// UnmarshalJSON restores a tracker from its histogram; a journaled tracker
+// round-trips bit-exactly, so Fig. 11's sequence statistics from a resumed
+// cell match a fresh run's.
+func (t *SeqTracker) UnmarshalJSON(data []byte) error {
+	hist := make(map[int]uint64)
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return err
+	}
+	t.hist = hist
+	return nil
 }
 
 // Merge folds another tracker's counts into this one.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func gateGrid(t *testing.T, workers int) *Grid {
 	t.Helper()
 	benchmarks := Benchmarks(Quick)[:2]
 	cores := Cores()[:1]
-	g, err := Run(benchmarks, cores, Options{Workers: workers})
+	g, err := Run(context.Background(), benchmarks, cores, Options{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,7 +22,7 @@ func quickGrid(t *testing.T) *Grid {
 		t.Skip("grid run")
 	}
 	claimsOnce.Do(func() {
-		claimsGrid, claimsErr = Run(Benchmarks(Quick), Cores(), Options{SweepThreshold: true})
+		claimsGrid, claimsErr = Run(context.Background(), Benchmarks(Quick), Cores(), Options{SweepThreshold: true})
 	})
 	if claimsErr != nil {
 		t.Fatal(claimsErr)

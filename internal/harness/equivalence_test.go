@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -34,7 +35,7 @@ func runSerialReference(benchmarks []Benchmark, cores []ooo.Config, opts Options
 			g.ChosenThreshold[class][cfg.Name] = th
 			for _, b := range bs {
 				c := cfg
-				cmp, err := compareAt(c, b, th)
+				cmp, err := compareAt(context.Background(), c, b, th)
 				if err != nil {
 					return nil, fmt.Errorf("harness: %s on %s: %w", b.Name, cfg.Name, err)
 				}
@@ -134,7 +135,7 @@ func TestParallelGridMatchesSerialGolden(t *testing.T) {
 	var parLines []string
 	parOpts := Options{SweepThreshold: true, Workers: runtime.NumCPU(),
 		Progress: func(s string) { parLines = append(parLines, s) }}
-	par, err := Run(benchmarks, cores, parOpts)
+	par, err := Run(context.Background(), benchmarks, cores, parOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestWorkerCountInvarianceMiniGrid(t *testing.T) {
 	cores := []ooo.Config{ooo.BigConfig(), ooo.SmallConfig()}
 	run := func(workers int) (string, string) {
 		var lines []string
-		g, err := Run(bs, cores, Options{SweepThreshold: true, Workers: workers,
+		g, err := Run(context.Background(), bs, cores, Options{SweepThreshold: true, Workers: workers,
 			Progress: func(s string) { lines = append(lines, s) }})
 		if err != nil {
 			t.Fatal(err)

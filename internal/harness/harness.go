@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"redsoc/internal/baseline"
 	"redsoc/internal/campaign"
+	"redsoc/internal/cellstore"
 	"redsoc/internal/isa"
 	"redsoc/internal/ooo"
 	"redsoc/internal/workload/extra"
@@ -190,17 +192,67 @@ type Options struct {
 	// cell simulation is independent and results are merged by task index,
 	// so any worker count produces a bit-identical grid.
 	Workers int
+
+	// Journal, if non-nil, records every completed cell and sweep total in
+	// the content-addressed cell journal as the grid runs; with Resume also
+	// set, previously journaled work is served instead of re-simulated.
+	// Determinism makes the substitution exact: a resumed grid is
+	// bit-identical to an uninterrupted one.
+	Journal *cellstore.Store
+	// Resume serves journal hits. Without it the journal is write-only (a
+	// fresh run that leaves a resumable trail behind).
+	Resume bool
+
+	// CellTimeout bounds each cell attempt; Retries grants extra attempts
+	// to cells that panicked or timed out (genuine simulation errors never
+	// retry). Retried cells produce identical bytes — see campaign.Options.
+	CellTimeout time.Duration
+	Retries     int
+	// StallAfter arms the hung-cell watchdog when OnStall is set: a cell
+	// silent for longer than this is reported with its label and last
+	// observed event. Zero with OnStall set defaults to one minute.
+	StallAfter time.Duration
+	OnStall    func(campaign.Stall)
+	// Stats, if non-nil, receives the campaign resilience counters.
+	Stats *campaign.Stats
+}
+
+// campaignOptions projects the grid options onto one campaign phase.
+func campaignOptions[T any](opts Options, label func(int) string, onDone func(int, T)) campaign.Options[T] {
+	stallAfter := time.Duration(0)
+	if opts.OnStall != nil {
+		if stallAfter = opts.StallAfter; stallAfter <= 0 {
+			stallAfter = time.Minute
+		}
+	}
+	return campaign.Options[T]{
+		Workers:    opts.Workers,
+		Label:      label,
+		OnDone:     onDone,
+		Timeout:    opts.CellTimeout,
+		Retries:    opts.Retries,
+		StallAfter: stallAfter,
+		OnStall:    opts.OnStall,
+		Stats:      opts.Stats,
+	}
 }
 
 // Run executes the grid. The Sec. VI-C threshold sweep and the grid cells
 // each run as a concurrent campaign: cells are simulated in parallel but
 // appended to the grid — and reported through Progress — in the same
-// class → core → benchmark order the serial evaluation used.
-func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error) {
+// class → core → benchmark order the serial evaluation used. ctx cancels
+// in-flight scheduling (SIGINT in the CLIs lands here); with a journal
+// armed, everything completed before the cancellation is already persisted
+// and a -resume run picks up exactly where this one stopped.
+func Run(ctx context.Context, benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error) {
 	g := &Grid{ChosenThreshold: map[Class]map[string]int{}}
 	byClass := map[Class][]Benchmark{}
 	for _, b := range benchmarks {
 		byClass[b.Class] = append(byClass[b.Class], b)
+	}
+	var digests map[*isa.Program][]byte
+	if opts.Journal != nil {
+		digests = benchmarkDigests(benchmarks)
 	}
 
 	// Phase A: one threshold per (class, core), from the Sec. VI-C sweep.
@@ -214,7 +266,7 @@ func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error
 			pairs = append(pairs, classCore{class, cfg})
 		}
 	}
-	thresholds, err := chooseThresholds(pairs, byClass, opts)
+	thresholds, err := chooseThresholds(ctx, pairs, byClass, digests, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -235,29 +287,44 @@ func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error
 			tasks = append(tasks, cellTask{pr.class, b, pr.cfg, thresholds[i]})
 		}
 	}
-	cells, err := campaign.Run(context.Background(), len(tasks),
-		campaign.Options[Cell]{
-			Workers: opts.Workers,
-			Label:   func(i int) string { return tasks[i].b.Name + "/" + tasks[i].cfg.Name },
-			OnDone: func(i int, c Cell) {
-				if opts.Progress != nil {
-					t := tasks[i]
-					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
-						t.class, t.b.Name, t.cfg.Name,
-						100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1)))
-				}
-			},
-		},
-		func(_ context.Context, i int) (Cell, error) {
+	if opts.Journal != nil {
+		_ = opts.Journal.LogCampaign(len(tasks), "grid cells")
+	}
+	label := func(i int) string { return tasks[i].b.Name + "/" + tasks[i].cfg.Name }
+	cells, err := campaign.Run(ctx, len(tasks),
+		campaignOptions(opts, label, func(i int, c Cell) {
+			if opts.Progress != nil {
+				t := tasks[i]
+				opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
+					t.class, t.b.Name, t.cfg.Name,
+					100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1)))
+			}
+		}),
+		func(ctx context.Context, i int) (Cell, error) {
 			t := tasks[i]
-			cmp, err := compareAt(t.cfg, t.b, t.th)
+			var key cellstore.Key
+			if opts.Journal != nil {
+				key = cellKey(t.cfg, digests[t.b.Prog], t.th)
+				if c, ok := journalGet(opts, key, func(d []byte) (Cell, error) {
+					return decodeCell(d, t.b, t.cfg.Name)
+				}); ok {
+					campaign.Heartbeat(ctx, label(i)+": served from journal")
+					return c, nil
+				}
+			}
+			cmp, err := compareAt(ctx, t.cfg, t.b, t.th)
 			if err != nil {
 				return Cell{}, fmt.Errorf("harness: %s on %s: %w", t.b.Name, t.cfg.Name, err)
 			}
 			if err := verify(t.b, cmp); err != nil {
 				return Cell{}, err
 			}
-			return Cell{Benchmark: t.b, Core: t.cfg.Name, Threshold: t.th, Cmp: cmp}, nil
+			cell := Cell{Benchmark: t.b, Core: t.cfg.Name, Threshold: t.th, Cmp: cmp}
+			if opts.Journal != nil {
+				data, derr := encodeCell(cell)
+				journalPut(opts, key, label(i), data, derr)
+			}
+			return cell, nil
 		})
 	if err != nil {
 		return nil, err
@@ -271,7 +338,7 @@ func Run(benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error
 // on that core. The (pair, candidate) grid is flattened into one campaign;
 // the reduction walks candidates in declared order with a strict >, so ties
 // resolve to the earliest candidate exactly as the serial sweep did.
-func chooseThresholds(pairs []classCore, byClass map[Class][]Benchmark, opts Options) ([]int, error) {
+func chooseThresholds(ctx context.Context, pairs []classCore, byClass map[Class][]Benchmark, digests map[*isa.Program][]byte, opts Options) ([]int, error) {
 	out := make([]int, len(pairs))
 	if !opts.SweepThreshold {
 		for i, pr := range pairs {
@@ -280,18 +347,33 @@ func chooseThresholds(pairs []classCore, byClass map[Class][]Benchmark, opts Opt
 		return out, nil
 	}
 	nc := len(ThresholdCandidates)
-	totals, err := campaign.Run(context.Background(), len(pairs)*nc,
-		campaign.Options[float64]{
-			Workers: opts.Workers,
-			Label: func(i int) string {
-				pr := pairs[i/nc]
-				return fmt.Sprintf("sweep %s/%s th=%d", pr.class, pr.cfg.Name, ThresholdCandidates[i%nc])
-			},
-		},
-		func(_ context.Context, i int) (float64, error) {
+	if opts.Journal != nil {
+		_ = opts.Journal.LogCampaign(len(pairs)*nc, "threshold sweep")
+	}
+	label := func(i int) string {
+		pr := pairs[i/nc]
+		return fmt.Sprintf("sweep %s/%s th=%d", pr.class, pr.cfg.Name, ThresholdCandidates[i%nc])
+	}
+	totals, err := campaign.Run(ctx, len(pairs)*nc,
+		campaignOptions[float64](opts, label, nil),
+		func(ctx context.Context, i int) (float64, error) {
 			pr, th := pairs[i/nc], ThresholdCandidates[i%nc]
+			var key cellstore.Key
+			if opts.Journal != nil {
+				class := byClass[pr.class]
+				ds := make([][]byte, len(class))
+				for j, b := range class {
+					ds[j] = digests[b.Prog]
+				}
+				key = sweepKey(pr.cfg, pr.class, ds, th)
+				if total, ok := journalGet(opts, key, decodeTotal); ok {
+					campaign.Heartbeat(ctx, label(i)+": served from journal")
+					return total, nil
+				}
+			}
 			total := 0.0
 			for _, b := range byClass[pr.class] {
+				campaign.Heartbeat(ctx, fmt.Sprintf("%s: simulating %s", label(i), b.Name))
 				base, err := ooo.Run(pr.cfg.WithPolicy(ooo.PolicyBaseline), b.Prog)
 				if err != nil {
 					return 0, err
@@ -303,6 +385,10 @@ func chooseThresholds(pairs []classCore, byClass map[Class][]Benchmark, opts Opt
 					return 0, err
 				}
 				total += red.SpeedupOver(base)
+			}
+			if opts.Journal != nil {
+				data, derr := encodeTotal(total)
+				journalPut(opts, key, label(i), data, derr)
 			}
 			return total, nil
 		})
@@ -321,28 +407,36 @@ func chooseThresholds(pairs []classCore, byClass map[Class][]Benchmark, opts Opt
 	return out, nil
 }
 
-// compareAt runs the four schedulers with the given ReDSOC threshold.
-func compareAt(cfg ooo.Config, b Benchmark, threshold int) (*baseline.Comparison, error) {
+// compareAt runs the four schedulers with the given ReDSOC threshold. The
+// heartbeats between runs feed the campaign watchdog: a stall report names
+// which of the four simulations a hung cell last finished.
+func compareAt(ctx context.Context, cfg ooo.Config, b Benchmark, threshold int) (*baseline.Comparison, error) {
 	c := cfg
-	cmp, err := baselineCompareWithThreshold(c, b.Prog, threshold)
+	cmp, err := baselineCompareWithThreshold(ctx, c, b.Prog, threshold)
 	return cmp, err
 }
 
-func baselineCompareWithThreshold(cfg ooo.Config, prog *isa.Program, threshold int) (*baseline.Comparison, error) {
+func baselineCompareWithThreshold(ctx context.Context, cfg ooo.Config, prog *isa.Program, threshold int) (*baseline.Comparison, error) {
+	beat := func(stage string, cycles int64) {
+		campaign.Heartbeat(ctx, fmt.Sprintf("%s/%s: %s done (%d cycles)", prog.Name, cfg.Name, stage, cycles))
+	}
 	base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), prog)
 	if err != nil {
 		return nil, err
 	}
+	beat("baseline", base.Cycles)
 	rc := cfg.WithPolicy(ooo.PolicyRedsoc)
 	rc.Redsoc.ThresholdTicks = threshold
 	red, err := ooo.Run(rc, prog)
 	if err != nil {
 		return nil, err
 	}
+	beat("redsoc", red.Cycles)
 	mos, err := ooo.Run(cfg.WithPolicy(ooo.PolicyMOS), prog)
 	if err != nil {
 		return nil, err
 	}
+	beat("mos", mos.Cycles)
 	ts, err := baseline.RunTS(cfg, prog)
 	if err != nil {
 		return nil, err

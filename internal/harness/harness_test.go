@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -73,7 +74,7 @@ func miniGrid(t *testing.T) *Grid {
 			bs = append(bs, b)
 		}
 	}
-	g, err := Run(bs, []ooo.Config{ooo.BigConfig(), ooo.SmallConfig()}, Options{})
+	g, err := Run(context.Background(), bs, []ooo.Config{ooo.BigConfig(), ooo.SmallConfig()}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestThresholdSweepChoosesCandidates(t *testing.T) {
 			bs = append(bs, b)
 		}
 	}
-	g, err := Run(bs, []ooo.Config{ooo.SmallConfig()}, Options{SweepThreshold: true})
+	g, err := Run(context.Background(), bs, []ooo.Config{ooo.SmallConfig()}, Options{SweepThreshold: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	for addr := range bench.WantMem {
 		bench.WantMem[addr] ^= 1
 	}
-	_, err := Run([]Benchmark{bench}, []ooo.Config{ooo.SmallConfig()}, Options{})
+	_, err := Run(context.Background(), []Benchmark{bench}, []ooo.Config{ooo.SmallConfig()}, Options{})
 	if err == nil {
 		t.Fatal("corrupted reference must fail verification")
 	}
@@ -202,7 +203,7 @@ func TestExtrasVerified(t *testing.T) {
 		if len(b.WantMem) == 0 {
 			t.Fatalf("%s carries no reference values", b.Name)
 		}
-		cmp, err := compareAt(cfg, b, th)
+		cmp, err := compareAt(context.Background(), cfg, b, th)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
@@ -227,7 +228,7 @@ func TestProgressCallback(t *testing.T) {
 		}
 	}
 	var lines []string
-	_, err := Run(bs, []ooo.Config{ooo.SmallConfig()}, Options{
+	_, err := Run(context.Background(), bs, []ooo.Config{ooo.SmallConfig()}, Options{
 		Progress: func(s string) { lines = append(lines, s) },
 	})
 	if err != nil {

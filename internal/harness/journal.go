@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"redsoc/internal/baseline"
+	"redsoc/internal/cellstore"
+	"redsoc/internal/isa"
+	"redsoc/internal/ooo"
+)
+
+// Journaling: every unit of grid work — a Phase B cell (four scheduler runs
+// compared and verified) and a Phase A sweep total (one class × core ×
+// threshold-candidate speedup sum) — is content-addressed in the cell
+// journal by a canonical fingerprint of everything that determines its
+// outcome: the full core configuration, a digest of the workload (name,
+// dynamic instruction stream, initial memory image and reference results),
+// the policy set, and the slack threshold. The journaled value is the
+// complete serialized outcome (for a cell, all four ooo.Results), so a
+// resumed cell is indistinguishable from a fresh one to every downstream
+// consumer — report, figures, markdown, metrics — and the determinism gates
+// make that an exact, not approximate, equivalence.
+
+// cellPayloadVersion versions the harness's journaled encodings on top of
+// cellstore.SchemaVersion; it participates in the fingerprint, so bumping
+// it orphans (rather than misreads) old entries.
+const cellPayloadVersion = 1
+
+// journaledCell is the serialized outcome of one grid cell.
+type journaledCell struct {
+	Version   int                  `json:"version"`
+	Threshold int                  `json:"threshold_ticks"`
+	Cmp       *baseline.Comparison `json:"comparison"`
+}
+
+// journaledTotal is the serialized outcome of one sweep task.
+type journaledTotal struct {
+	Version int     `json:"version"`
+	Total   float64 `json:"total_speedup"`
+}
+
+// benchmarkDigest canonically fingerprints a workload: the program identity
+// (name, every dynamic instruction, the initial memory image) plus the
+// verification data, which participates in the cell outcome (a cell that
+// fails verification journals nothing).
+func benchmarkDigest(b Benchmark) []byte {
+	return cellstore.DigestJSON(struct {
+		Class   Class
+		Name    string
+		Prog    *isa.Program
+		WantMem map[uint64]uint64
+	}{b.Class, b.Name, b.Prog, b.WantMem})
+}
+
+// benchmarkDigests precomputes workload digests keyed by program pointer —
+// each program appears in one cell per core, and hashing a 20k-instruction
+// trace once instead of three times keeps journaling cheap.
+func benchmarkDigests(benchmarks []Benchmark) map[*isa.Program][]byte {
+	out := make(map[*isa.Program][]byte, len(benchmarks))
+	for _, b := range benchmarks {
+		out[b.Prog] = benchmarkDigest(b)
+	}
+	return out
+}
+
+// WorkloadDigest exposes the canonical workload fingerprint to other
+// campaign drivers — the chaos campaign keys its journaled cells with it.
+func WorkloadDigest(b Benchmark) []byte { return benchmarkDigest(b) }
+
+// cellKey fingerprints one Phase B grid cell: the full core configuration,
+// the workload digest, the policy set the cell compares, and the threshold
+// the sweep chose.
+func cellKey(cfg ooo.Config, digest []byte, threshold int) cellstore.Key {
+	return cellstore.NewFingerprint("grid-cell").
+		Field("payload-version", cellPayloadVersion).
+		Field("core", cfg).
+		Bytes("workload", digest).
+		Field("policies", []string{"baseline", "redsoc", "mos", "ts"}).
+		Field("threshold", threshold).
+		Key()
+}
+
+// sweepKey fingerprints one Phase A sweep task: the core, the ordered
+// workload digests of the class, and the candidate threshold.
+func sweepKey(cfg ooo.Config, class Class, digests [][]byte, candidate int) cellstore.Key {
+	f := cellstore.NewFingerprint("sweep-total").
+		Field("payload-version", cellPayloadVersion).
+		Field("core", cfg).
+		Field("class", class).
+		Field("candidate", candidate)
+	for i, d := range digests {
+		f.Bytes(fmt.Sprintf("workload-%d", i), d)
+	}
+	return f.Key()
+}
+
+// encodeCell serializes a completed cell for the journal. encoding/json is
+// canonical here (struct fields in declaration order, map keys sorted,
+// shortest-round-trip floats), so identical cells produce identical bytes.
+func encodeCell(c Cell) ([]byte, error) {
+	return json.Marshal(journaledCell{Version: cellPayloadVersion, Threshold: c.Threshold, Cmp: c.Cmp})
+}
+
+// decodeCell rebuilds a Cell from its journaled payload. Any shape problem
+// is an error, which the caller treats as a cache miss.
+func decodeCell(data []byte, b Benchmark, core string) (Cell, error) {
+	var v journaledCell
+	if err := json.Unmarshal(data, &v); err != nil {
+		return Cell{}, err
+	}
+	if v.Version != cellPayloadVersion {
+		return Cell{}, fmt.Errorf("harness: journaled cell version %d, want %d", v.Version, cellPayloadVersion)
+	}
+	if v.Cmp == nil || v.Cmp.Baseline == nil || v.Cmp.Redsoc == nil || v.Cmp.MOS == nil {
+		return Cell{}, fmt.Errorf("harness: journaled cell is incomplete")
+	}
+	return Cell{Benchmark: b, Core: core, Threshold: v.Threshold, Cmp: v.Cmp}, nil
+}
+
+// encodeTotal / decodeTotal serialize a sweep task's speedup sum.
+func encodeTotal(total float64) ([]byte, error) {
+	return json.Marshal(journaledTotal{Version: cellPayloadVersion, Total: total})
+}
+
+func decodeTotal(data []byte) (float64, error) {
+	var v journaledTotal
+	if err := json.Unmarshal(data, &v); err != nil {
+		return 0, err
+	}
+	if v.Version != cellPayloadVersion {
+		return 0, fmt.Errorf("harness: journaled total version %d, want %d", v.Version, cellPayloadVersion)
+	}
+	return v.Total, nil
+}
+
+// journalGet serves a journaled payload when resuming. A nil journal, a
+// fresh (non-resume) run, a miss or an undecodable payload all mean "run
+// the simulation"; decode failures count as misses by construction (the
+// journal already verified the checksum, so a decode failure here means a
+// foreign or stale payload shape).
+func journalGet[T any](opts Options, key cellstore.Key, decode func([]byte) (T, error)) (T, bool) {
+	var zero T
+	if opts.Journal == nil || !opts.Resume {
+		return zero, false
+	}
+	data, ok := opts.Journal.Get(key)
+	if !ok {
+		return zero, false
+	}
+	v, err := decode(data)
+	if err != nil {
+		return zero, false
+	}
+	return v, true
+}
+
+// journalPut journals a completed unit of work and logs it in the campaign
+// manifest. Journal failures (full disk, permissions) never fail the
+// campaign — the work is already done and correct; it just won't be
+// resumable — but they are counted in the store's stats.
+func journalPut(opts Options, key cellstore.Key, label string, payload []byte, err error) {
+	if opts.Journal == nil || err != nil {
+		return
+	}
+	if perr := opts.Journal.Put(key, payload); perr != nil {
+		return
+	}
+	_ = opts.Journal.LogDone(key, label)
+}

@@ -1,6 +1,7 @@
 package redsoc
 
 import (
+	"context"
 	"testing"
 
 	"redsoc/internal/harness"
@@ -163,7 +164,7 @@ func TestQuickGridSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run")
 	}
-	g, err := harness.Run(harness.Benchmarks(harness.Quick), harness.Cores(), harness.Options{})
+	g, err := harness.Run(context.Background(), harness.Benchmarks(harness.Quick), harness.Cores(), harness.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
