@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPathFlow(t *testing.T) {
-	analysistest.Run(t, hotpathflow.Analyzer, "hot")
+	analysistest.Run(t, hotpathflow.Analyzer, "hot", "tick")
 }

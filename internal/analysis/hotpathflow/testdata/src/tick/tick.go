@@ -1,0 +1,31 @@
+// Package tick is the scheduler-side half of the SoA fixtures: a marked tick
+// must not reach the decode path through any chain of unmarked glue, while
+// column reads through the marked accessor prune the walk.
+package tick
+
+import "flat"
+
+type core struct {
+	v   *flat.View
+	sum uint8
+}
+
+// attachView is unmarked glue between the marked tick and the allocating
+// cached-decode path two hops down.
+func (c *core) attachView(n int) { c.v = flat.Cached(n) }
+
+//redsoc:hotpath
+func (c *core) tick(n int) {
+	c.attachView(n) // want `reaches an allocation through \(\*tick\.core\)\.attachView -> flat\.Cached -> flat\.Decode \(flat/flat\.go:\d+:\d+: heap-allocates`
+	c.scan()        // pruned at the marked callee: not flagged
+}
+
+// scan reads the columns: the call edge into the view prunes at the marked
+// flat.(*View).Len, and the column loads themselves are not calls at all.
+//
+//redsoc:hotpath
+func (c *core) scan() {
+	for i := 0; i < c.v.Len(); i++ {
+		c.sum += c.v.Class[i]
+	}
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSchedAlloc(t *testing.T) {
-	analysistest.Run(t, schedalloc.Analyzer, "sched")
+	analysistest.Run(t, schedalloc.Analyzer, "sched", "soa")
 }

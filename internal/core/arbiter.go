@@ -1,12 +1,19 @@
 package core
 
-// The select arbiter of Sec. IV-D, implemented the way Fig. 9 draws it: an
-// age-mask table plus a wakeup array, extended with the P/GP array that skews
-// priority so non-speculative (parent-woken) requests always beat
-// speculative (grandparent-woken) ones while each group keeps oldest-first
-// order among itself. Global arbitration (one window over all entries) is
-// assumed, as in the paper, so a GP-woken child can never be selected ahead
-// of its requesting parent.
+// The select arbiter of Sec. IV-D: an age-mask table plus a wakeup array,
+// extended with the P/GP array that skews priority so non-speculative
+// (parent-woken) requests always beat speculative (grandparent-woken) ones
+// while each group keeps oldest-first order among itself. Global arbitration
+// (one window over all entries) is assumed, as in the paper, so a GP-woken
+// child can never be selected ahead of its requesting parent.
+//
+// The gate-level form (Fig. 9: per-entry age masks, effective-mask
+// intersection against the wakeup vector) reduces to a total grant order —
+// skewed: every non-speculative request before any speculative one, oldest
+// first within each group; unskewed: purely oldest first. Grant evaluates
+// that order directly with an O(n·m) selection sweep; grantCircuit keeps the
+// mask-table implementation as the executable reference, and a test pins the
+// two to identical grant sequences.
 
 // Request is one reservation-station entry asking the select logic for a
 // grant.
@@ -19,21 +26,23 @@ type Request struct {
 }
 
 // Arbiter is the (optionally skewed) oldest-first select logic. It owns the
-// age-mask and grant scratch storage for its Grant evaluations, so a
-// steady-state select cycle allocates nothing; an Arbiter is consequently not
-// safe for concurrent use (each Simulator owns one).
+// grant and mask scratch storage for its evaluations, so a steady-state
+// select cycle allocates nothing; an Arbiter is consequently not safe for
+// concurrent use (each Simulator owns one).
 type Arbiter struct {
 	skewed bool
 
-	// Scratch reused across Grant calls: one flat word buffer backing the
-	// per-request age masks, the three working bitsets, and the grant list
-	// handed back to the caller.
+	// Selection scratch reused across Grant calls.
+	taken  []bool
+	grants []int
+
+	// Scratch for grantCircuit: one flat word buffer backing the
+	// per-request age masks and the three working bitsets.
 	maskWords []uint64
 	older     []bitset
 	awake     bitset
 	nonSpec   bitset
 	eff       bitset
-	grants    []int
 }
 
 // NewArbiter returns an arbiter; skewed enables the P-over-GP priority.
@@ -67,15 +76,100 @@ func (b bitset) intersects(c bitset) bool {
 }
 
 // Grant selects up to m winners from the requests and returns their indices
-// in grant order. It evaluates the Fig. 9 circuit: each entry's age mask has
-// a bit per older entry; a requester wins when its effective mask intersects
-// no awake entry. Skewing ORs every non-speculative requester into a
-// speculative entry's mask and clears speculative bits from a
-// non-speculative entry's mask.
+// in grant order.
 //
 // The returned slice aliases the arbiter's scratch storage and is valid only
 // until the next Grant call.
+//
+//redsoc:hotpath
 func (a *Arbiter) Grant(reqs []Request, m int) []int {
+	n := len(reqs)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	if cap(a.taken) < n {
+		a.taken = make([]bool, n) //lint:allow schedalloc amortized: scratch regrows once per high-water mark
+	}
+	taken := a.taken[:n]
+	for i := range taken {
+		taken[i] = false
+	}
+	grants := a.grants[:0]
+	for len(grants) < m && len(grants) < n {
+		w := -1
+		for i := range reqs {
+			if taken[i] {
+				continue
+			}
+			if w < 0 || a.outranks(&reqs[i], &reqs[w]) {
+				w = i
+			}
+		}
+		taken[w] = true
+		grants = append(grants, w) //lint:allow schedalloc amortized: the grant list is retained scratch, regrown once per high-water mark
+	}
+	a.grants = grants
+	return grants
+}
+
+// outranks reports whether x precedes y in grant order.
+//
+//redsoc:hotpath
+func (a *Arbiter) outranks(x, y *Request) bool {
+	if a.skewed && x.Spec != y.Spec {
+		return !x.Spec
+	}
+	return x.Age < y.Age
+}
+
+// GrantSorted is Grant for request slices already in ascending Age order (a
+// scheduler whose ready set is age-sorted gets this for free). The grant
+// order falls out in one or two linear passes instead of the O(n·m)
+// selection sweep; the result is identical to Grant on the same input.
+//
+// The returned slice aliases the arbiter's scratch storage and is valid only
+// until the next Grant or GrantSorted call.
+//
+//redsoc:hotpath
+func (a *Arbiter) GrantSorted(reqs []Request, m int) []int {
+	n := len(reqs)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	grants := a.grants[:0]
+	if a.skewed {
+		for i := range reqs {
+			if len(grants) == m {
+				break
+			}
+			if !reqs[i].Spec {
+				grants = append(grants, i) //lint:allow schedalloc amortized: the grant list is retained scratch, regrown once per high-water mark
+			}
+		}
+		for i := range reqs {
+			if len(grants) == m {
+				break
+			}
+			if reqs[i].Spec {
+				grants = append(grants, i) //lint:allow schedalloc amortized: the grant list is retained scratch, regrown once per high-water mark
+			}
+		}
+	} else {
+		for i := 0; i < n && i < m; i++ {
+			grants = append(grants, i) //lint:allow schedalloc amortized: the grant list is retained scratch, regrown once per high-water mark
+		}
+	}
+	a.grants = grants
+	return grants
+}
+
+// grantCircuit evaluates the Fig. 9 gate-level circuit: each entry's age mask
+// has a bit per older entry; a requester wins when its effective mask
+// intersects no awake entry. Skewing ORs every non-speculative requester into
+// a speculative entry's mask and clears speculative bits from a
+// non-speculative entry's mask. Grant produces the same sequence without the
+// O(n²) mask table; this form is kept as the executable specification.
+func (a *Arbiter) grantCircuit(reqs []Request, m int) []int {
 	n := len(reqs)
 	if n == 0 || m <= 0 {
 		return nil
@@ -137,13 +231,13 @@ func (a *Arbiter) Grant(reqs []Request, m int) []int {
 	return grants
 }
 
-// grow resizes the scratch storage for n requests. The per-request age masks
-// share one flat word buffer so regrowth is a single allocation.
+// grow resizes the circuit's scratch storage for n requests. The per-request
+// age masks share one flat word buffer so regrowth is a single allocation.
 func (a *Arbiter) grow(n int) {
 	words := (n + wordBits - 1) / wordBits
 	if cap(a.older) < n || len(a.maskWords) < (n+3)*words {
-		a.maskWords = make([]uint64, (n+3)*words) //lint:allow schedalloc amortized: grow fires only when capacity is exceeded, once per high-water mark
-		a.older = make([]bitset, n)               //lint:allow schedalloc amortized: grow fires only when capacity is exceeded, once per high-water mark
+		a.maskWords = make([]uint64, (n+3)*words)
+		a.older = make([]bitset, n)
 	}
 	a.older = a.older[:n]
 	buf := a.maskWords

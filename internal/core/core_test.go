@@ -349,6 +349,32 @@ func TestArbiterMatchesSpecProperty(t *testing.T) {
 					t.Fatalf("trial %d skew=%v: grants %v, want %v", trial, skewed, got, want)
 				}
 			}
+			// The gate-level Fig. 9 circuit must produce the identical
+			// grant sequence: it is the executable specification the
+			// selection sweep is an optimization of.
+			circuit := NewArbiter(skewed).grantCircuit(reqs, m)
+			if len(circuit) != len(want) {
+				t.Fatalf("trial %d skew=%v: circuit grants %v, want %v", trial, skewed, circuit, want)
+			}
+			for i := range want {
+				if circuit[i] != want[i] {
+					t.Fatalf("trial %d skew=%v: circuit grants %v, want %v", trial, skewed, circuit, want)
+				}
+			}
+			// GrantSorted on the age-sorted permutation must match Grant on
+			// the same (sorted) input.
+			sorted := append([]Request(nil), reqs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Age < sorted[j].Age })
+			fast := NewArbiter(skewed).GrantSorted(sorted, m)
+			slow := NewArbiter(skewed).Grant(sorted, m)
+			if len(fast) != len(slow) {
+				t.Fatalf("trial %d skew=%v: GrantSorted %v, Grant %v", trial, skewed, fast, slow)
+			}
+			for i := range slow {
+				if fast[i] != slow[i] {
+					t.Fatalf("trial %d skew=%v: GrantSorted %v, Grant %v", trial, skewed, fast, slow)
+				}
+			}
 		}
 	}
 }

@@ -4,7 +4,10 @@
 // paper's Fig. 10 characterization: MEM-LL are L1 hits, MEM-HL are L1 misses.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Level identifies where an access was satisfied.
 type Level uint8
@@ -102,6 +105,16 @@ func newCache(bytes, ways, line int) *cache {
 	}
 }
 
+// reset invalidates every line. Tags and LRU ages are deliberately left
+// stale: every read of either is gated on the valid bit (a way rejoins the
+// LRU order with age 0 when install touches it), so clearing the valid bits
+// alone restores a fresh cache's observable behavior.
+func (c *cache) reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
 func (c *cache) setOf(addr uint64) int {
 	return int((addr >> c.lineBits) % uint64(c.sets))
 }
@@ -165,10 +178,25 @@ type Hierarchy struct {
 	pfTagged map[uint64]struct{} // lines brought in by prefetch, not yet used
 }
 
-// NewHierarchy builds the hierarchy.
+// hierPool recycles hierarchy line storage across simulator runs: a 2 MB L2
+// alone carries ~320 kB of tag/valid/LRU metadata, and a campaign constructs
+// one hierarchy per cell. Reuse is observably identical to a fresh build —
+// reset clears the valid bits (which gate every tag and LRU read), the
+// counters, and the prefetch tags.
+var hierPool sync.Pool
+
+// NewHierarchy builds the hierarchy, reusing released storage when a pooled
+// hierarchy has the identical configuration.
 func NewHierarchy(cfg Config) *Hierarchy {
 	if cfg.LineBytes == 0 {
 		cfg = DefaultConfig()
+	}
+	if v := hierPool.Get(); v != nil {
+		if h := v.(*Hierarchy); h.cfg == cfg {
+			h.reset()
+			return h
+		}
+		// Different geometry: drop it and build fresh.
 	}
 	return &Hierarchy{
 		cfg:      cfg,
@@ -176,6 +204,18 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l2:       newCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
 		pfTagged: make(map[uint64]struct{}),
 	}
+}
+
+// Release returns the hierarchy's storage to the package pool for a later
+// NewHierarchy with the same configuration. The caller must not touch the
+// hierarchy afterwards.
+func (h *Hierarchy) Release() { hierPool.Put(h) }
+
+func (h *Hierarchy) reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.stats = Stats{}
+	clear(h.pfTagged)
 }
 
 func (h *Hierarchy) lineOf(addr uint64) uint64 {
@@ -206,22 +246,24 @@ func (h *Hierarchy) prefetchNext(addr uint64) {
 func (h *Hierarchy) Access(addr uint64) (cycles int, level Level) {
 	h.stats.Accesses++
 	if h.l1.lookup(addr) {
-		if _, tagged := h.pfTagged[h.lineOf(addr)]; tagged {
-			delete(h.pfTagged, h.lineOf(addr))
+		line := h.lineOf(addr)
+		if _, tagged := h.pfTagged[line]; tagged {
+			delete(h.pfTagged, line)
 			h.prefetchNext(addr)
 		}
 		h.stats.L1Hits++
 		return h.cfg.L1Latency, LevelL1
 	}
-	defer h.prefetchNext(addr)
 	if h.l2.lookup(addr) {
 		h.stats.L2Hits++
 		h.l1.install(addr)
+		h.prefetchNext(addr)
 		return h.cfg.L2Latency, LevelL2
 	}
 	h.stats.DRAMAccesses++
 	h.l2.install(addr)
 	h.l1.install(addr)
+	h.prefetchNext(addr)
 	return h.cfg.DRAMLatency, LevelDRAM
 }
 

@@ -1,0 +1,74 @@
+package mem
+
+// Image is a dense, read-only snapshot of a program's initial memory: the
+// sparse address→word map flattened into one span of 8-byte words plus a
+// touched bitmap. Building it costs one pass over the map; instantiating a
+// Memory from it is two slice copies, so the per-simulation setup cost of
+// rerunning a program collapses from a map rebuild to a memmove. An Image is
+// immutable after NewImage and safe to share across any number of
+// simulations (the flat-trace Decoded carries one per program).
+type Image struct {
+	base  uint64   // aligned address of words[0]
+	words []uint64 // dense span covering [base, base+8*len(words))
+	touch []uint64 // bitmap: word i was present in the source map
+	n     int      // number of touched words
+
+	// fallback holds the aligned source map verbatim when the address range
+	// is too sparse to flatten profitably (see maxSpanWords).
+	fallback map[uint64]uint64
+}
+
+// maxSpanWords bounds the dense span (8 MB of words). Trace builders lay data
+// out compactly, so real programs never hit this; a pathological sparse image
+// (two words a terabyte apart) falls back to the map representation.
+const maxSpanWords = 1 << 20
+
+// NewImage flattens an initial memory image. Addresses are 8-byte aligned
+// exactly as Memory aligns them, so NewMemoryFromImage(NewImage(m)) and
+// NewMemoryFrom(m) are indistinguishable.
+func NewImage(image map[uint64]uint64) *Image {
+	img := &Image{}
+	if len(image) == 0 {
+		return img
+	}
+	first := true
+	var lo, hi uint64      // aligned bounds, inclusive
+	for a := range image { //lint:allow simdeterminism order-independent: min/max reduction
+		a = align8(a)
+		if first || a < lo {
+			lo = a
+		}
+		if first || a > hi {
+			hi = a
+		}
+		first = false
+	}
+	words := (hi-lo)/8 + 1
+	if words > maxSpanWords {
+		img.fallback = make(map[uint64]uint64, len(image))
+		for a, v := range image { //lint:allow simdeterminism order-independent: map copy
+			img.fallback[align8(a)] = v
+		}
+		return img
+	}
+	img.base = lo
+	img.words = make([]uint64, words)
+	img.touch = make([]uint64, (words+63)/64)
+	for a, v := range image { //lint:allow simdeterminism order-independent: span scatter
+		i := (align8(a) - lo) / 8
+		img.words[i] = v
+		if img.touch[i/64]&(1<<(i%64)) == 0 {
+			img.touch[i/64] |= 1 << (i % 64)
+			img.n++
+		}
+	}
+	return img
+}
+
+// Len returns the number of words in the image.
+func (img *Image) Len() int {
+	if img.fallback != nil {
+		return len(img.fallback)
+	}
+	return img.n
+}

@@ -1,23 +1,56 @@
 package mem
 
-// Memory is the functional backing store: a sparse 64-bit word store keyed by
+import "math/bits"
+
+// Memory is the functional backing store: a 64-bit word store keyed by
 // 8-byte-aligned addresses. The trace builders lay data out at aligned
 // addresses, so sub-word packing is not needed; vector accesses use two
 // consecutive words.
+//
+// Representation: a dense word span covering the program's initial image
+// (copied from a shared, read-only Image with two memmoves) plus a touched
+// bitmap for exact snapshots, with a lazily allocated overflow map for the
+// rare store landing outside the span. Loads and stores inside the span are
+// two array indexations — the per-access map hashing the old representation
+// paid in the simulator's hot loop is gone.
 type Memory struct {
-	words map[uint64]uint64
+	base  uint64
+	words []uint64
+	touch []uint64
+	n     int // touched words inside the span
+
+	over map[uint64]uint64 // writes outside the span (lazily allocated)
 }
 
 // NewMemory returns an empty store.
 func NewMemory() *Memory {
-	return &Memory{words: make(map[uint64]uint64)}
+	return &Memory{}
 }
 
-// NewMemoryFrom copies an initial image (so a Program can be rerun).
+// NewMemoryFrom copies an initial image (so a Program can be rerun). Callers
+// running the same program repeatedly should build one Image and use
+// NewMemoryFromImage instead; the result is indistinguishable.
 func NewMemoryFrom(image map[uint64]uint64) *Memory {
-	m := NewMemory()
-	for a, v := range image { //lint:allow simdeterminism order-independent: map copy
-		m.words[align8(a)] = v
+	return NewMemoryFromImage(NewImage(image))
+}
+
+// NewMemoryFromImage instantiates a writable store from a shared read-only
+// image: the span and touched bitmap are copied, the image is never mutated.
+func NewMemoryFromImage(img *Image) *Memory {
+	m := &Memory{base: img.base, n: img.n}
+	if img.fallback != nil {
+		m.over = make(map[uint64]uint64, len(img.fallback))
+		for a, v := range img.fallback { //lint:allow simdeterminism order-independent: map copy
+			m.over[a] = v
+		}
+		m.n = 0
+		return m
+	}
+	if len(img.words) > 0 {
+		m.words = make([]uint64, len(img.words))
+		copy(m.words, img.words)
+		m.touch = make([]uint64, len(img.touch))
+		copy(m.touch, img.touch)
 	}
 	return m
 }
@@ -25,37 +58,70 @@ func NewMemoryFrom(image map[uint64]uint64) *Memory {
 func align8(addr uint64) uint64 { return addr &^ 7 }
 
 // Read64 returns the word at the (aligned) address; unwritten memory is zero.
+//
+//redsoc:hotpath
 func (m *Memory) Read64(addr uint64) uint64 {
-	return m.words[align8(addr)]
+	a := align8(addr)
+	if i := (a - m.base) / 8; a >= m.base && i < uint64(len(m.words)) {
+		return m.words[i]
+	}
+	return m.over[a]
 }
 
 // Write64 stores a word.
+//
+//redsoc:hotpath
 func (m *Memory) Write64(addr uint64, v uint64) {
-	m.words[align8(addr)] = v
+	a := align8(addr)
+	if i := (a - m.base) / 8; a >= m.base && i < uint64(len(m.words)) {
+		m.words[i] = v
+		if m.touch[i/64]&(1<<(i%64)) == 0 {
+			m.touch[i/64] |= 1 << (i % 64)
+			m.n++
+		}
+		return
+	}
+	if m.over == nil {
+		m.over = make(map[uint64]uint64) //lint:allow schedalloc overflow path: only stores outside the program's initial image reach here, once
+	}
+	m.over[a] = v
 }
 
 // Read128 returns the 128-bit value at addr (lo word first).
+//
+//redsoc:hotpath
 func (m *Memory) Read128(addr uint64) (lo, hi uint64) {
 	a := align8(addr)
-	return m.words[a], m.words[a+8]
+	return m.Read64(a), m.Read64(a + 8)
 }
 
 // Write128 stores a 128-bit value.
+//
+//redsoc:hotpath
 func (m *Memory) Write128(addr uint64, lo, hi uint64) {
 	a := align8(addr)
-	m.words[a] = lo
-	m.words[a+8] = hi
+	m.Write64(a, lo)
+	m.Write64(a+8, hi)
 }
 
 // Snapshot copies the current contents (for end-of-run architectural
-// comparison between schedulers).
+// comparison between schedulers): every word present in the initial image or
+// written since, exactly as the map representation reported them.
 func (m *Memory) Snapshot() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(m.words))
-	for a, v := range m.words { //lint:allow simdeterminism order-independent: map copy
+	out := make(map[uint64]uint64, m.Len())
+	for wi, w := range m.touch {
+		for w != 0 {
+			b := w & (-w)
+			i := wi*64 + bits.TrailingZeros64(b)
+			out[m.base+uint64(i)*8] = m.words[i]
+			w &^= b
+		}
+	}
+	for a, v := range m.over { //lint:allow simdeterminism order-independent: map copy
 		out[a] = v
 	}
 	return out
 }
 
 // Len returns the number of touched words.
-func (m *Memory) Len() int { return len(m.words) }
+func (m *Memory) Len() int { return m.n + len(m.over) }

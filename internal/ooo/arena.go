@@ -1,8 +1,13 @@
 package ooo
 
-// entryArena recycles reservation-station/ROB entries through a free list, so
-// a steady-state simulation stops allocating one entry (plus its memDeps and
-// waiters slices, whose capacity the reset preserves) per instruction.
+// The entry slab is the simulator's physical register file, R10K-style: a
+// dense []entry backing store, a free list of slab indices, and the map table
+// (Simulator.rat) mapping architectural rename indices to the slab index of
+// the youngest in-flight producer. Every inter-entry reference — source
+// producers, grandparent tags, memory dependences, ring/ready-set membership,
+// waiter lists — is an int32 slab index, never an *entry pointer, so the
+// steady-state scheduler stores plain integers and emits no GC write
+// barriers (the dominant cost of the old pointer-graph representation).
 //
 // Recycle-safety rule: a committed entry may still be referenced — as a source
 // producer (srcValue/trueParentComp/producerAt read it at the consumer's
@@ -11,65 +16,77 @@ package ooo
 // Every such reference points at a strictly *older* entry, so it is counted in
 // entry.refs when taken (dispatch/rename time, or when the redirect is set)
 // and dropped when the referencing entry commits (or the redirect clears).
-// An entry returns to the free list only when it has committed *and* refs has
-// reached zero; both release paths check, since either event can come last.
-type entryArena struct {
-	free []*entry
-}
+// An entry's index returns to the free list only when it has committed *and*
+// refs has reached zero; both release paths check, since either event can
+// come last. The rule also bounds the slab: at most ROBSize uncommitted
+// entries, each pinning at most 6 older ones (4 sources, grandparent, memory
+// dependence) plus the redirect. New preallocates for the typical peak
+// (2*ROBSize+8); the grow path below absorbs the rare tail, amortized once
+// per high-water mark.
 
-// get returns a zeroed entry, recycling one from the free list when possible.
+// ent resolves a slab index. The returned pointer is valid only until the
+// next alloc (the slab may grow); the scheduler never holds one across a
+// dispatch.
 //
 //redsoc:hotpath
-func (a *entryArena) get() *entry {
-	if n := len(a.free); n > 0 {
-		e := a.free[n-1]
-		a.free[n-1] = nil
-		a.free = a.free[:n-1]
-		return e
+func (s *Simulator) ent(i int32) *entry { return &s.slab[i] }
+
+// alloc returns the index of a zeroed entry, recycling from the free list
+// when possible.
+//
+//redsoc:hotpath
+func (s *Simulator) alloc() int32 {
+	if n := len(s.freeList); n > 0 {
+		i := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		return i
 	}
-	return &entry{} //lint:allow schedalloc arena grow path: allocates only until the free list warms, then recycles forever
+	s.slab = append(s.slab, entry{}) //lint:allow schedalloc slab grow path: amortized once per live-entry high-water mark, preallocated past the typical peak at New
+	return int32(len(s.slab) - 1)
 }
 
-// put resets an entry and returns it to the free list. The memDeps and
-// waiters backing arrays survive the reset so re-dispatch appends into warm
+// freeEntry resets a slab slot and returns its index to the free list. The
+// waiters backing array survives the reset so re-dispatch appends into warm
 // capacity.
 //
 //redsoc:hotpath
-func (a *entryArena) put(e *entry) {
-	*e = entry{memDeps: e.memDeps[:0], waiters: e.waiters[:0]}
-	a.free = append(a.free, e) //lint:allow schedalloc amortized: the free list grows to pool size while the arena warms, then recycles in place
+func (s *Simulator) freeEntry(i int32) {
+	e := &s.slab[i]
+	*e = entry{waiters: e.waiters[:0]}
+	s.freeList = append(s.freeList, i) //lint:allow schedalloc amortized: the free list is preallocated to slab capacity at New, then recycles in place
 }
 
-// retain counts one incoming reference to p.
+// retain counts one incoming reference to slab index pi.
 //
 //redsoc:hotpath
-func retain(p *entry) { p.refs++ }
+func (s *Simulator) retain(pi int32) { s.slab[pi].refs++ }
 
-// release drops one incoming reference and recycles p once nothing can reach
-// it anymore.
+// release drops one incoming reference and recycles the slot once nothing can
+// reach it anymore.
 //
 //redsoc:hotpath
-func (s *Simulator) release(p *entry) {
+func (s *Simulator) release(pi int32) {
+	p := &s.slab[pi]
 	p.refs--
 	if p.refs == 0 && p.state == stCommitted {
-		s.arena.put(p)
+		s.freeEntry(pi)
 	}
 }
 
 // releaseRefs drops e's outgoing references (source producers, grandparent
-// tag, memory dependences) — called exactly once, when e commits.
+// tag, memory dependence) — called exactly once, when e commits.
 //
 //redsoc:hotpath
 func (s *Simulator) releaseRefs(e *entry) {
-	for i := 0; i < e.nsrc; i++ {
-		if p := e.srcs[i].producer; p != nil {
+	for i := 0; i < int(e.nsrc); i++ {
+		if p := e.srcs[i].prod; p != none {
 			s.release(p)
 		}
 	}
-	if e.gp != nil {
+	if e.gp != none {
 		s.release(e.gp)
 	}
-	for _, d := range e.memDeps {
-		s.release(d)
+	if e.memDep != none {
+		s.release(e.memDep)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"redsoc/internal/core"
 	"redsoc/internal/isa"
+	"redsoc/internal/trace"
 	"redsoc/internal/workload"
 )
 
@@ -84,15 +85,19 @@ func TestTracksAllParentsModes(t *testing.T) {
 
 func TestSpecEligibleRules(t *testing.T) {
 	s := mkSim(t, BigConfig().WithPolicy(PolicyRedsoc))
-	gp := &entry{broadcastCycle: 3}
-	parent := &entry{broadcastCycle: -1}
-	e := &entry{
-		in:      &isa.Instruction{Op: isa.OpEOR, Dst: isa.R(1), Src1: isa.R(2)},
-		lastIdx: 0,
-		gp:      gp,
-	}
-	e.srcs[0] = srcRef{reg: isa.R(2), producer: parent}
+	gpi := s.alloc()
+	pi := s.alloc()
+	ei := s.alloc()
+	s.ent(gpi).broadcastCycle = 3
+	parent := s.ent(pi)
+	parent.broadcastCycle = -1
+	e := s.ent(ei)
+	e.bits = trace.BitSingleCycle // EOR-class transparent op
+	e.lastIdx = 0
+	e.gp = gpi
+	e.memDep = none
 	e.nsrc = 1
+	e.srcs[0] = srcRef{idx: uint8(isa.R(2).RenameIndex()), prod: pi}
 	if !s.specEligible(e, 5) {
 		t.Fatal("gp broadcast + parent pending must be EGPW-eligible")
 	}
@@ -103,12 +108,12 @@ func TestSpecEligibleRules(t *testing.T) {
 	}
 	parent.broadcastCycle = -1
 	// Multi-cycle op: never transparent, never EGPW.
-	e.in = &isa.Instruction{Op: isa.OpMUL, Dst: isa.R(1), Src1: isa.R(2)}
+	e.bits = 0
 	if s.specEligible(e, 5) {
 		t.Fatal("multi-cycle ops must not EGPW")
 	}
 	// EGPW disabled.
-	e.in = &isa.Instruction{Op: isa.OpEOR, Dst: isa.R(1), Src1: isa.R(2)}
+	e.bits = trace.BitSingleCycle
 	s.params.EGPW = false
 	if s.specEligible(e, 5) {
 		t.Fatal("EGPW off must disable speculative requests")
@@ -200,15 +205,15 @@ func TestSkewAblationNeverStarvesConventional(t *testing.T) {
 
 func TestLoadsNeverTransparent(t *testing.T) {
 	s := mkSim(t, BigConfig().WithPolicy(PolicyRedsoc))
-	ld := &entry{in: &isa.Instruction{Op: isa.OpLDR, Dst: isa.R(1), Src1: isa.R(0)}, isLoad: true}
+	ld := &entry{bits: trace.BitMem | trace.BitLoad, fu: fuMEM, isLoad: true}
 	if s.canTransparent(ld) {
 		t.Fatal("loads are true-synchronous")
 	}
-	mul := &entry{in: &isa.Instruction{Op: isa.OpMUL, Dst: isa.R(1), Src1: isa.R(0)}}
+	mul := &entry{} // multi-cycle: no BitSingleCycle
 	if s.canTransparent(mul) {
 		t.Fatal("MUL is true-synchronous")
 	}
-	eor := &entry{in: &isa.Instruction{Op: isa.OpEOR, Dst: isa.R(1), Src1: isa.R(0)}}
+	eor := &entry{bits: trace.BitSingleCycle}
 	if !s.canTransparent(eor) {
 		t.Fatal("EOR must be transparent-capable")
 	}

@@ -1,58 +1,56 @@
 package ooo
 
-// entryRing is a fixed-capacity FIFO of in-flight entries, used for the ROB
-// and the LSQ. The previous representation (`s.rob = s.rob[1:]` at commit)
-// walked the backing array forward forever, pinning every retired entry until
-// the next append reallocated; the ring retires a slot by nilling it, so the
-// arena can recycle the entry immediately and steady-state commit allocates
-// nothing. Capacity is fixed at construction: dispatch enforces the ROB/LSQ
-// size bounds before pushing, so overflow is a scheduler bug, not a growth
-// condition.
-type entryRing struct {
-	buf  []*entry
+// seqRing is a fixed-capacity FIFO of slab indices, used for the ROB, the LSQ
+// and the store queue. The previous representation (`s.rob = s.rob[1:]` at
+// commit) walked a []*entry backing array forward forever, pinning every
+// retired entry until the next append reallocated; the ring retires a slot in
+// place, and because it holds int32 indices rather than pointers, pushes are
+// barrier-free and the GC never scans it. Capacity is fixed at construction:
+// dispatch enforces the ROB/LSQ size bounds before pushing, so overflow is a
+// scheduler bug, not a growth condition.
+type seqRing struct {
+	buf  []int32
 	head int // index of the oldest element
 	n    int
 }
 
-func newEntryRing(capacity int) entryRing {
-	return entryRing{buf: make([]*entry, capacity)}
+func newSeqRing(capacity int) seqRing {
+	return seqRing{buf: make([]int32, capacity)}
 }
 
-// len returns the number of queued entries.
-func (r *entryRing) len() int { return r.n }
+// len returns the number of queued indices.
+func (r *seqRing) len() int { return r.n }
 
-// push appends e at the tail (youngest position).
+// push appends i at the tail (youngest position).
 //
 //redsoc:hotpath
-func (r *entryRing) push(e *entry) {
+func (r *seqRing) push(i int32) {
 	if r.n == len(r.buf) {
 		panic("ooo: ring overflow; dispatch must bound occupancy before pushing") //lint:allow panicpolicy audited invariant: dispatch stalls at capacity
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.buf[(r.head+r.n)%len(r.buf)] = i
 	r.n++
 }
 
-// front returns the oldest entry without removing it.
+// front returns the oldest index without removing it.
 //
 //redsoc:hotpath
-func (r *entryRing) front() *entry { return r.buf[r.head] }
+func (r *seqRing) front() int32 { return r.buf[r.head] }
 
-// popFront removes and returns the oldest entry, releasing the slot's
-// reference so the ring never pins a retired entry.
+// popFront removes and returns the oldest index.
 //
 //redsoc:hotpath
-func (r *entryRing) popFront() *entry {
-	e := r.buf[r.head]
-	r.buf[r.head] = nil
+func (r *seqRing) popFront() int32 {
+	i := r.buf[r.head]
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
-	return e
+	return i
 }
 
-// at returns the i-th oldest entry (0 = head). linkMemDep scans the LSQ
-// youngest→oldest through this.
+// at returns the i-th oldest index (0 = head). linkMemDep scans the store
+// queue youngest→oldest through this.
 //
 //redsoc:hotpath
-func (r *entryRing) at(i int) *entry {
+func (r *seqRing) at(i int) int32 {
 	return r.buf[(r.head+i)%len(r.buf)]
 }

@@ -1,8 +1,8 @@
 package ooo
 
-// Tests for the zero-alloc scheduler data structures (ring buffers, entry
-// arena, tag-indexed ready set) and regression tests for the tryFuse /
-// trainLastArrival / capture bugfixes that shipped with them.
+// Tests for the zero-alloc scheduler data structures (index ring buffers,
+// entry slab + free list, tag-indexed ready set) and regression tests for the
+// tryFuse / trainLastArrival / capture bugfixes that shipped with them.
 
 import (
 	"testing"
@@ -12,62 +12,58 @@ import (
 	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/timing"
+	"redsoc/internal/trace"
 	"redsoc/internal/workload"
 )
 
-func TestEntryRingWraparound(t *testing.T) {
-	r := newEntryRing(4)
-	next, popped := int64(0), int64(0)
+func TestSeqRingWraparound(t *testing.T) {
+	r := newSeqRing(4)
+	next, popped := int32(0), int32(0)
 	for round := 0; round < 5; round++ {
 		for r.len() < 4 {
-			r.push(&entry{seq: next})
+			r.push(next)
 			next++
 		}
-		if r.front().seq != popped {
-			t.Fatalf("round %d: front seq %d, want %d", round, r.front().seq, popped)
+		if r.front() != popped {
+			t.Fatalf("round %d: front %d, want %d", round, r.front(), popped)
 		}
 		for i := 0; i < 3; i++ {
-			if e := r.popFront(); e.seq != popped {
-				t.Fatalf("FIFO order broken: popped seq %d, want %d", e.seq, popped)
+			if got := r.popFront(); got != popped {
+				t.Fatalf("FIFO order broken: popped %d, want %d", got, popped)
 			}
 			popped++
 		}
 		for i := 0; i < r.len(); i++ {
-			if got := r.at(i).seq; got != popped+int64(i) {
-				t.Fatalf("round %d: at(%d) seq %d, want %d", round, i, got, popped+int64(i))
+			if got := r.at(i); got != popped+int32(i) {
+				t.Fatalf("round %d: at(%d) = %d, want %d", round, i, got, popped+int32(i))
 			}
 		}
 	}
 	for r.len() > 0 {
-		if e := r.popFront(); e.seq != popped {
-			t.Fatalf("drain order broken: popped seq %d, want %d", e.seq, popped)
+		if got := r.popFront(); got != popped {
+			t.Fatalf("drain order broken: popped %d, want %d", got, popped)
 		}
 		popped++
 	}
-	// popFront must release slot references so the ring never pins a retired
-	// entry against arena recycling.
-	for i, e := range r.buf {
-		if e != nil {
-			t.Fatalf("drained ring still pins an entry at slot %d", i)
-		}
-	}
 }
 
-func TestEntryRingOverflowPanics(t *testing.T) {
+func TestSeqRingOverflowPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("push beyond capacity must panic: dispatch bounds occupancy")
 		}
 	}()
-	r := newEntryRing(1)
-	r.push(&entry{})
-	r.push(&entry{})
+	r := newSeqRing(1)
+	r.push(0)
+	r.push(1)
 }
 
 // TestLSQHeadAlignment drives a memory-heavy program through several LSQ
 // wraparounds and checks, every cycle, the invariant the ring-buffer LSQ pop
 // relies on: the LSQ head is the oldest in-flight memory op (the same entry
 // the ROB will retire first among memory ops), and LSQ order is ascending.
+// The store queue must mirror the LSQ's stores exactly — linkMemDep's
+// store-only scan depends on it.
 func TestLSQHeadAlignment(t *testing.T) {
 	cfg := SmallConfig()
 	b := workload.NewBuilder("lsqwrap")
@@ -93,86 +89,105 @@ func TestLSQHeadAlignment(t *testing.T) {
 			continue
 		}
 		prev := int64(-1)
+		stores := 0
 		for i := 0; i < s.lsq.len(); i++ {
-			if sq := s.lsq.at(i).seq; sq <= prev {
-				t.Fatalf("cycle %d: LSQ out of order at slot %d (seq %d after %d)", cycle, i, sq, prev)
-			} else {
-				prev = sq
+			le := s.ent(s.lsq.at(i))
+			if le.seq <= prev {
+				t.Fatalf("cycle %d: LSQ out of order at slot %d (seq %d after %d)", cycle, i, le.seq, prev)
+			}
+			prev = le.seq
+			if le.isStore {
+				if stores >= s.storeQ.len() || s.storeQ.at(stores) != s.lsq.at(i) {
+					t.Fatalf("cycle %d: store queue diverged from the LSQ's stores at store %d", cycle, stores)
+				}
+				stores++
 			}
 		}
+		if stores != s.storeQ.len() {
+			t.Fatalf("cycle %d: store queue holds %d entries, LSQ holds %d stores", cycle, s.storeQ.len(), stores)
+		}
 		for i := 0; i < s.rob.len(); i++ {
-			if e := s.rob.at(i); e.isLoad || e.isStore {
-				if e != s.lsq.front() {
+			if ei := s.rob.at(i); s.ent(ei).isLoad || s.ent(ei).isStore {
+				if ei != s.lsq.front() {
 					t.Fatalf("cycle %d: LSQ head seq %d misaligned with oldest ROB memory op seq %d",
-						cycle, s.lsq.front().seq, e.seq)
+						cycle, s.ent(s.lsq.front()).seq, s.ent(ei).seq)
 				}
 				break
 			}
 		}
 	}
-	if s.lsq.len() != 0 || s.rob.len() != 0 {
-		t.Fatalf("queues not drained: rob %d, lsq %d", s.rob.len(), s.lsq.len())
+	if s.lsq.len() != 0 || s.rob.len() != 0 || s.storeQ.len() != 0 {
+		t.Fatalf("queues not drained: rob %d, lsq %d, storeQ %d", s.rob.len(), s.lsq.len(), s.storeQ.len())
 	}
 }
 
-// TestArenaRefcountPinsCommittedEntries exercises the recycle-safety rule: a
-// committed entry stays out of the free list while any younger consumer (or
-// the redirect) still references it, and returns reset once the last
+// TestSlabRefcountPinsCommittedEntries exercises the recycle-safety rule: a
+// committed entry's slot stays off the free list while any younger consumer
+// (or the redirect) still references it, and returns reset once the last
 // reference drops.
-func TestArenaRefcountPinsCommittedEntries(t *testing.T) {
+func TestSlabRefcountPinsCommittedEntries(t *testing.T) {
 	s := mkSim(t, SmallConfig())
 
-	g := s.arena.get()
-	g.waiters = append(g.waiters, g)
-	g.memDeps = append(g.memDeps, g)
-	retain(g) // e.g. a parent's source reference
-	retain(g) // e.g. a grandchild's gp reference
+	gi := s.alloc()
+	g := s.ent(gi)
+	g.waiters = append(g.waiters, gi)
+	g.ti = 7
+	s.retain(gi) // e.g. a parent's source reference
+	s.retain(gi) // e.g. a grandchild's gp reference
 	g.state = stCommitted
-	s.release(g)
-	if len(s.arena.free) != 0 {
+	s.release(gi)
+	if len(s.freeList) != 0 {
 		t.Fatal("entry recycled while still referenced (gp-after-commit hazard)")
 	}
-	s.release(g)
-	if len(s.arena.free) != 1 {
+	s.release(gi)
+	if len(s.freeList) != 1 {
 		t.Fatal("entry not recycled after its last reference dropped")
 	}
-	e := s.arena.get()
-	if e != g {
-		t.Fatal("free list must hand back the recycled entry")
+	ei := s.alloc()
+	if ei != gi {
+		t.Fatal("free list must hand back the recycled slot")
 	}
-	if e.state != stWaiting || e.refs != 0 || len(e.waiters) != 0 || len(e.memDeps) != 0 || e.in != nil {
+	e := s.ent(ei)
+	if e.state != stWaiting || e.refs != 0 || len(e.waiters) != 0 || e.ti != 0 {
 		t.Fatalf("recycled entry not reset: %+v", e)
 	}
-	if cap(e.waiters) == 0 || cap(e.memDeps) == 0 {
-		t.Fatal("reset must keep slice capacity warm")
+	if cap(e.waiters) == 0 {
+		t.Fatal("reset must keep the waiters backing array warm")
 	}
 
 	// Refcount alone never recycles: an in-flight entry with no references
 	// (the common case before any consumer renames against it) stays live.
-	p := s.arena.get()
-	retain(p)
-	s.release(p)
-	if len(s.arena.free) != 0 {
+	pi := s.alloc()
+	s.retain(pi)
+	s.release(pi)
+	if len(s.freeList) != 0 {
 		t.Fatal("in-flight entry must not recycle on refcount alone")
 	}
 }
 
-// TestArenaReusesEntriesAcrossRun bounds the arena's footprint after a long
-// run: the free list ends up holding every entry ever allocated, so its size
+// TestSlabReusesEntriesAcrossRun bounds the slab's footprint after a long
+// run: the free list ends up holding every slot ever allocated, so its size
 // measures peak live entries — which must track core capacity, not trace
-// length.
-func TestArenaReusesEntriesAcrossRun(t *testing.T) {
+// length — and the slab must never outgrow its preallocated refcount bound.
+func TestSlabReusesEntriesAcrossRun(t *testing.T) {
 	cfg := SmallConfig().WithPolicy(PolicyRedsoc)
 	s, err := New(cfg, longChain(isa.OpEOR, 2000))
 	if err != nil {
 		t.Fatal(err)
 	}
+	slabCap := cap(s.slab)
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(s.arena.free); n == 0 || n > 4*cfg.ROBSize {
-		t.Fatalf("arena holds %d entries after a 2002-instruction run; want a core-capacity bound (<= %d)",
+	if n := len(s.freeList); n == 0 || n > 4*cfg.ROBSize {
+		t.Fatalf("free list holds %d slots after a 2002-instruction run; want a core-capacity bound (<= %d)",
 			n, 4*cfg.ROBSize)
+	}
+	if len(s.slab) != len(s.freeList) {
+		t.Fatalf("drained run must return every slot: slab %d, free %d", len(s.slab), len(s.freeList))
+	}
+	if cap(s.slab) != slabCap {
+		t.Fatalf("slab grew past its preallocated bound: cap %d -> %d", slabCap, cap(s.slab))
 	}
 }
 
@@ -210,27 +225,38 @@ func TestSteadyStateIssueAllocFree(t *testing.T) {
 // train the predictor and latch the execution outcome — all while the op was
 // still waiting, double-accounting its later real issue.
 func TestTryFuseAbandonedLeavesNoResidue(t *testing.T) {
-	s := mkSim(t, SmallConfig().WithPolicy(PolicyMOS))
-	e := &entry{
-		in:             &isa.Instruction{Op: isa.OpEOR, Dst: isa.R(1)},
-		state:          stIssued,
-		broadcastCycle: 5,
-		exTicks:        1,
-		fu:             fuALU,
-		result:         alu.Value{Lo: 1 << 40}, // wide operand: dependent exercises 64 bits
+	wb := workload.NewBuilder("fuseprobe")
+	wb.Op3(isa.OpEOR, isa.R(1), isa.R(9), isa.R(9)) // ti 0: the issued producer
+	wb.Op3(isa.OpADD, isa.R(3), isa.R(1), isa.R(2)) // ti 1: the fusion candidate
+	s, err := New(SmallConfig().WithPolicy(PolicyMOS), wb.Build())
+	if err != nil {
+		t.Fatal(err)
 	}
-	b := &entry{
-		in:      &isa.Instruction{Op: isa.OpADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)},
-		state:   stWaiting,
-		fu:      fuALU,
-		exTicks: 1,
-		est:     core.Estimate{Predicted: true, Width: isa.Width8, ExTicks: 1},
-		iSrc1:   0, iSrc2: 1, iSrc3: -1, iFlags: -1,
-		nsrc: 2,
-	}
-	b.srcs[0] = srcRef{reg: isa.R(1), producer: e}
-	b.srcs[1] = srcRef{reg: isa.R(2), value: alu.Value{Lo: 3}}
-	s.rs = append(s.rs, b)
+	ei := s.alloc()
+	bi := s.alloc()
+	e := s.ent(ei)
+	e.ti = 0
+	e.op = isa.OpEOR
+	e.bits = trace.BitSingleCycle
+	e.state = stIssued
+	e.broadcastCycle = 5
+	e.exTicks = 1
+	e.fu = fuALU
+	e.result = alu.Value{Lo: 1 << 40} // wide operand: dependent exercises 64 bits
+	b := s.ent(bi)
+	b.ti = 1
+	b.op = isa.OpADD
+	b.bits = trace.BitSingleCycle
+	b.state = stWaiting
+	b.fu = fuALU
+	b.exTicks = 1
+	b.est = core.Estimate{Predicted: true, Width: isa.Width8, ExTicks: 1}
+	b.iSrc1, b.iSrc2, b.iSrc3, b.iFlags = 0, 1, -1, -1
+	b.nsrc = 2
+	b.gp, b.memDep = none, none
+	b.srcs[0] = srcRef{idx: uint8(isa.R(1).RenameIndex()), prod: ei}
+	b.srcs[1] = srcRef{idx: uint8(isa.R(2).RenameIndex()), prod: none, value: alu.Value{Lo: 3}}
+	s.rs = append(s.rs, bi)
 
 	s.tryFuse(e, 5)
 
@@ -274,19 +300,26 @@ func TestTryFuseAbandonedLeavesNoResidue(t *testing.T) {
 // compare only the first two candidates, mislabeling the actual last arrival
 // when the third candidate was the late one.
 func TestTrainLastArrivalConsidersAllCandidates(t *testing.T) {
+	const pc = uint64(0x40)
 	mk := func() (*Simulator, *entry) {
 		s := mkSim(t, SmallConfig().WithPolicy(PolicyRedsoc))
-		prod := func(comp timing.Ticks) *entry {
-			return &entry{state: stIssued, broadcastCycle: 3, estComp: comp}
+		prod := func(comp timing.Ticks) int32 {
+			i := s.alloc()
+			p := s.ent(i)
+			p.state = stIssued
+			p.broadcastCycle = 3
+			p.estComp = comp
+			return i
 		}
-		e := &entry{
-			in:       &isa.Instruction{Op: isa.OpADC, PC: 0x40},
-			multiSrc: true,
-			nsrc:     3,
-		}
-		e.srcs[0] = srcRef{producer: prod(10)}
-		e.srcs[1] = srcRef{producer: prod(20)}
-		e.srcs[2] = srcRef{producer: prod(30)} // the true last arrival
+		p0, p1, p2 := prod(10), prod(20), prod(30) // p2: the true last arrival
+		ei := s.alloc()
+		e := s.ent(ei)
+		e.pc = pc
+		e.multiSrc = true
+		e.nsrc = 3
+		e.srcs[0] = srcRef{prod: p0}
+		e.srcs[1] = srcRef{prod: p1}
+		e.srcs[2] = srcRef{prod: p2}
 		return s, e
 	}
 
@@ -300,7 +333,7 @@ func TestTrainLastArrivalConsidersAllCandidates(t *testing.T) {
 	if st := s.lastPred.Stats(); st.Mispredictions != 1 {
 		t.Fatalf("third-candidate-last must count one mispredict, got %+v", st)
 	}
-	if got := s.lastPred.Predict(e.in.PC); got != 0 {
+	if got := s.lastPred.Predict(pc); got != 0 {
 		t.Fatalf("training moved the predictor to slot %d although candidate 2 arrived last", got)
 	}
 
@@ -313,7 +346,7 @@ func TestTrainLastArrivalConsidersAllCandidates(t *testing.T) {
 	if st := s.lastPred.Stats(); st.Mispredictions != 0 {
 		t.Fatalf("correctly tracked third candidate scored as mispredict: %+v", st)
 	}
-	if got := s.lastPred.Predict(e.in.PC); got != 0 {
+	if got := s.lastPred.Predict(pc); got != 0 {
 		t.Fatalf("correct prediction flipped the table entry to %d", got)
 	}
 }
@@ -330,5 +363,34 @@ func TestCaptureWithoutInjector(t *testing.T) {
 	}
 	if s.res.FaultStats != (fault.Stats{}) {
 		t.Fatalf("nil injector must leave zero fault stats, got %+v", s.res.FaultStats)
+	}
+}
+
+// TestFUKindMatchesTracePool pins the correspondence the dispatch fast path
+// relies on: trace.Decode's Pool column and the scheduler's fuKind routing
+// must agree for every opcode class.
+func TestFUKindMatchesTracePool(t *testing.T) {
+	if uint8(numFUKinds) != trace.NumPools {
+		t.Fatalf("numFUKinds = %d, trace.NumPools = %d", numFUKinds, trace.NumPools)
+	}
+	for c := 0; c < isa.NumClasses; c++ {
+		class := isa.Class(c)
+		if got, want := uint8(fuKindOf(class)), tracePoolOf(class); got != want {
+			t.Fatalf("class %v: fuKindOf = %d, trace pool = %d", class, got, want)
+		}
+	}
+}
+
+// tracePoolOf recomputes trace.Decode's pool routing for one class.
+func tracePoolOf(class isa.Class) uint8 {
+	switch class {
+	case isa.ClassSIMD, isa.ClassSIMDMul:
+		return trace.PoolSIMD
+	case isa.ClassFP:
+		return trace.PoolFP
+	case isa.ClassLoad, isa.ClassStore:
+		return trace.PoolMEM
+	default:
+		return trace.PoolALU
 	}
 }

@@ -1,0 +1,104 @@
+package ooo
+
+import (
+	"sync"
+	"testing"
+
+	"redsoc/internal/isa"
+	"redsoc/internal/trace"
+	"redsoc/internal/workload"
+)
+
+// sharedMixProg builds a mixed ALU/memory/multi-cycle program large enough
+// that concurrent runs overlap in every pipeline stage.
+func sharedMixProg(n int) *isa.Program {
+	b := workload.NewBuilder("shared-mix")
+	b.InitMem(0x4000, 99).InitMem(0x4008, 7)
+	b.MovImm(isa.R(1), 3).MovImm(isa.R(2), 5).MovImm(isa.R(4), 1)
+	for i := 0; b.Len() < n; i++ {
+		switch i % 6 {
+		case 0:
+			b.Op3(isa.OpADD, isa.R(3), isa.R(1), isa.R(2))
+		case 1:
+			b.Op3(isa.OpEOR, isa.R(1), isa.R(3), isa.R(2))
+		case 2:
+			b.Store(isa.R(3), isa.R(2), 0x4000)
+		case 3:
+			b.Load(isa.R(2), isa.R(1), 0x4000)
+		case 4:
+			b.MulAcc(isa.R(4), isa.R(1), isa.R(2), isa.R(4))
+		default:
+			b.Cmp(isa.R(1), isa.R(4))
+		}
+	}
+	return b.Build()
+}
+
+// TestDecodedSharedAcrossWorkers is the campaign-worker sharing contract: all
+// simulators of one program observe the same *trace.Decoded (the trace is
+// pre-decoded once, not per worker), concurrent runs over that shared view
+// produce identical results, and — because the view is immutable — the race
+// detector build of this test proves the sharing is read-only.
+func TestDecodedSharedAcrossWorkers(t *testing.T) {
+	prog := sharedMixProg(1200)
+	cfg := MediumConfig().WithPolicy(PolicyRedsoc)
+	dec := trace.DecodeCached(prog)
+
+	const workers = 8
+	sims := make([]*Simulator, workers)
+	for i := range sims {
+		s, err := New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.dec != dec {
+			t.Fatalf("worker %d decoded a private copy; the view must be shared", i)
+		}
+		sims[i] = s
+	}
+
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for i := range sims {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := sims[i].Run()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < workers; i++ {
+		if results[i].Cycles != results[0].Cycles {
+			t.Errorf("worker %d took %d cycles, worker 0 took %d", i, results[i].Cycles, results[0].Cycles)
+		}
+		if !results[i].ArchEqual(results[0]) {
+			t.Errorf("worker %d diverged architecturally from worker 0", i)
+		}
+	}
+}
+
+// TestDecodeCachedAllocFree extends the steady-state allocation contract to
+// the decode layer: once a program's flat view is built, handing it to
+// another worker allocates nothing.
+func TestDecodeCachedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	prog := sharedMixProg(600)
+	dec := trace.DecodeCached(prog) // build once
+	if avg := testing.AllocsPerRun(100, func() {
+		if trace.DecodeCached(prog) != dec {
+			t.Fatal("cache returned a different view")
+		}
+	}); avg != 0 {
+		t.Errorf("cached decode lookup allocates %.1f objects/run, want 0", avg)
+	}
+}

@@ -1,0 +1,75 @@
+package oooref
+
+// entryArena recycles reservation-station/ROB entries through a free list, so
+// a steady-state simulation stops allocating one entry (plus its memDeps and
+// waiters slices, whose capacity the reset preserves) per instruction.
+//
+// Recycle-safety rule: a committed entry may still be referenced — as a source
+// producer (srcValue/trueParentComp/producerAt read it at the consumer's
+// issue), as a grandparent tag, as a load's memory dependence, or as the
+// pending front-end redirect (dispatch reads its schedule after it resolves).
+// Every such reference points at a strictly *older* entry, so it is counted in
+// entry.refs when taken (dispatch/rename time, or when the redirect is set)
+// and dropped when the referencing entry commits (or the redirect clears).
+// An entry returns to the free list only when it has committed *and* refs has
+// reached zero; both release paths check, since either event can come last.
+type entryArena struct {
+	free []*entry
+}
+
+// get returns a zeroed entry, recycling one from the free list when possible.
+//
+//redsoc:hotpath
+func (a *entryArena) get() *entry {
+	if n := len(a.free); n > 0 {
+		e := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return e
+	}
+	return &entry{} //lint:allow schedalloc arena grow path: allocates only until the free list warms, then recycles forever
+}
+
+// put resets an entry and returns it to the free list. The memDeps and
+// waiters backing arrays survive the reset so re-dispatch appends into warm
+// capacity.
+//
+//redsoc:hotpath
+func (a *entryArena) put(e *entry) {
+	*e = entry{memDeps: e.memDeps[:0], waiters: e.waiters[:0]}
+	a.free = append(a.free, e) //lint:allow schedalloc amortized: the free list grows to pool size while the arena warms, then recycles in place
+}
+
+// retain counts one incoming reference to p.
+//
+//redsoc:hotpath
+func retain(p *entry) { p.refs++ }
+
+// release drops one incoming reference and recycles p once nothing can reach
+// it anymore.
+//
+//redsoc:hotpath
+func (s *Simulator) release(p *entry) {
+	p.refs--
+	if p.refs == 0 && p.state == stCommitted {
+		s.arena.put(p)
+	}
+}
+
+// releaseRefs drops e's outgoing references (source producers, grandparent
+// tag, memory dependences) — called exactly once, when e commits.
+//
+//redsoc:hotpath
+func (s *Simulator) releaseRefs(e *entry) {
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil {
+			s.release(p)
+		}
+	}
+	if e.gp != nil {
+		s.release(e.gp)
+	}
+	for _, d := range e.memDeps {
+		s.release(d)
+	}
+}

@@ -1,8 +1,6 @@
 //go:build !redsoc_audit
 
-package ooo
-
-import "redsoc/internal/core"
+package oooref
 
 // auditState is the production no-op stand-in for the redsoc_audit runtime
 // invariant checker (see audit_on.go). The empty struct and empty methods
@@ -15,6 +13,4 @@ func (auditState) Enabled() bool { return false }
 
 func (auditState) onIssue(*Simulator, *entry, int) {}
 
-func (auditState) onCommitMem(*Simulator, int32, int32) {}
-
-func (auditState) onArbRequests(*Simulator, []core.Request) {}
+func (auditState) onCommitMem(*Simulator, *entry, *entry) {}

@@ -1,6 +1,6 @@
 //go:build redsoc_audit
 
-package ooo
+package oooref
 
 // The redsoc_audit build tag arms a runtime invariant checker that asserts,
 // on every issued operation, the dynamic properties the static analyzers
@@ -25,7 +25,6 @@ package ooo
 import (
 	"fmt"
 
-	"redsoc/internal/core"
 	"redsoc/internal/obs"
 	"redsoc/internal/timing"
 )
@@ -52,7 +51,7 @@ func (a *auditState) onIssue(s *Simulator, e *entry, unit int) {
 	// estimates are whole cycles by construction. The remaining invariants
 	// govern the single-cycle (transparent-capable) operations slack
 	// recycling actually touches.
-	if !e.op.SingleCycle() {
+	if !e.in.Op.SingleCycle() {
 		return
 	}
 
@@ -100,25 +99,13 @@ func (a *auditState) onIssue(s *Simulator, e *entry, unit int) {
 // retires from the ROB head, the LSQ head must be that same op — in-order
 // commit keeps the two queues in lockstep, and the ring-buffer LSQ pops
 // blindly on that assumption.
-func (a *auditState) onCommitMem(s *Simulator, ei, lsqHead int32) {
-	if lsqHead != ei {
+func (a *auditState) onCommitMem(s *Simulator, e, lsqHead *entry) {
+	if lsqHead != e {
 		head := int64(-1)
-		if lsqHead >= 0 {
-			head = s.ent(lsqHead).seq
+		if lsqHead != nil {
+			head = lsqHead.seq
 		}
-		auditFailf(s, s.ent(ei), "LSQ head seq %d misaligned with committing memory op", head)
-	}
-}
-
-// onArbRequests asserts the precondition of the arbiter's sorted fast path:
-// issue builds each pool's request list from the seq-sorted ready set, so
-// the ages must arrive in strictly ascending order.
-func (a *auditState) onArbRequests(s *Simulator, reqs []core.Request) {
-	for i := 1; i < len(reqs); i++ {
-		if reqs[i-1].Age >= reqs[i].Age {
-			panic(fmt.Sprintf("ooo: audit: %s/%s: arbiter requests out of age order at %d: %d >= %d",
-				s.cfg.Name, s.cfg.Policy, i, reqs[i-1].Age, reqs[i].Age))
-		}
+		auditFailf(s, e, "LSQ head seq %d misaligned with committing memory op", head)
 	}
 }
 
@@ -128,7 +115,7 @@ func (a *auditState) onArbRequests(s *Simulator, reqs []core.Request) {
 func auditFailf(s *Simulator, e *entry, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	head := fmt.Sprintf("ooo: audit: %s/%s seq %d op %v: %s",
-		s.cfg.Name, s.cfg.Policy, e.seq, e.op, msg)
+		s.cfg.Name, s.cfg.Policy, e.seq, e.in.Op, msg)
 	if ring, ok := s.obs.(*obs.Ring); ok && ring.Len() > 0 {
 		head += "\nflight recorder (last " + fmt.Sprint(len(ring.Tail(flightTail))) + " events):\n" +
 			obs.FormatStream(ring.Tail(flightTail), s.clock.TicksPerCycle())

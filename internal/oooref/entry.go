@@ -1,4 +1,4 @@
-package ooo
+package oooref
 
 import (
 	"redsoc/internal/alu"
@@ -6,12 +6,9 @@ import (
 	"redsoc/internal/fault"
 	"redsoc/internal/isa"
 	"redsoc/internal/timing"
-	"redsoc/internal/trace"
 )
 
-// fuKind partitions functional units per Table I. The values mirror
-// trace.Pool* (a test pins the correspondence), so the flat decode's Pool
-// column routes directly.
+// fuKind partitions functional units per Table I.
 type fuKind uint8
 
 const (
@@ -50,48 +47,23 @@ const (
 	stCommitted
 )
 
-// none marks an absent entry index (slab indices are >= 0) wherever the old
-// pointer representation used nil.
-const none int32 = -1
-
-// flagsRenameIdx is isa.Flags.RenameIndex() as a constant: the last slot of
-// the flat rename table.
-const flagsRenameIdx = isa.NumRenamedRegs - 1
-
-// srcRef is one renamed source operand: either an in-flight producer (a slab
-// index) or a value captured from committed architectural state at rename.
-// Indices instead of *entry pointers keep the slab pointer-free on the rename
-// path, so steady-state stores emit no GC write barriers.
+// srcRef is one renamed source operand: either an in-flight producer or a
+// value captured from committed architectural state at rename.
 type srcRef struct {
-	idx   uint8 // rename index of the operand register
-	prod  int32 // slab index of the in-flight producer; none when captured
-	value alu.Value
+	reg      isa.Reg
+	producer *entry // nil when the value was ready at rename
+	value    alu.Value
 }
 
 // entry is the in-flight state of one dynamic instruction: its ROB slot,
 // reservation-station fields (including the slack-aware additions of
-// Fig. 7/8) and execution outcome. Entries live in the Simulator's dense slab
-// and reference each other exclusively by slab index; the static facts about
-// the instruction (class, FU routing, operand roles, address range) are
-// cached from the program's flat trace.Decoded view at dispatch, so the hot
-// loop never touches isa.Instruction.
+// Fig. 7/8) and execution outcome.
 type entry struct {
-	ti  int32 // trace index into the program / its Decoded view
+	in  *isa.Instruction
 	seq int64 // dynamic sequence number: age and tag
 
-	// Static facts cached from the Decoded columns at dispatch.
-	op    isa.Op
-	class isa.Class
-	bits  trace.InstrBits
-	dest  uint8 // destination rename index (trace.NoReg when absent)
-	pc    uint64
-	addr  uint64 // raw effective address (memory ops)
-	// Aligned [addrLo, addrHi) byte range for overlap-based store-load
-	// ordering; zero for non-memory ops.
-	addrLo, addrHi uint64
-
 	srcs [4]srcRef
-	nsrc uint8
+	nsrc int
 	// Positional mapping from instruction operand roles into srcs (-1 if
 	// the role is absent): Src1, Src2, Src3, Flags.
 	iSrc1, iSrc2, iSrc3, iFlags int8
@@ -102,12 +74,13 @@ type entry struct {
 	exTicks timing.Ticks
 
 	// Operational design: predicted last-arriving source (index into srcs)
-	// and the corresponding grandparent tag handed over via the map table.
-	lastIdx   int8
-	gp        int32
-	multiSrc  bool // >= 2 in-flight producers at rename (prediction counted)
-	validated bool // after a tag misprediction, fall back to all-tag wakeup
-	obsWoke   bool // wakeup event already emitted for the current request
+	// and the corresponding grandparent tag handed over via the RAT.
+	lastIdx    int
+	gp         *entry
+	multiSrc   bool // >= 2 in-flight producers at rename (prediction counted)
+	validated  bool // after a tag misprediction, fall back to all-tag wakeup
+	specWakeup bool // request in flight is a speculative GP wakeup
+	obsWoke    bool // wakeup event already emitted for the current request
 
 	state          entryState
 	broadcastCycle int64 // select cycle at which (tag, CI) went on the bus; -1 = not yet
@@ -125,7 +98,7 @@ type entry struct {
 	violated bool
 
 	// Memory.
-	memDep  int32 // youngest older overlapping store this load must respect
+	memDeps []*entry // older overlapping stores this load must respect
 	memLat  int
 	isLoad  bool
 	isStore bool
@@ -146,7 +119,7 @@ type entry struct {
 
 	dispatchCycle int64
 
-	// Scheduler bookkeeping for the tag-indexed wakeup and the entry slab.
+	// Scheduler bookkeeping for the tag-indexed wakeup and the entry arena.
 	//
 	// waiters is this entry's consumer list: waiting entries registered at
 	// dispatch to be re-examined when this entry broadcasts (and, for
@@ -154,18 +127,12 @@ type entry struct {
 	// membership in the scheduler's ready set (or its pending wake buffer),
 	// so multiple same-cycle broadcasts enqueue a consumer once. refs counts
 	// incoming references (source operand, grandparent tag, memory
-	// dependence, front-end redirect); an entry returns to the free list only
+	// dependence, front-end redirect); an entry returns to the arena only
 	// once it has committed and refs reaches zero — see arena.go for the
 	// recycle-safety rule.
-	waiters []int32
+	waiters []*entry
 	inReady bool
 	refs    int32
-
-	// rsSlot is this entry's position in the reservation-station list while
-	// waiting, maintained by the swap-removal in rsRemove. RS order is
-	// consequently arbitrary; consumers that need age order (tryFuse) select
-	// by seq explicitly.
-	rsSlot int32
 }
 
 // storeOutcome latches an execution outcome into the entry. It is separate
@@ -181,18 +148,26 @@ func (e *entry) storeOutcome(out alu.Outcome) {
 
 // srcValue reads a resolved source operand; the producer (if any) must have
 // executed.
-//
-//redsoc:hotpath
-func (s *Simulator) srcValue(e *entry, i int) alu.Value {
-	r := &e.srcs[i]
-	if r.prod == none {
-		return r.value
+func (e *entry) srcValue(i int) alu.Value {
+	s := &e.srcs[i]
+	if s.producer == nil {
+		return s.value
 	}
-	p := s.ent(r.prod)
-	if r.idx == flagsRenameIdx {
-		return p.flagsOut.Pack()
+	if s.reg.IsFlags() {
+		return s.producer.flagsOut.Pack()
 	}
-	return p.result
+	return s.producer.result
+}
+
+// addrRange returns the [lo, hi) byte range a memory op touches, for
+// overlap-based store-load ordering. Vector accesses touch 16 bytes.
+func addrRange(in *isa.Instruction) (lo, hi uint64) {
+	lo = in.Addr &^ 7
+	size := uint64(8)
+	if in.Dst.IsVec() || in.Src3.IsVec() {
+		size = 16
+	}
+	return lo, lo + size
 }
 
 func rangesOverlap(aLo, aHi, bLo, bHi uint64) bool {

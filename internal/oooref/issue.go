@@ -1,4 +1,4 @@
-package ooo
+package oooref
 
 import (
 	"fmt"
@@ -10,7 +10,6 @@ import (
 	"redsoc/internal/mem"
 	"redsoc/internal/obs"
 	"redsoc/internal/timing"
-	"redsoc/internal/trace"
 )
 
 // issueParams returns the slack parameters the scheduler's eligibility logic
@@ -50,7 +49,7 @@ func (s *Simulator) tracksAllParents(e *entry) bool {
 //
 //redsoc:hotpath
 func (s *Simulator) canTransparent(e *entry) bool {
-	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && e.bits&trace.BitSingleCycle != 0 &&
+	return s.cfg.Policy == PolicyRedsoc && s.params.Recycle && transparentCapable(e.in.Op) &&
 		!s.degr[e.fu].Degraded()
 }
 
@@ -61,11 +60,10 @@ func (s *Simulator) canTransparent(e *entry) bool {
 //redsoc:hotpath
 func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
 	var ready timing.Ticks
-	consider := func(pi int32) bool {
-		if pi == none {
+	consider := func(p *entry) bool {
+		if p == nil {
 			return true
 		}
-		p := s.ent(pi)
 		if !awake(p, cycle) {
 			return false
 		}
@@ -75,21 +73,21 @@ func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
 		return true
 	}
 	if s.tracksAllParents(e) {
-		for i := 0; i < int(e.nsrc); i++ {
-			if !consider(e.srcs[i].prod) {
+		for i := 0; i < e.nsrc; i++ {
+			if !consider(e.srcs[i].producer) {
 				return false, 0
 			}
 		}
 	} else if e.lastIdx >= 0 {
-		if !consider(e.srcs[e.lastIdx].prod) {
+		if !consider(e.srcs[e.lastIdx].producer) {
 			return false, 0
 		}
 	}
 	// Loads additionally respect their memory dependence.
-	if e.isLoad && e.memDep != none {
-		dep := s.ent(e.memDep)
+	if e.isLoad && len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
 		if forwardable(dep, e) {
-			if !consider(e.memDep) {
+			if !consider(dep) {
 				return false, 0
 			}
 		} else if dep.state != stCommitted {
@@ -110,10 +108,11 @@ func (s *Simulator) specEligible(e *entry, cycle int64) bool {
 	if e.lastIdx < 0 {
 		return false
 	}
-	if pi := e.srcs[e.lastIdx].prod; pi != none && awake(s.ent(pi), cycle) {
+	p := e.srcs[e.lastIdx].producer
+	if awake(p, cycle) {
 		return false // conventional wakeup covers it
 	}
-	return e.gp != none && awake(s.ent(e.gp), cycle)
+	return awake(e.gp, cycle)
 }
 
 // specPending reports whether the entry is an EGPW candidate whose only
@@ -125,22 +124,22 @@ func (s *Simulator) specEligible(e *entry, cycle int64) bool {
 //redsoc:hotpath
 func (s *Simulator) specPending(e *entry, cycle int64) bool {
 	if s.cfg.Policy != PolicyRedsoc || !s.params.EGPW || !s.params.Recycle ||
-		e.bits&trace.BitSingleCycle == 0 {
+		!transparentCapable(e.in.Op) {
 		return false
 	}
 	if e.lastIdx < 0 {
 		return false
 	}
-	if pi := e.srcs[e.lastIdx].prod; pi != none && awake(s.ent(pi), cycle) {
+	if awake(e.srcs[e.lastIdx].producer, cycle) {
 		return false
 	}
-	return e.gp != none && awake(s.ent(e.gp), cycle)
+	return awake(e.gp, cycle)
 }
 
 // issueReq is one reservation-station entry asking its FU pool's select logic
 // for a grant this cycle.
 type issueReq struct {
-	ei   int32
+	e    *entry
 	spec bool
 }
 
@@ -158,19 +157,18 @@ func (s *Simulator) mergeReady() {
 		return
 	}
 	for i := 1; i < len(buf); i++ {
-		ei := buf[i]
-		sq := s.ent(ei).seq
+		e := buf[i]
 		j := i - 1
-		for j >= 0 && s.ent(buf[j]).seq > sq {
+		for j >= 0 && buf[j].seq > e.seq {
 			buf[j+1] = buf[j]
 			j--
 		}
-		buf[j+1] = ei
+		buf[j+1] = e
 	}
 	out := s.readyScratch[:0]
 	i, j := 0, 0
 	for i < len(s.ready) && j < len(buf) {
-		if s.ent(s.ready[i]).seq < s.ent(buf[j]).seq {
+		if s.ready[i].seq < buf[j].seq {
 			out = append(out, s.ready[i])
 			i++
 		} else {
@@ -191,10 +189,9 @@ func (s *Simulator) mergeReady() {
 // allocated.
 //
 //redsoc:hotpath
-func (s *Simulator) insertBySeq(granted []issueReq, r issueReq) []issueReq {
+func insertBySeq(granted []issueReq, r issueReq) []issueReq {
 	granted = append(granted, r)
-	sq := s.ent(r.ei).seq
-	for i := len(granted) - 1; i > 0 && s.ent(granted[i-1].ei).seq > sq; i-- {
+	for i := len(granted) - 1; i > 0 && granted[i-1].e.seq > r.e.seq; i-- {
 		granted[i], granted[i-1] = granted[i-1], granted[i]
 	}
 	return granted
@@ -222,8 +219,7 @@ func (s *Simulator) issue(cycle int64) {
 	params := s.issueParams()
 
 	live := s.ready[:0]
-	for _, ei := range s.ready {
-		e := s.ent(ei)
+	for _, e := range s.ready {
 		if e.state != stWaiting {
 			// Issued or fused since its last examination; registration on a
 			// recycled successor is impossible (waiters fire before commit).
@@ -231,33 +227,33 @@ func (s *Simulator) issue(cycle int64) {
 			continue
 		}
 		if ok, ready := s.trackedReady(e, cycle); ok {
-			live = append(live, ei)
+			live = append(live, e)
 			if params.IssueEligible(s.clock, window, ready, s.canTransparent(e)) {
-				s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{ei: ei, spec: false})
+				s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{e: e, spec: false})
 				if s.obs != nil && !e.obsWoke {
 					e.obsWoke = true
 					src := int64(-1)
-					if e.lastIdx >= 0 && e.srcs[e.lastIdx].prod != none {
-						src = s.ent(e.srcs[e.lastIdx].prod).seq
+					if e.lastIdx >= 0 && e.srcs[e.lastIdx].producer != nil {
+						src = e.srcs[e.lastIdx].producer.seq
 					}
-					s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.op,
-						PC: e.pc, FU: uint8(e.fu), Unit: -1, Arg: src})
+					s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+						PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Arg: src})
 				}
 			}
 			continue
 		}
 		if s.specEligible(e, cycle) {
-			live = append(live, ei)
-			s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{ei: ei, spec: true})
+			live = append(live, e)
+			s.reqs[e.fu] = append(s.reqs[e.fu], issueReq{e: e, spec: true})
 			if s.obs != nil && !e.obsWoke {
 				e.obsWoke = true
-				s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.op,
-					PC: e.pc, FU: uint8(e.fu), Unit: -1, Flags: obs.FlagSpec, Arg: s.ent(e.gp).seq})
+				s.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+					PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Flags: obs.FlagSpec, Arg: e.gp.seq})
 			}
 			continue
 		}
 		if s.specPending(e, cycle) {
-			live = append(live, ei)
+			live = append(live, e)
 			continue
 		}
 		// Blocked on a tag that has not broadcast (or an uncommitted store):
@@ -277,7 +273,7 @@ func (s *Simulator) issue(cycle int64) {
 		conv := 0
 		arb := s.arb[:0]
 		for _, r := range rk {
-			arb = append(arb, core.Request{Age: s.ent(r.ei).seq, Spec: r.spec})
+			arb = append(arb, core.Request{Age: r.e.seq, Spec: r.spec})
 			if !r.spec {
 				conv++
 			}
@@ -286,13 +282,9 @@ func (s *Simulator) issue(cycle int64) {
 		if conv > free {
 			stalled = true
 		}
-		// The ready set is seq-sorted and the request scan preserves that
-		// order, so the requests arrive pre-sorted by age (the audit build
-		// verifies this).
-		s.audit.onArbRequests(s, arb)
-		grants := s.arbiter.GrantSorted(arb, free)
+		grants := s.arbiter.Grant(arb, free)
 		for _, gi := range grants {
-			granted = s.insertBySeq(granted, rk[gi])
+			granted = insertBySeq(granted, rk[gi])
 		}
 		if s.obs != nil {
 			// Per-request select outcome, in request (reservation-station)
@@ -314,9 +306,8 @@ func (s *Simulator) issue(cycle int64) {
 				if r.spec {
 					fl = obs.FlagSpec
 				}
-				re := s.ent(r.ei)
-				s.obs.Emit(obs.Event{Kind: kind, Cycle: cycle, Seq: re.seq, Op: re.op,
-					PC: re.pc, FU: uint8(k), Unit: -1, Flags: fl})
+				s.obs.Emit(obs.Event{Kind: kind, Cycle: cycle, Seq: r.e.seq, Op: r.e.in.Op,
+					PC: r.e.in.PC, FU: uint8(k), Unit: -1, Flags: fl})
 			}
 		}
 		s.reqs[k] = rk[:0]
@@ -330,31 +321,22 @@ func (s *Simulator) issue(cycle int64) {
 	// same-cycle (EGPW-woken) consumers.
 	issuedAny := false
 	for _, g := range granted {
-		e := s.ent(g.ei)
-		if s.issueEntry(e, cycle, g.spec) {
+		if s.issueEntry(g.e, cycle, g.spec) {
 			issuedAny = true
-			s.rsRemove(e)
 		}
 	}
 	if issuedAny {
 		s.res.IssueCycles++
 	}
-}
 
-// rsRemove unlinks an entry that left the waiting state from the
-// reservation-station list by swapping the tail slot into its place — O(1)
-// against the old full-list compaction, which rescanned the entire window
-// every issuing cycle.
-//
-//redsoc:hotpath
-func (s *Simulator) rsRemove(e *entry) {
-	last := len(s.rs) - 1
-	li := s.rs[last]
-	slot := e.rsSlot
-	s.rs[slot] = li
-	s.ent(li).rsSlot = slot
-	s.rs = s.rs[:last]
-	e.rsSlot = -1
+	// Compact the reservation stations.
+	live = s.rs[:0]
+	for _, e := range s.rs {
+		if e.state == stWaiting {
+			live = append(live, e)
+		}
+	}
+	s.rs = live
 }
 
 // issueEntry consumes one select grant: validate operand availability, plan
@@ -371,8 +353,8 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		// A GP-woken child may only issue alongside its parent: the grant is
 		// wasted if the parent was not selected this very cycle (skewed
 		// selection makes this rare), or if there is no slack to recycle.
-		pi := e.srcs[e.lastIdx].prod
-		if pi == none || s.ent(pi).broadcastCycle != cycle {
+		p := e.srcs[e.lastIdx].producer
+		if p == nil || p.broadcastCycle != cycle {
 			s.res.GPWakeupWasted++
 			return false
 		}
@@ -381,12 +363,11 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// Gather the true readiness over every operand (the register-read /
 	// scoreboard validation of the Operational design).
 	var trueReady timing.Ticks
-	for i := 0; i < int(e.nsrc); i++ {
-		pi := e.srcs[i].prod
-		if pi == none {
+	for i := 0; i < e.nsrc; i++ {
+		p := e.srcs[i].producer
+		if p == nil {
 			continue
 		}
-		p := s.ent(pi)
 		if p.broadcastCycle < 0 {
 			// An untracked operand is not even in flight towards a value:
 			// last-arrival misprediction. Cancel and fall back to all-tag
@@ -398,8 +379,8 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		}
 	}
 	var fwdDep *entry
-	if e.isLoad && e.memDep != none {
-		dep := s.ent(e.memDep)
+	if e.isLoad && len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
 		if dep.state != stCommitted {
 			fwdDep = dep
 			if dep.estComp > trueReady {
@@ -417,7 +398,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		sched     core.Schedule
 		occupancy int
 	)
-	class := e.class
+	class := e.in.Op.Class()
 	switch {
 	case transparent:
 		var ok bool
@@ -431,7 +412,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		sched = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(lat))
 		occupancy = 1 // address-generation slot; the cache is pipelined
 	case e.isStore:
-		s.hier.Access(e.addr) // write-allocate; buffered, latency hidden
+		s.hier.Access(e.in.Addr) // write-allocate; buffered, latency hidden
 		s.res.Mix.MemLL++
 		sched = core.PlanSynchronous(s.clock, window, trueReady, tpc)
 		occupancy = 1
@@ -457,15 +438,15 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// Width-prediction validation (Sec. II-B): aggressive mispredictions are
 	// replayed via selective reissue — the op re-executes synchronously two
 	// cycles later with its corrected EX-TIME.
-	if e.est.Predicted && e.bits&trace.BitSingleCycle != 0 {
-		if s.estimator.Validate(s.in(e), e.est, out.ActualWidth) {
+	if e.est.Predicted && e.in.Op.SingleCycle() {
+		if s.estimator.Validate(e.in, e.est, out.ActualWidth) {
 			s.res.WidthReplays++
-			e.exTicks = s.estimator.CorrectedTicks(s.in(e), out.ActualWidth)
+			e.exTicks = s.estimator.CorrectedTicks(e.in, out.ActualWidth)
 			sched = core.PlanSynchronous(s.clock, window+2*tpc, trueReady, tpc)
 			e.replays++
 			if s.obs != nil {
-				s.obs.Emit(obs.Event{Kind: obs.KindWidthReplay, Cycle: cycle, Seq: e.seq, Op: e.op,
-					PC: e.pc, FU: uint8(e.fu), Unit: int16(unit)})
+				s.obs.Emit(obs.Event{Kind: obs.KindWidthReplay, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+					PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit)})
 			}
 		}
 	}
@@ -483,7 +464,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// output latch of a recycled evaluation.
 	var latchDrift timing.Ticks
 	if s.inject != nil {
-		if e.bits&trace.BitSingleCycle != 0 {
+		if e.in.Op.SingleCycle() {
 			if ps, ok := s.inject.DelayFault(); ok {
 				e.delayPS += ps
 				e.faulted |= fault.BitDelay
@@ -501,7 +482,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// single-cycle ops take their (possibly drifted) circuit delay;
 	// multi-cycle ops keep their pipeline latency.
 	evalTicks := sched.Comp - sched.Start
-	if e.bits&trace.BitSingleCycle != 0 {
+	if e.in.Op.SingleCycle() {
 		evalTicks = s.clock.PSToTicks(e.delayPS)
 	}
 
@@ -563,7 +544,7 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	s.wakeWaiters(e)
 	s.audit.onIssue(s, e, unit)
 	if s.tracer != nil {
-		s.tracer.issue(cycle, e, s.in(e), spec)
+		s.tracer.issue(cycle, e, spec)
 	}
 	if s.obs != nil {
 		var fl obs.Flag
@@ -576,13 +557,13 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		if sched.FUCycles == 2 {
 			fl |= obs.FlagHold2
 		}
-		s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: e.seq, Op: e.op,
-			PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Flags: fl, Start: sched.Start, Comp: sched.Comp})
+		s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Flags: fl, Start: sched.Start, Comp: sched.Comp})
 		if sched.Recycled {
 			// Transparent-latch recycling: the evaluation began mid-cycle on
 			// a producer's output latch, extending a chain of Arg links.
-			s.obs.Emit(obs.Event{Kind: obs.KindRecycle, Cycle: cycle, Seq: e.seq, Op: e.op,
-				PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Arg: int64(e.chainLen), Start: sched.Start})
+			s.obs.Emit(obs.Event{Kind: obs.KindRecycle, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+				PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Arg: int64(e.chainLen), Start: sched.Start})
 		}
 	}
 
@@ -606,15 +587,15 @@ func (s *Simulator) cancelGrant(e *entry, cycle int64, spec bool) bool {
 		s.trainLastArrival(e)
 	}
 	if s.tracer != nil {
-		s.tracer.cancel(e.dispatchCycle, e, s.in(e), spec)
+		s.tracer.cancel(e.dispatchCycle, e, spec)
 	}
 	if s.obs != nil {
 		var fl obs.Flag
 		if spec {
 			fl = obs.FlagSpec
 		}
-		s.obs.Emit(obs.Event{Kind: obs.KindCancel, Cycle: cycle, Seq: e.seq, Op: e.op,
-			PC: e.pc, FU: uint8(e.fu), Unit: -1, Flags: fl})
+		s.obs.Emit(obs.Event{Kind: obs.KindCancel, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: -1, Flags: fl})
 	}
 	e.validated = true
 	return false
@@ -643,11 +624,9 @@ func trueCompOf(sc core.Schedule, evalTicks, latchDrift timing.Ticks) timing.Tic
 //redsoc:hotpath
 func (s *Simulator) trueParentComp(e *entry, fwdDep *entry) timing.Ticks {
 	var t timing.Ticks
-	for i := 0; i < int(e.nsrc); i++ {
-		if pi := e.srcs[i].prod; pi != none {
-			if p := s.ent(pi); p.trueComp > t {
-				t = p.trueComp
-			}
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.trueComp > t {
+			t = p.trueComp
 		}
 	}
 	if fwdDep != nil && fwdDep.trueComp > t {
@@ -671,8 +650,8 @@ func (s *Simulator) recordViolation(e *entry, cycle int64, unit int, latch bool)
 		if latch {
 			fl = obs.FlagLatch
 		}
-		s.obs.Emit(obs.Event{Kind: obs.KindViolation, Cycle: cycle, Seq: e.seq, Op: e.op,
-			PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Flags: fl})
+		s.obs.Emit(obs.Event{Kind: obs.KindViolation, Cycle: cycle, Seq: e.seq, Op: e.in.Op,
+			PC: e.in.PC, FU: uint8(e.fu), Unit: int16(unit), Flags: fl})
 	}
 }
 
@@ -681,11 +660,9 @@ func (s *Simulator) recordViolation(e *entry, cycle int64, unit int, latch bool)
 //
 //redsoc:hotpath
 func (s *Simulator) producerAt(e *entry, start timing.Ticks) *entry {
-	for i := 0; i < int(e.nsrc); i++ {
-		if pi := e.srcs[i].prod; pi != none {
-			if p := s.ent(pi); p.estComp == start {
-				return p
-			}
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.estComp == start {
+			return p
 		}
 	}
 	return nil
@@ -701,7 +678,7 @@ func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
 		e.memLat = s.cfg.Mem.L1Latency
 		return e.memLat
 	}
-	lat, level := s.hier.Access(e.addr)
+	lat, level := s.hier.Access(e.in.Addr)
 	if level == mem.LevelL1 {
 		s.res.Mix.MemLL++
 	} else {
@@ -719,21 +696,21 @@ func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
 func (s *Simulator) execute(e *entry, fwdDep *entry) alu.Outcome {
 	var ops alu.Operands
 	if e.iSrc1 >= 0 {
-		ops.Src1 = s.srcValue(e, int(e.iSrc1))
+		ops.Src1 = e.srcValue(int(e.iSrc1))
 	}
 	if e.iSrc2 >= 0 {
-		ops.Src2 = s.srcValue(e, int(e.iSrc2))
+		ops.Src2 = e.srcValue(int(e.iSrc2))
 	}
 	if e.iSrc3 >= 0 {
-		ops.Src3 = s.srcValue(e, int(e.iSrc3))
+		ops.Src3 = e.srcValue(int(e.iSrc3))
 	}
 	if e.iFlags >= 0 {
-		ops.FlagsIn = alu.UnpackFlags(s.srcValue(e, int(e.iFlags)))
+		ops.FlagsIn = alu.UnpackFlags(e.srcValue(int(e.iFlags)))
 	}
 	if e.isLoad {
 		ops.MemValue = s.loadValue(e, fwdDep)
 	}
-	return alu.Exec(s.in(e), &ops)
+	return alu.Exec(e.in, &ops)
 }
 
 // loadValue resolves a load's data: forwarded from the youngest overlapping
@@ -742,20 +719,22 @@ func (s *Simulator) execute(e *entry, fwdDep *entry) alu.Outcome {
 //redsoc:hotpath
 func (s *Simulator) loadValue(e *entry, fwdDep *entry) alu.Value {
 	if fwdDep != nil {
+		sLo, _ := addrRange(fwdDep.in)
+		lLo, lHi := addrRange(e.in)
 		v := fwdDep.result
-		if e.addrHi-e.addrLo == 16 {
+		if lHi-lLo == 16 {
 			return v // 128-bit load fully covered by a 128-bit store
 		}
-		if e.addrLo == fwdDep.addrLo {
+		if lLo == sLo {
 			return alu.Value{Lo: v.Lo}
 		}
 		return alu.Value{Lo: v.Hi} // second word of a 128-bit store
 	}
-	if e.bits&trace.BitDstVec != 0 {
-		lo, hi := s.memory.Read128(e.addr)
+	if e.in.Dst.IsVec() {
+		lo, hi := s.memory.Read128(e.in.Addr)
 		return alu.Value{Lo: lo, Hi: hi}
 	}
-	return alu.Value{Lo: s.memory.Read64(e.addr)}
+	return alu.Value{Lo: s.memory.Read64(e.in.Addr)}
 }
 
 // trainLastArrival updates the last-arrival predictor with the operand that
@@ -770,8 +749,8 @@ func (s *Simulator) trainLastArrival(e *entry) {
 		return
 	}
 	cands := s.cands[:0]
-	for i := 0; i < int(e.nsrc); i++ {
-		if e.srcs[i].prod != none {
+	for i := 0; i < e.nsrc; i++ {
+		if e.srcs[i].producer != nil {
 			cands = append(cands, i)
 		}
 	}
@@ -780,7 +759,7 @@ func (s *Simulator) trainLastArrival(e *entry) {
 		return
 	}
 	comp := func(i int) timing.Ticks {
-		p := s.ent(e.srcs[i].prod)
+		p := e.srcs[i].producer
 		if p.broadcastCycle < 0 {
 			return timing.Ticks(1 << 62) // not yet issued: arrives last for sure
 		}
@@ -795,7 +774,7 @@ func (s *Simulator) trainLastArrival(e *entry) {
 	// later, the prediction was correct.
 	pred := 0
 	for ci, idx := range cands {
-		if idx == int(e.lastIdx) {
+		if idx == e.lastIdx {
 			pred = ci
 			break
 		}
@@ -811,7 +790,7 @@ func (s *Simulator) trainLastArrival(e *entry) {
 			actual = ci
 		}
 	}
-	s.lastPred.Update(e.pc, pred, actual)
+	s.lastPred.Update(e.in.PC, pred, actual)
 }
 
 // classify buckets the op for Fig. 10 and records the actual-delay histogram
@@ -820,24 +799,25 @@ func (s *Simulator) trainLastArrival(e *entry) {
 //
 //redsoc:hotpath
 func (s *Simulator) classify(e *entry, out alu.Outcome) {
+	op := e.in.Op
 	switch {
-	case e.bits&trace.BitMem != 0:
+	case op.IsMem():
 		// counted in loadLatency / the store path
-	case e.class == isa.ClassSIMD:
+	case op.Class() == isa.ClassSIMD:
 		s.res.Mix.SIMD++
-	case e.bits&trace.BitSingleCycle == 0:
+	case !op.SingleCycle():
 		s.res.Mix.OtherMulti++
 	case timing.IsHighSlack(out.DelayPS):
 		s.res.Mix.ALUHS++
 	default:
 		s.res.Mix.ALULS++
 	}
-	if e.bits&trace.BitSingleCycle != 0 && out.DelayPS <= timing.ClockPS {
+	if op.SingleCycle() && out.DelayPS <= timing.ClockPS {
 		s.res.DelayHistogram[out.DelayPS]++
-	} else if e.bits&trace.BitSingleCycle == 0 {
+	} else if !op.SingleCycle() {
 		// Multi-cycle and memory pipeline stages bound timing speculation
 		// (they can err on every cycle too); record their limiting stage.
-		s.res.DelayHistogram[timing.StageDelayPS(e.class)]++
+		s.res.DelayHistogram[timing.StageDelayPS(op.Class())]++
 	}
 }
 
@@ -848,19 +828,13 @@ func (s *Simulator) classify(e *entry, out alu.Outcome) {
 //
 //redsoc:hotpath
 func (s *Simulator) tryFuse(e *entry, cycle int64) {
-	if e.bits&trace.BitSingleCycle == 0 || e.bits&trace.BitMem != 0 {
+	if !transparentCapable(e.in.Op) || e.in.Op.IsMem() {
 		return
 	}
 	tpc := s.clock.CyclesToTicks(1)
 	window := s.clock.CycleStart(cycle + 1)
-	// The RS list is in arbitrary order (rsRemove swaps), but the paired
-	// selection must stay deterministic: collect the statically eligible
-	// dependents first, then probe them oldest-first — exactly the order the
-	// old seq-sorted RS scan probed in.
-	cands := s.fuseCands[:0]
-	for _, bi := range s.rs {
-		b := s.ent(bi)
-		if b.state != stWaiting || b.fused || b.bits&trace.BitSingleCycle == 0 || b.fu != e.fu {
+	for _, b := range s.rs {
+		if b.state != stWaiting || b.fused || !transparentCapable(b.in.Op) || b.fu != e.fu {
 			continue
 		}
 		if e.exTicks+b.exTicks > tpc {
@@ -868,12 +842,11 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		}
 		dependsOnE := false
 		ok := true
-		for i := 0; i < int(b.nsrc); i++ {
-			pi := b.srcs[i].prod
-			if pi == none {
+		for i := 0; i < b.nsrc; i++ {
+			p := b.srcs[i].producer
+			if p == nil {
 				continue
 			}
-			p := s.ent(pi)
 			if p == e {
 				dependsOnE = true
 				continue
@@ -886,14 +859,6 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		if !dependsOnE || !ok {
 			continue
 		}
-		cands = append(cands, bi) //lint:allow schedalloc amortized: candidate scratch regrows once per high-water mark, then recycles
-		for j := len(cands) - 1; j > 0 && s.ent(cands[j-1]).seq > b.seq; j-- {
-			cands[j-1], cands[j] = cands[j], cands[j-1]
-		}
-	}
-	s.fuseCands = cands
-	for _, bi := range cands {
-		b := s.ent(bi)
 		out := s.execute(b, nil)
 		if s.estimator.Aggressive(b.est, out.ActualWidth) {
 			// The fused pair would miss timing: abandon this fusion with no
@@ -906,7 +871,7 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 			// The fusion lands, so this is b's real execution: train the
 			// width predictor exactly once (the precheck above guarantees
 			// the prediction was not aggressive).
-			s.estimator.Validate(s.in(b), b.est, out.ActualWidth)
+			s.estimator.Validate(b.in, b.est, out.ActualWidth)
 		}
 		b.storeOutcome(out)
 		b.sched = core.Schedule{Start: window, Comp: window + tpc, FUCycles: 0}
@@ -916,14 +881,13 @@ func (s *Simulator) tryFuse(e *entry, cycle int64) {
 		b.state = stIssued
 		b.fused = true
 		b.chainLen = 1
-		s.rsRemove(b)
 		s.res.FusedOps++
 		s.wakeWaiters(b)
 		s.trainLastArrival(b)
 		s.classify(b, out)
 		if s.obs != nil {
-			s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: b.seq, Op: b.op,
-				PC: b.pc, FU: uint8(b.fu), Unit: -1, Flags: obs.FlagFused,
+			s.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: cycle, Seq: b.seq, Op: b.in.Op,
+				PC: b.in.PC, FU: uint8(b.fu), Unit: -1, Flags: obs.FlagFused,
 				Start: b.sched.Start, Comp: b.sched.Comp, Arg: e.seq})
 		}
 		return

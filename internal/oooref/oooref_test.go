@@ -1,0 +1,80 @@
+// The frozen reference engine's only job is to disagree loudly when the
+// rewritten engine drifts (internal/difftest does the byte-level diffing).
+// This smoke keeps the snapshot honest in its own right: it must still run
+// every preset/policy the differential pairs use, deterministically, and
+// retire every instruction — so a decayed snapshot is caught here, not
+// misread as a rewrite bug.
+package oooref_test
+
+import (
+	"strings"
+	"testing"
+
+	"redsoc/internal/difftest"
+	"redsoc/internal/obs"
+	"redsoc/internal/oooref"
+)
+
+func TestFrozenEngineRunsDifferentialPairs(t *testing.T) {
+	for _, pair := range difftest.Pairs() {
+		t.Run(pair.Name, func(t *testing.T) {
+			for i, seed := range []int64{11, 12, 13} {
+				prog := difftest.Generate(seed, 64+48*i)
+				first, err := oooref.Run(pair.Ref, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first.Instructions != int64(len(prog.Instrs)) {
+					t.Fatalf("seed %d: retired %d of %d instructions", seed, first.Instructions, len(prog.Instrs))
+				}
+				if first.Cycles <= 0 {
+					t.Fatalf("seed %d: nonpositive cycle count %d", seed, first.Cycles)
+				}
+				again, err := oooref.Run(pair.Ref, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.Cycles != first.Cycles {
+					t.Fatalf("seed %d: nondeterministic: %d then %d cycles", seed, first.Cycles, again.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// TestFrozenEngineObservables covers the snapshot's event and metrics
+// surfaces, which the differential harness renders on every comparison: an
+// attached observer must see a non-empty stream and the metrics must encode.
+func TestFrozenEngineObservables(t *testing.T) {
+	prog := difftest.Generate(7, 96)
+	cfg := oooref.MediumConfig().WithPolicy(oooref.PolicyRedsoc)
+	sim, err := oooref.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &obs.Buffer{}
+	sim.SetObserver(buf)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := obs.FormatStream(buf.Events(), sim.Clock().TicksPerCycle())
+	if !strings.Contains(stream, "dispatch") {
+		t.Fatal("event stream has no dispatch events")
+	}
+	var sb strings.Builder
+	if err := obs.WriteJSON(&sb, res.Metrics(prog.Name, cfg.Name, cfg.Policy.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cycles") {
+		t.Fatalf("metrics JSON missing cycle count: %s", sb.String())
+	}
+}
+
+func TestFrozenEngineRejectsInvalidConfig(t *testing.T) {
+	cfg := oooref.SmallConfig()
+	cfg.ROBSize = 0
+	if _, err := oooref.Run(cfg, difftest.Generate(1, 16)); err == nil {
+		t.Fatal("zero ROB accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package oooref
+
+// entryRing is a fixed-capacity FIFO of in-flight entries, used for the ROB
+// and the LSQ. The previous representation (`s.rob = s.rob[1:]` at commit)
+// walked the backing array forward forever, pinning every retired entry until
+// the next append reallocated; the ring retires a slot by nilling it, so the
+// arena can recycle the entry immediately and steady-state commit allocates
+// nothing. Capacity is fixed at construction: dispatch enforces the ROB/LSQ
+// size bounds before pushing, so overflow is a scheduler bug, not a growth
+// condition.
+type entryRing struct {
+	buf  []*entry
+	head int // index of the oldest element
+	n    int
+}
+
+func newEntryRing(capacity int) entryRing {
+	return entryRing{buf: make([]*entry, capacity)}
+}
+
+// len returns the number of queued entries.
+func (r *entryRing) len() int { return r.n }
+
+// push appends e at the tail (youngest position).
+//
+//redsoc:hotpath
+func (r *entryRing) push(e *entry) {
+	if r.n == len(r.buf) {
+		panic("ooo: ring overflow; dispatch must bound occupancy before pushing") //lint:allow panicpolicy audited invariant: dispatch stalls at capacity
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// front returns the oldest entry without removing it.
+//
+//redsoc:hotpath
+func (r *entryRing) front() *entry { return r.buf[r.head] }
+
+// popFront removes and returns the oldest entry, releasing the slot's
+// reference so the ring never pins a retired entry.
+//
+//redsoc:hotpath
+func (r *entryRing) popFront() *entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// at returns the i-th oldest entry (0 = head). linkMemDep scans the LSQ
+// youngest→oldest through this.
+//
+//redsoc:hotpath
+func (r *entryRing) at(i int) *entry {
+	return r.buf[(r.head+i)%len(r.buf)]
+}

@@ -1,4 +1,4 @@
-package ooo
+package oooref
 
 import (
 	"fmt"
@@ -11,20 +11,14 @@ import (
 	"redsoc/internal/obs"
 	"redsoc/internal/predict"
 	"redsoc/internal/timing"
-	"redsoc/internal/trace"
 )
 
 // Simulator executes one Program on one core configuration. Create a fresh
-// Simulator per run; it is not reusable or safe for concurrent use. The
-// program's static facts are read through a shared, immutable trace.Decoded
-// view (built once per program, cached across simulations), and all dynamic
-// per-instruction state lives in a dense entry slab addressed by int32
-// indices — see arena.go.
+// Simulator per run; it is not reusable or safe for concurrent use.
 type Simulator struct {
 	cfg    Config
 	clock  timing.Clock
 	prog   *isa.Program
-	dec    *trace.Decoded
 	memory *mem.Memory
 	hier   *mem.Hierarchy
 
@@ -36,17 +30,16 @@ type Simulator struct {
 	arbiter    *core.Arbiter
 	params     core.Params
 
-	// redirect, when set (!= none), is a mispredicted branch: dispatch is
-	// stalled until it resolves and the front end refills.
-	redirect int32
+	// redirect, when set, is a mispredicted branch: dispatch is stalled
+	// until it resolves and the front end refills.
+	redirect *entry
 
 	// inject, when set, perturbs estimates, delays, latch timing and
 	// predictor state at the configured per-op rates; degr holds one
 	// graceful-degradation controller per transparent-capable FU pool
 	// (nil entries never degrade).
-	inject  *fault.Injector
-	degr    [numFUKinds]*fault.Degrader
-	anyDegr bool // any pool has a controller; gates the per-cycle tick
+	inject *fault.Injector
+	degr   [numFUKinds]*fault.Degrader
 
 	// adapt drives the optional dynamic slack-threshold controller.
 	adapt *core.ThresholdController
@@ -59,29 +52,24 @@ type Simulator struct {
 	// obszeroalloc analyzer), so the disabled path costs one branch.
 	obs obs.Sink
 
-	// slab and freeList are the dense physical entry store (see arena.go);
-	// rat is the R10K-style map table from architectural rename index to the
-	// slab index of the youngest in-flight producer (none = committed state
-	// in archRegs).
-	slab     []entry
-	freeList []int32
-	rat      [isa.NumRenamedRegs]int32
+	rat      [isa.NumRenamedRegs]*entry
 	archRegs [isa.NumRenamedRegs]alu.Value
 
-	rob    seqRing // FIFO of slab indices, head first
-	rs     []int32 // waiting entries; arbitrary order (rsRemove swaps), slots tracked in entry.rsSlot
-	lsq    seqRing // memory ops, dispatch order
-	storeQ seqRing // the LSQ's stores only, dispatch order (memDep scans)
+	rob entryRing // FIFO, head first
+	rs  []*entry  // dispatch order (ascending seq)
+	lsq entryRing // memory ops, dispatch order
 
-	// ready is the scheduler's wakeup set — the only entries issue examines —
-	// kept sorted ascending by seq so events are emitted in the same order
-	// the old full-RS scan produced. wakeBuf collects entries woken since the
-	// last merge (producer broadcasts, store commits, fresh dispatches);
-	// readyScratch is the merge target, swapped with ready each merge so
-	// neither list reallocates in steady state.
-	ready        []int32
-	wakeBuf      []int32
-	readyScratch []int32
+	// arena recycles retired entries (see arena.go); ready is the scheduler's
+	// wakeup set — the only entries issue examines — kept sorted ascending by
+	// seq so events are emitted in the same order the old full-RS scan
+	// produced. wakeBuf collects entries woken since the last merge (producer
+	// broadcasts, store commits, fresh dispatches); readyScratch is the merge
+	// target, swapped with ready each merge so neither list reallocates in
+	// steady state.
+	arena        entryArena
+	ready        []*entry
+	wakeBuf      []*entry
+	readyScratch []*entry
 
 	// Reusable issue-path scratch: per-FU request lists, the arbiter request
 	// view, the seq-ordered grant list, the per-pool win flags for select
@@ -91,10 +79,6 @@ type Simulator struct {
 	granted []issueReq
 	won     []bool
 	cands   []int
-
-	// fuseCands holds tryFuse's statically eligible dependents, re-sorted by
-	// seq so fusion probing stays oldest-first over the unordered RS list.
-	fuseCands []int32
 
 	fus [numFUKinds]*fuPool
 
@@ -130,13 +114,11 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	}
 	lut := timing.NewLUT(clock)
 	wp := predict.NewWidthPredictor(cfg.WidthPredictorEntries, predict.DefaultConfidenceBits)
-	dec := trace.DecodeCached(prog)
 	s := &Simulator{
 		cfg:        cfg,
 		clock:      clock,
 		prog:       prog,
-		dec:        dec,
-		memory:     mem.NewMemoryFromImage(dec.Image),
+		memory:     mem.NewMemoryFrom(prog.Mem),
 		hier:       mem.NewHierarchy(cfg.Mem),
 		lut:        lut,
 		widthPred:  wp,
@@ -145,24 +127,9 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		estimator:  core.NewEstimator(lut, wp, estimatorParams(cfg, clock)),
 		arbiter:    core.NewArbiter(cfg.Policy == PolicyRedsoc && params.SkewedSelect),
 		params:     params,
-		redirect:   none,
 	}
-	// The hard slab bound is the refcount rule in arena.go (7*ROBSize+8:
-	// ROBSize uncommitted entries, each pinning at most 6 committed ones,
-	// plus the redirect), but real traces pin a small fraction of that —
-	// sources resolve within a ROB's reach of their consumers. Preallocate
-	// for the typical peak and let the amortized grow path absorb the
-	// pathological tail: a full-bound prealloc costs more in allocation +
-	// zeroing per Run than growth ever does.
-	slabCap := 2*cfg.ROBSize + 8
-	s.slab = make([]entry, 0, slabCap)
-	s.freeList = make([]int32, 0, slabCap)
-	for i := range s.rat {
-		s.rat[i] = none
-	}
-	s.rob = newSeqRing(cfg.ROBSize)
-	s.lsq = newSeqRing(cfg.LSQSize)
-	s.storeQ = newSeqRing(cfg.LSQSize)
+	s.rob = newEntryRing(cfg.ROBSize)
+	s.lsq = newEntryRing(cfg.LSQSize)
 	s.fus[fuALU] = newFUPool(cfg.NumALU)
 	s.fus[fuSIMD] = newFUPool(cfg.NumSIMD)
 	s.fus[fuFP] = newFUPool(cfg.NumFP)
@@ -176,7 +143,6 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		// have a baseline to degrade to.
 		s.degr[fuALU] = fault.NewDegrader(cfg.Degrade)
 		s.degr[fuSIMD] = fault.NewDegrader(cfg.Degrade)
-		s.anyDegr = true
 	}
 	if cfg.PVT.Enable {
 		s.cpm = timing.NewCPM(cfg.PVT, lut)
@@ -185,11 +151,6 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	s.res.Sequences = core.NewSeqTracker()
 	return s, nil
 }
-
-// in resolves an entry's trace instruction (cold paths: execution, tracing).
-//
-//redsoc:hotpath
-func (s *Simulator) in(e *entry) *isa.Instruction { return &s.prog.Instrs[e.ti] }
 
 // estimatorParams: the baseline core does not carry slack hardware, but the
 // estimator still runs (to classify ops for Fig. 10 and to feed MOS fusion
@@ -253,11 +214,6 @@ func (s *Simulator) step(cycle int64) (done bool) {
 //
 //redsoc:hotpath
 func (s *Simulator) tickDegraders(cycle int64) {
-	if !s.anyDegr {
-		// No pool has a controller (nil Degraders never trip, rearm, or
-		// degrade), so the whole stage is a no-op — skip the per-pool calls.
-		return
-	}
 	any := false
 	for k := range s.degr {
 		tripped, rearmed := s.degr[k].Tick(cycle)
@@ -288,50 +244,49 @@ func (s *Simulator) tickDegraders(cycle int64) {
 func (s *Simulator) commit(cycle int64) {
 	now := s.clock.CycleStart(cycle)
 	for n := 0; n < s.cfg.FrontEndWidth && s.rob.len() > 0; n++ {
-		ei := s.rob.front()
-		e := s.ent(ei)
+		e := s.rob.front()
 		if e.state != stIssued || e.sched.Comp > now {
 			if n == 0 && s.rob.len() >= s.cfg.ROBSize {
 				slot := 0
 				if e.state != stIssued {
 					slot = 1
 				}
-				s.headWait[e.class][slot]++
+				s.headWait[e.in.Op.Class()][slot]++
 			}
 			return
 		}
+		in := e.in
 		if e.isStore {
-			if e.bits&trace.BitVecAccess != 0 {
-				s.memory.Write128(e.addr, e.result.Lo, e.result.Hi)
+			if in.Src3.IsVec() {
+				s.memory.Write128(in.Addr, e.result.Lo, e.result.Hi)
 			} else {
-				s.memory.Write64(e.addr, e.result.Lo)
+				s.memory.Write64(in.Addr, e.result.Lo)
 			}
 		}
-		if e.bits&trace.BitHasDest != 0 {
-			s.writeArch(e.dest, ei, e)
+		if d := in.DestReg(); d.Valid() {
+			s.writeArch(d, e)
 		}
-		if e.bits&trace.BitSetFlagsExtra != 0 {
-			s.writeArch(flagsRenameIdx, ei, e)
+		if in.SetFlags && !in.Op.WritesFlags() {
+			s.writeArch(isa.Flags, e)
 		}
 		if !e.extended {
 			s.res.Sequences.Record(int(e.chainLen))
 		}
 		if s.tracer != nil {
-			s.tracer.commit(cycle, e, s.in(e))
+			s.tracer.commit(cycle, e)
 		}
 		if s.obs != nil {
-			s.obs.Emit(obs.Event{Kind: obs.KindCommit, Cycle: cycle, Seq: e.seq, Op: e.op, PC: e.pc, FU: uint8(e.fu), Unit: -1})
+			s.obs.Emit(obs.Event{Kind: obs.KindCommit, Cycle: cycle, Seq: e.seq, Op: in.Op, PC: in.PC, FU: uint8(e.fu), Unit: -1})
 		}
 		e.state = stCommitted
 		s.rob.popFront()
 		if e.isLoad || e.isStore {
 			// Memory ops leave the LSQ at commit; in-order commit keeps the
 			// LSQ head aligned (asserted by the audit build).
-			s.audit.onCommitMem(s, ei, s.lsq.front())
+			s.audit.onCommitMem(s, e, s.lsq.front())
 			s.lsq.popFront()
 		}
 		if e.isStore {
-			s.storeQ.popFront()
 			// Loads blocked on this store's memory dependence become
 			// schedulable the moment it retires; commit runs before issue, so
 			// the wake is visible the same cycle — matching the old full-RS
@@ -339,27 +294,28 @@ func (s *Simulator) commit(cycle int64) {
 			s.wakeWaiters(e)
 		}
 		s.res.Instructions++
-		// Drop e's outgoing references and recycle its slot (or park it on its
+		// Drop e's outgoing references and recycle it (or park it on its
 		// refcount if a younger consumer, or the redirect, still points here).
 		s.releaseRefs(e)
 		if e.refs == 0 {
-			s.freeEntry(ei)
+			s.arena.put(e)
 		}
 	}
 }
 
 // writeArch retires a destination into architectural state and releases the
-// map-table slot if it still points at this entry.
+// RAT mapping if it still points at this entry.
 //
 //redsoc:hotpath
-func (s *Simulator) writeArch(idx uint8, ei int32, e *entry) {
-	if idx == flagsRenameIdx {
+func (s *Simulator) writeArch(d isa.Reg, e *entry) {
+	idx := d.RenameIndex()
+	if d.IsFlags() {
 		s.archRegs[idx] = e.flagsOut.Pack()
 	} else {
 		s.archRegs[idx] = e.result
 	}
-	if s.rat[idx] == ei {
-		s.rat[idx] = none
+	if s.rat[idx] == e {
+		s.rat[idx] = nil
 	}
 }
 
@@ -375,8 +331,8 @@ const RedirectPenalty = 2
 //
 //redsoc:hotpath
 func (s *Simulator) dispatch(cycle int64) {
-	if s.redirect != none {
-		e := s.ent(s.redirect)
+	if s.redirect != nil {
+		e := s.redirect
 		if e.state == stWaiting {
 			s.res.StallRedirect++
 			return
@@ -386,12 +342,10 @@ func (s *Simulator) dispatch(cycle int64) {
 			s.res.StallRedirect++
 			return
 		}
-		ri := s.redirect
-		s.redirect = none
-		s.release(ri)
+		s.redirect = nil
+		s.release(e)
 	}
-	dec := s.dec
-	for n := 0; n < s.cfg.FrontEndWidth && s.pc < dec.Len(); n++ {
+	for n := 0; n < s.cfg.FrontEndWidth && s.pc < len(s.prog.Instrs); n++ {
 		if s.rob.len() >= s.cfg.ROBSize {
 			s.res.StallROB++
 			return
@@ -400,35 +354,22 @@ func (s *Simulator) dispatch(cycle int64) {
 			s.res.StallRSE++
 			return
 		}
-		ti := int32(s.pc)
-		in := &s.prog.Instrs[ti]
-		bits := dec.Bits[ti]
-		isMem := bits&trace.BitMem != 0
+		in := &s.prog.Instrs[s.pc]
+		isMem := in.Op.IsMem()
 		if isMem && s.lsq.len() >= s.cfg.LSQSize {
 			s.res.StallLSQ++
 			return
 		}
 		s.pc++
 
-		ei := s.alloc()
-		e := s.ent(ei)
-		e.ti = ti
+		e := s.arena.get()
+		e.in = in
 		e.seq = s.nextSeq
-		e.op = in.Op
-		e.class = dec.Class[ti]
-		e.bits = bits
-		e.dest = dec.Dest[ti]
-		e.pc = in.PC
-		e.addr = in.Addr
-		e.addrLo = dec.AddrLo[ti]
-		e.addrHi = dec.AddrHi[ti]
 		e.broadcastCycle = -1
 		e.lastIdx = -1
-		e.gp = none
-		e.memDep = none
-		e.isLoad = bits&trace.BitLoad != 0
-		e.isStore = bits&trace.BitStore != 0
-		e.fu = fuKind(dec.Pool[ti])
+		e.isLoad = in.Op == isa.OpLDR
+		e.isStore = in.Op == isa.OpSTR
+		e.fu = fuKindOf(in.Op.Class())
 		e.dispatchCycle = cycle
 		s.nextSeq++
 		// Predictor faults corrupt shared table state before this op reads
@@ -443,92 +384,95 @@ func (s *Simulator) dispatch(cycle int64) {
 		// Estimate faults model an optimistic slack-LUT bucket: the tabulated
 		// computation time understates the true circuit, so a transparent
 		// schedule built on it completes before the value is stable.
-		if s.inject != nil && bits&trace.BitSingleCycle != 0 {
+		if s.inject != nil && in.Op.SingleCycle() {
 			if shrink, ok := s.inject.EstimateFault(); ok {
 				e.exTicks = s.lut.OptimisticCompTicks(e.est.Addr, shrink)
 				e.faulted |= fault.BitEstimate
 			}
 		}
 
-		s.rename(ei, e)
+		s.rename(e)
 		s.linkMemDep(e)
-		s.watchWakeups(ei, e)
+		s.watchWakeups(e)
 
 		// Destination renaming (including the implicit flags destination).
-		if bits&trace.BitHasDest != 0 {
-			s.rat[e.dest] = ei
+		if d := in.DestReg(); d.Valid() {
+			s.rat[d.RenameIndex()] = e
 		}
-		if bits&trace.BitSetFlagsExtra != 0 {
-			s.rat[flagsRenameIdx] = ei
+		if in.SetFlags && !in.Op.WritesFlags() {
+			s.rat[isa.Flags.RenameIndex()] = e
 		}
 
-		s.rob.push(ei)
-		e.rsSlot = int32(len(s.rs))
-		s.rs = append(s.rs, ei) //lint:allow schedalloc amortized: rs grows to window occupancy once, then appends into warm capacity
+		s.rob.push(e)
+		s.rs = append(s.rs, e) //lint:allow schedalloc amortized: rs grows to window occupancy once, then appends into warm capacity
 		if isMem {
-			s.lsq.push(ei)
-			if e.isStore {
-				s.storeQ.push(ei)
-			}
+			s.lsq.push(e)
 		}
 		if s.tracer != nil {
-			s.tracer.dispatch(cycle, e, in)
+			s.tracer.dispatch(cycle, e)
 		}
 		if s.obs != nil {
 			// Decode-time slack-bucket assignment: the LUT address the
 			// estimate was read from and the bucketed EX-TIME in ticks.
-			s.obs.Emit(obs.Event{Kind: obs.KindDispatch, Cycle: cycle, Seq: e.seq, Op: e.op,
-				PC: e.pc, FU: uint8(e.fu), Unit: -1, Arg: int64(e.est.Addr), Start: e.exTicks})
+			s.obs.Emit(obs.Event{Kind: obs.KindDispatch, Cycle: cycle, Seq: e.seq, Op: in.Op,
+				PC: in.PC, FU: uint8(e.fu), Unit: -1, Arg: int64(e.est.Addr), Start: e.exTicks})
 		}
-		if bits&trace.BitBranch != 0 && s.branchPred.Update(e.pc, bits&trace.BitTaken != 0) {
+		if in.Op == isa.OpB && s.branchPred.Update(in.PC, in.Taken) {
 			// Mispredicted: everything younger is a front-end bubble until
 			// this branch resolves. The redirect reference can outlive the
 			// branch's commit (dispatch reads its schedule while refilling),
-			// so it participates in the slab refcount.
-			s.redirect = ei
-			s.retain(ei)
+			// so it participates in the arena refcount.
+			s.redirect = e
+			retain(e)
 			if s.tracer != nil {
 				s.tracer.redirect(cycle, e)
 			}
 			if s.obs != nil {
-				s.obs.Emit(obs.Event{Kind: obs.KindRedirect, Cycle: cycle, Seq: e.seq, Op: e.op, PC: e.pc, FU: uint8(e.fu), Unit: -1})
+				s.obs.Emit(obs.Event{Kind: obs.KindRedirect, Cycle: cycle, Seq: e.seq, Op: in.Op, PC: in.PC, FU: uint8(e.fu), Unit: -1})
 			}
 			return
 		}
 	}
 }
 
-// rename resolves the entry's sources against the map table and picks the
+// rename resolves the entry's sources against the RAT and picks the
 // predicted last-arriving parent and its grandparent tag (Operational
-// design: the grandparent tag travels parent→child through the map table).
-// The source rename indices and operand-role mapping come straight from the
-// flat decode's columns — no per-dispatch re-derivation from the
-// instruction encoding.
+// design: the grandparent tag travels parent→child through the RAT).
 //
 //redsoc:hotpath
-func (s *Simulator) rename(ei int32, e *entry) {
-	dec := s.dec
-	n := int(dec.NSrc[e.ti])
-	srcIdx := &dec.Srcs[e.ti]
-	for k := 0; k < n; k++ {
-		idx := srcIdx[k]
-		ref := srcRef{idx: idx, prod: none}
-		if p := s.rat[idx]; p != none {
-			ref.prod = p
-			s.retain(p)
+func (s *Simulator) rename(e *entry) {
+	e.iSrc1, e.iSrc2, e.iSrc3, e.iFlags = -1, -1, -1, -1
+	addSrc := func(r isa.Reg) int8 {
+		ref := srcRef{reg: r}
+		idx := r.RenameIndex()
+		if p := s.rat[idx]; p != nil {
+			ref.producer = p
+			retain(p)
 		} else {
 			ref.value = s.archRegs[idx]
 		}
-		e.srcs[k] = ref
+		e.srcs[e.nsrc] = ref
+		e.nsrc++
+		return int8(e.nsrc - 1)
 	}
-	e.nsrc = uint8(n)
-	roles := &dec.Roles[e.ti]
-	e.iSrc1, e.iSrc2, e.iSrc3, e.iFlags = roles[0], roles[1], roles[2], roles[3]
+	in := e.in
+	if in.Src1 != isa.RegNone {
+		e.iSrc1 = addSrc(in.Src1)
+	}
+	if in.Src2 != isa.RegNone {
+		e.iSrc2 = addSrc(in.Src2)
+	}
+	if in.Src3 != isa.RegNone {
+		e.iSrc3 = addSrc(in.Src3)
+	}
+	if in.Op.ReadsCarry() {
+		e.iFlags = addSrc(isa.Flags)
+	}
 
 	// Find in-flight producers (s.cands is reusable scratch).
 	cands := s.cands[:0]
-	for i := 0; i < n; i++ {
-		if e.srcs[i].prod != none {
+	for i := 0; i < e.nsrc; i++ {
+		if e.srcs[i].producer != nil {
 			cands = append(cands, i)
 		}
 	}
@@ -537,24 +481,24 @@ func (s *Simulator) rename(ei int32, e *entry) {
 	case 0:
 		// All operands ready at rename.
 	case 1:
-		e.lastIdx = int8(cands[0])
+		e.lastIdx = cands[0]
 	default:
 		e.multiSrc = true
-		pi := s.lastPred.Predict(e.pc)
+		pi := s.lastPred.Predict(in.PC)
 		if pi >= len(cands) {
 			pi = len(cands) - 1
 		}
-		e.lastIdx = int8(cands[pi])
+		e.lastIdx = cands[pi]
 	}
 	if e.lastIdx >= 0 {
-		p := s.ent(e.srcs[e.lastIdx].prod)
+		p := e.srcs[e.lastIdx].producer
 		if p.lastIdx >= 0 {
 			// The grandparent may already have committed; p's own source
-			// reference pins its slot until p retires, and e's retain extends
-			// that across e's lifetime (the recycle-safety rule in arena.go).
-			if gp := p.srcs[p.lastIdx].prod; gp != none {
-				e.gp = gp
-				s.retain(gp)
+			// reference pins it until p retires, and e's retain extends that
+			// across e's lifetime (the recycle-safety rule in arena.go).
+			e.gp = p.srcs[p.lastIdx].producer
+			if e.gp != nil {
+				retain(e.gp)
 			}
 		}
 	}
@@ -565,11 +509,10 @@ func (s *Simulator) rename(ei int32, e *entry) {
 // set or the pending buffer.
 //
 //redsoc:hotpath
-func (s *Simulator) wake(ei int32) {
-	e := s.ent(ei)
+func (s *Simulator) wake(e *entry) {
 	if e.state == stWaiting && !e.inReady {
 		e.inReady = true
-		s.wakeBuf = append(s.wakeBuf, ei) //lint:allow schedalloc amortized: wakeBuf peaks at ready-set size early in the run, then stays warm
+		s.wakeBuf = append(s.wakeBuf, e) //lint:allow schedalloc amortized: wakeBuf peaks at ready-set size early in the run, then stays warm
 	}
 }
 
@@ -593,44 +536,41 @@ func (s *Simulator) wakeWaiters(e *entry) {
 // eligibility) simply stay in the set — see the keep rules in issue.
 //
 //redsoc:hotpath
-func (s *Simulator) watchWakeups(ei int32, e *entry) {
-	for i := 0; i < int(e.nsrc); i++ {
-		if pi := e.srcs[i].prod; pi != none {
-			if p := s.ent(pi); p.broadcastCycle < 0 {
-				p.waiters = append(p.waiters, ei) //lint:allow schedalloc amortized: waiters backing arrays survive slab recycling (see freeEntry), so appends reuse warm capacity
-			}
+func (s *Simulator) watchWakeups(e *entry) {
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.srcs[i].producer; p != nil && p.broadcastCycle < 0 {
+			p.waiters = append(p.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling (see entryArena.put), so appends reuse warm capacity
 		}
 	}
-	if e.gp != none {
-		if gp := s.ent(e.gp); gp.broadcastCycle < 0 {
-			gp.waiters = append(gp.waiters, ei) //lint:allow schedalloc amortized: waiters backing arrays survive slab recycling, so appends reuse warm capacity
-		}
+	if gp := e.gp; gp != nil && gp.broadcastCycle < 0 {
+		gp.waiters = append(gp.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling, so appends reuse warm capacity
 	}
-	if e.memDep != none {
-		dep := s.ent(e.memDep)
-		dep.waiters = append(dep.waiters, ei) //lint:allow schedalloc amortized: waiters backing arrays survive slab recycling, so appends reuse warm capacity
+	if len(e.memDeps) > 0 {
+		dep := e.memDeps[0]
+		dep.waiters = append(dep.waiters, e) //lint:allow schedalloc amortized: waiters backing arrays survive arena recycling, so appends reuse warm capacity
 	}
-	s.wake(ei)
+	s.wake(e)
 }
 
 // linkMemDep points a load at the youngest older overlapping store still in
 // the LSQ. Addresses are exact in trace form, so this is perfect (oracle)
 // memory disambiguation; the latency rules still respect store completion.
-// The scan walks the store queue — the LSQ's stores only — youngest→oldest,
-// visiting exactly the candidates the old full-LSQ scan examined, minus the
-// loads it skipped.
 //
 //redsoc:hotpath
 func (s *Simulator) linkMemDep(e *entry) {
 	if !e.isLoad {
 		return
 	}
-	for i := s.storeQ.len() - 1; i >= 0; i-- {
-		sti := s.storeQ.at(i)
-		st := s.ent(sti)
-		if rangesOverlap(e.addrLo, e.addrHi, st.addrLo, st.addrHi) {
-			e.memDep = sti
-			s.retain(sti)
+	lo, hi := addrRange(e.in)
+	for i := s.lsq.len() - 1; i >= 0; i-- {
+		st := s.lsq.at(i)
+		if !st.isStore {
+			continue
+		}
+		sLo, sHi := addrRange(st.in)
+		if rangesOverlap(lo, hi, sLo, sHi) {
+			e.memDeps = append(e.memDeps, st) //lint:allow schedalloc amortized: memDeps backing arrays survive arena recycling, so appends reuse warm capacity
+			retain(st)
 			return
 		}
 	}
@@ -641,7 +581,9 @@ func (s *Simulator) linkMemDep(e *entry) {
 //
 //redsoc:hotpath
 func forwardable(st, ld *entry) bool {
-	return st.addrLo <= ld.addrLo && ld.addrHi <= st.addrHi
+	sLo, sHi := addrRange(st.in)
+	lLo, lHi := addrRange(ld.in)
+	return sLo <= lLo && lHi <= sHi
 }
 
 // capture snapshots final architectural state for equivalence checks.
@@ -686,18 +628,11 @@ func (s *Simulator) capture() {
 // Clock exposes the simulator's clock (for harness reporting).
 func (s *Simulator) Clock() timing.Clock { return s.clock }
 
-// Run is a convenience: build and run in one call. Because the simulator
-// never escapes, the cache hierarchy's line storage can be recycled into the
-// mem pool for the next run — campaign workers construct one hierarchy per
-// cell, and reuse keeps that off the allocator.
+// Run is a convenience: build and run in one call.
 func Run(cfg Config, prog *isa.Program) (*Result, error) {
 	s, err := New(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	res, rerr := s.Run()
-	h := s.hier
-	s.hier = nil // the released storage must not be reachable through s
-	h.Release()
-	return res, rerr
+	return s.Run()
 }

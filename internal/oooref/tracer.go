@@ -1,10 +1,9 @@
-package ooo
+package oooref
 
 import (
 	"fmt"
 	"io"
 
-	"redsoc/internal/isa"
 	"redsoc/internal/timing"
 )
 
@@ -30,11 +29,11 @@ func (t *Tracer) instant(tk timing.Ticks) string {
 	return fmt.Sprintf("%d.%d", t.clock.CycleOf(tk), t.clock.FracOf(tk)) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
-func (t *Tracer) dispatch(cycle int64, e *entry, in *isa.Instruction) {
-	fmt.Fprintf(t.w, "c%-5d dispatch seq=%-5d %s\n", cycle, e.seq, in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
+func (t *Tracer) dispatch(cycle int64, e *entry) {
+	fmt.Fprintf(t.w, "c%-5d dispatch seq=%-5d %s\n", cycle, e.seq, e.in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
-func (t *Tracer) issue(cycle int64, e *entry, in *isa.Instruction, spec bool) {
+func (t *Tracer) issue(cycle int64, e *entry, spec bool) {
 	tag := ""
 	if spec {
 		tag = " egpw"
@@ -46,19 +45,19 @@ func (t *Tracer) issue(cycle int64, e *entry, in *isa.Instruction, spec bool) {
 		tag += " hold2"
 	}
 	fmt.Fprintf(t.w, "c%-5d issue    seq=%-5d %-24s exec[%s..%s)%s\n", //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
-		cycle, e.seq, in, t.instant(e.sched.Start), t.instant(e.sched.Comp), tag)
+		cycle, e.seq, e.in, t.instant(e.sched.Start), t.instant(e.sched.Comp), tag)
 }
 
-func (t *Tracer) cancel(cycle int64, e *entry, in *isa.Instruction, spec bool) {
+func (t *Tracer) cancel(cycle int64, e *entry, spec bool) {
 	why := "tag-mispredict"
 	if spec {
 		why = "gp-wasted"
 	}
-	fmt.Fprintf(t.w, "c%-5d cancel   seq=%-5d %s (%s)\n", cycle, e.seq, in, why) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
+	fmt.Fprintf(t.w, "c%-5d cancel   seq=%-5d %s (%s)\n", cycle, e.seq, e.in, why) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
-func (t *Tracer) commit(cycle int64, e *entry, in *isa.Instruction) {
-	fmt.Fprintf(t.w, "c%-5d commit   seq=%-5d %s\n", cycle, e.seq, in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
+func (t *Tracer) commit(cycle int64, e *entry) {
+	fmt.Fprintf(t.w, "c%-5d commit   seq=%-5d %s\n", cycle, e.seq, e.in) //lint:allow schedalloc tracing is opt-in debugging; measured runs never attach a Tracer
 }
 
 func (t *Tracer) redirect(cycle int64, e *entry) {

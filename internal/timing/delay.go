@@ -55,7 +55,18 @@ func AdderDelayPS(effWidth int) int {
 // carry-in muxing for ADC/SBC/RSC, operand inversion for subtracts, the
 // individual gate mixes of the logic ops. Values are small and keep the
 // left-to-right shape of Fig. 1.
-var opOffsetPS = map[isa.Op]int{
+// The table is authored as a map for readability and flattened into a dense
+// per-opcode array at init: OpDelayPS sits on the estimator's per-issue path,
+// where a map lookup was a measurable fraction of simulation time.
+var opOffsetPS [isa.NumOps]int
+
+func init() {
+	for op, off := range opOffsetTablePS {
+		opOffsetPS[op] = off
+	}
+}
+
+var opOffsetTablePS = map[isa.Op]int{
 	isa.OpBIC: 30, isa.OpMVN: 10, isa.OpAND: 20, isa.OpEOR: 25,
 	isa.OpTST: 20, isa.OpTEQ: 25, isa.OpORR: 20, isa.OpMOV: 0,
 	isa.OpLSR: 15, isa.OpASR: 20, isa.OpLSL: 15, isa.OpROR: 25, isa.OpRRX: 5,

@@ -1,0 +1,13 @@
+package trace
+
+import "testing"
+
+func TestSortU64(t *testing.T) {
+	a := []uint64{5, 1, 9, 3, 3, 0, 1 << 60}
+	sortU64(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatalf("unsorted: %v", a)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -7,16 +7,17 @@ import (
 
 	"redsoc/internal/isa"
 	"redsoc/internal/ooo"
+	"redsoc/internal/trace"
 	"redsoc/internal/workload/mibench"
 )
 
 func roundTrip(t *testing.T, p *isa.Program) *isa.Program {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Read(&buf)
+	got, err := trace.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRoundTripAllFieldKinds(t *testing.T) {
 func TestCompactness(t *testing.T) {
 	p, _ := mibench.Bitcount(400, 1)
 	var buf bytes.Buffer
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
 	perInstr := float64(buf.Len()) / float64(len(p.Instrs))
@@ -98,29 +99,19 @@ func TestCompactness(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+	if _, err := trace.Read(strings.NewReader("NOPE....")); err == nil {
 		t.Fatal("bad magic must fail")
 	}
-	if _, err := Read(strings.NewReader("RDSC\x07")); err == nil {
+	if _, err := trace.Read(strings.NewReader("RDSC\x07")); err == nil {
 		t.Fatal("bad version must fail")
 	}
 	var buf bytes.Buffer
 	p := &isa.Program{Name: "x", Instrs: []isa.Instruction{{Op: isa.OpADD, Dst: isa.R(1)}}}
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-2]
-	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+	if _, err := trace.Read(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated stream must fail")
-	}
-}
-
-func TestSortU64(t *testing.T) {
-	a := []uint64{5, 1, 9, 3, 3, 0, 1 << 60}
-	sortU64(a)
-	for i := 1; i < len(a); i++ {
-		if a[i-1] > a[i] {
-			t.Fatalf("unsorted: %v", a)
-		}
 	}
 }
