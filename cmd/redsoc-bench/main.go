@@ -10,7 +10,8 @@
 //	redsoc-bench [-scale quick|full] [-quick] [-sweep] [-v] [-j N]
 //	             [-md FILE] [-report BENCH_report.json] [-metrics-out FILE]
 //	             [-baseline .github/bench-baseline.json] [-update-baseline]
-//	             [-journal DIR] [-resume] [-cell-timeout D] [-retries N]
+//	             [-journal DIR] [-resume] [-shard i/n]
+//	             [-cell-timeout D] [-retries N]
 //
 // -journal DIR arms the crash-safe campaign journal: every completed sweep
 // total and grid cell is persisted (content-addressed, atomically written)
@@ -18,6 +19,13 @@
 // everything already journaled. Re-running with -resume serves journaled
 // cells instead of re-simulating them; determinism makes the resumed report
 // bit-identical to an uninterrupted run (wall_seconds aside).
+//
+// -shard i/n splits the campaign across cooperating processes: shard i of n
+// computes only the grid cells it owns (cell index mod n == i), journaling
+// them into the shared -journal DIR, which is the shard's product — no
+// report, figures or baseline gate are emitted. When every shard has run,
+// a plain -journal DIR -resume invocation merges the grid by index entirely
+// from the journal, byte-identical to an unsharded run (wall_seconds aside).
 //
 // -baseline arms the CI bench-regression gate: the run's per-cell cycle
 // counts must match the committed baseline exactly or the command exits
@@ -66,6 +74,7 @@ func main() {
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite .github/bench-baseline.json from this run and exit 0")
 	journalDir := flag.String("journal", "", "crash-safe cell journal directory (content-addressed; arms -resume)")
 	resume := flag.Bool("resume", false, "serve journaled cells instead of re-simulating (requires -journal)")
+	shardFlag := flag.String("shard", "", "compute only shard i/n of the grid into the shared -journal (merge with -resume)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 90s (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for cells that panic or exceed -cell-timeout")
 	stallAfter := flag.Duration("stall-after", time.Minute, "report a cell as hung after this much heartbeat silence")
@@ -81,6 +90,16 @@ func main() {
 	case "full":
 	default:
 		log.Fatalf("unknown -scale %q (want quick or full)", *scaleFlag)
+	}
+	shard, err := campaign.ParseShard(*shardFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *resume && *journalDir == "" {
+		log.Fatal("-resume requires -journal DIR")
+	}
+	if shard.Enabled() && *journalDir == "" {
+		log.Fatal("-shard requires -journal DIR — the shared journal is the shard's product")
 	}
 
 	fmt.Println("ReDSOC evaluation — Recycling Data Slack in Out-of-Order Cores (HPCA'19)")
@@ -107,9 +126,7 @@ func main() {
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Println("  " + line) }
 	}
-	if *resume && *journalDir == "" {
-		log.Fatal("-resume requires -journal DIR")
-	}
+	opts.Shard = shard
 	if *journalDir != "" {
 		journal, err := cellstore.Open(*journalDir)
 		if err != nil {
@@ -117,6 +134,16 @@ func main() {
 		}
 		defer journal.Close()
 		opts.Journal = journal
+	}
+	// The journal line always prints when a journal is armed — on success,
+	// error and interrupt alike, hits or no hits — so CI extraction of
+	// "journal: N hits" can never silently match nothing.
+	printJournal := func() {
+		if opts.Journal != nil {
+			js := opts.Journal.Stats()
+			fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
+				js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
+		}
 	}
 
 	// SIGINT cancels in-flight cells; everything already journaled stays. The
@@ -126,6 +153,7 @@ func main() {
 
 	grid, err := harness.Run(ctx, benchmarks, harness.Cores(), opts)
 	if err != nil {
+		printJournal()
 		var cancelled *campaign.CancelledError
 		if errors.As(err, &cancelled) && opts.Journal != nil {
 			opts.Journal.Close()
@@ -137,14 +165,18 @@ func main() {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
-	if opts.Journal != nil {
-		js := opts.Journal.Stats()
-		fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
-			js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
-	}
+	printJournal()
 	if n := stats.Retries.Load() + stats.Panics.Load() + stats.Timeouts.Load() + stats.Stalls.Load(); n > 0 {
 		fmt.Printf("resilience: %d retries (%d panics, %d timeouts), %d stall reports\n",
 			stats.Retries.Load(), stats.Panics.Load(), stats.Timeouts.Load(), stats.Stalls.Load())
+	}
+	if shard.Enabled() {
+		// A shard's product is its journal, not a report: the grid it holds is
+		// partial by design, so every report/figure/baseline artifact is
+		// skipped until the merge run reassembles the full grid.
+		fmt.Printf("shard %s complete in %s — merge with: redsoc-bench -journal %s -resume\n",
+			shard, wall.Round(time.Millisecond), *journalDir)
+		return
 	}
 
 	if *mdOut != "" {

@@ -11,7 +11,8 @@
 //
 //	redsoc-chaos [-core medium] [-seeds 3] [-rates 0.001,0.01,0.1]
 //	             [-bench NAME] [-quick] [-j N] [-flight N]
-//	             [-journal DIR] [-resume] [-cell-timeout D] [-retries N]
+//	             [-journal DIR] [-resume] [-shard i/n]
+//	             [-cell-timeout D] [-retries N]
 //
 // -quick is the CI smoke configuration: one benchmark per suite,
 // 3 seeds × 2 fault rates. When a faulted run fails verification, -flight
@@ -54,6 +55,7 @@ func main() {
 	flight := flag.Int("flight", 64, "flight-recorder depth: dump the last N pipeline events of any verification-failed cell (0 = off)")
 	journalDir := flag.String("journal", "", "crash-safe cell journal directory (content-addressed; arms -resume)")
 	resume := flag.Bool("resume", false, "serve journaled cells instead of re-simulating (requires -journal)")
+	shardFlag := flag.String("shard", "", "compute only shard i/n of the campaign into the shared -journal (merge with -resume)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 90s (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for cells that panic or exceed -cell-timeout")
 	stallAfter := flag.Duration("stall-after", time.Minute, "report a cell as hung after this much heartbeat silence")
@@ -114,8 +116,16 @@ func main() {
 			log.Printf("watchdog: cell %q silent for %s (last event: %s)", s.Label, s.Idle.Round(time.Second), s.LastEvent)
 		},
 	}
+	shard, err := campaign.ParseShard(*shardFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Shard = shard
 	if *resume && *journalDir == "" {
 		log.Fatal("-resume requires -journal DIR")
+	}
+	if shard.Enabled() && *journalDir == "" {
+		log.Fatal("-shard requires -journal DIR — the shared journal is the shard's product")
 	}
 	if *journalDir != "" {
 		journal, err := cellstore.Open(*journalDir)
@@ -124,6 +134,15 @@ func main() {
 		}
 		defer journal.Close()
 		opts.Journal = journal
+	}
+	// Print the journal line on every exit path when a journal is armed —
+	// hits or no hits — so CI extraction never silently matches nothing.
+	printJournal := func() {
+		if opts.Journal != nil {
+			js := opts.Journal.Stats()
+			fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
+				js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
+		}
 	}
 
 	// SIGINT cancels in-flight cells; everything already journaled stays.
@@ -138,6 +157,7 @@ func main() {
 		if errors.As(err, &pe) && *flight > 0 {
 			fmt.Fprintf(os.Stderr, "chaos: cell panicked; task frames:\n%s\n", pe.TaskStack())
 		}
+		printJournal()
 		var cancelled *campaign.CancelledError
 		if errors.As(err, &cancelled) && opts.Journal != nil {
 			opts.Journal.Close()
@@ -148,14 +168,20 @@ func main() {
 		}
 		log.Fatal(err)
 	}
-	if opts.Journal != nil {
-		js := opts.Journal.Stats()
-		fmt.Printf("journal: %d hits, %d misses, %d writes, %d corrupt (%s)\n",
-			js.Hits, js.Misses, js.Writes, js.Corrupt, *journalDir)
-	}
+	printJournal()
 	if n := stats.Retries.Load() + stats.Stalls.Load(); n > 0 {
 		fmt.Printf("resilience: %d retries (%d panics, %d timeouts), %d stall reports\n",
 			stats.Retries.Load(), stats.Panics.Load(), stats.Timeouts.Load(), stats.Stalls.Load())
+	}
+	if shard.Enabled() {
+		// A shard's product is its journal: verification and aggregation over
+		// the full campaign happen in the merge run, which serves every cell
+		// from the shared journal.
+		if report.ArchFailures > 0 {
+			log.Fatalf("%d faulted runs diverged architecturally — recovery is broken", report.ArchFailures)
+		}
+		fmt.Printf("shard %s complete — merge with: redsoc-chaos -journal %s -resume\n", shard, *journalDir)
+		return
 	}
 	report.Table.Render(os.Stdout)
 	if report.ArchFailures > 0 {

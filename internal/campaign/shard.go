@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard names one slice of a campaign split across cooperating processes:
+// this process is shard Index of Count. Task ownership is a pure function of
+// the task index — shard i owns task t iff t % Count == i — so the shards
+// partition any campaign's flattened task list exactly: every task is owned
+// by precisely one shard, with no coordination and no shared state beyond
+// the content-addressed journal the shards write into. Because every task is
+// strictly deterministic and merged by index, the union of N shards'
+// journals replayed in index order is bit-identical to a single unsharded
+// run — the `-shards 1` ≡ `-shards N` contract is the `-j 1` ≡ `-j N`
+// contract extended across process (and machine) boundaries.
+type Shard struct {
+	// Index is this shard's position, 0 <= Index < Count.
+	Index int
+	// Count is the total number of cooperating shards. Zero means the
+	// campaign is not sharded (the zero Shard owns every task).
+	Count int
+}
+
+// Enabled reports whether the shard actually splits work (Count >= 2; a
+// 1-of-1 shard is equivalent to an unsharded run).
+func (s Shard) Enabled() bool { return s.Count >= 2 }
+
+// Validate checks the shard coordinates.
+func (s Shard) Validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("campaign: invalid shard %d/%d (want 0 <= index < count)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether this shard computes task t. The zero Shard (and any
+// 1-of-1 shard) owns everything.
+func (s Shard) Owns(t int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return t%s.Count == s.Index
+}
+
+// Assign returns the task indices this shard owns out of a campaign of n
+// tasks, in increasing order — the owned sub-list a sharded driver hands to
+// Run. The round-robin split keeps shard workloads within one task of each
+// other no matter how cost correlates with index position.
+func (s Shard) Assign(n int) []int {
+	var out []int
+	for t := 0; t < n; t++ {
+		if s.Owns(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the shard in its -shard i/n flag form ("" when unsharded).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses the -shard flag form "i/n" (e.g. "0/3"). An empty
+// string is the unsharded zero Shard.
+func ParseShard(v string) (Shard, error) {
+	if v == "" {
+		return Shard{}, nil
+	}
+	iStr, nStr, ok := strings.Cut(v, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("campaign: bad shard %q (want i/n, e.g. 0/3)", v)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(iStr))
+	n, err2 := strconv.Atoi(strings.TrimSpace(nStr))
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("campaign: bad shard %q (want i/n, e.g. 0/3)", v)
+	}
+	s := Shard{Index: i, Count: n}
+	if n < 1 {
+		return Shard{}, fmt.Errorf("campaign: invalid shard %d/%d (want 0 <= index < count)", i, n)
+	}
+	if err := s.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import "testing"
+
+// TestShardPartition proves the ownership rule is an exact partition: over
+// any task count, every index is owned by exactly one of the N shards, and
+// Assign returns precisely the owned indices in increasing order.
+func TestShardPartition(t *testing.T) {
+	for _, count := range []int{2, 3, 5, 8} {
+		for _, n := range []int{0, 1, 7, 45, 81} {
+			owners := make([]int, n)
+			for i := range owners {
+				owners[i] = -1
+			}
+			total := 0
+			for idx := 0; idx < count; idx++ {
+				s := Shard{Index: idx, Count: count}
+				assigned := s.Assign(n)
+				total += len(assigned)
+				prev := -1
+				for _, task := range assigned {
+					if task <= prev {
+						t.Fatalf("shard %v: Assign not strictly increasing: %v", s, assigned)
+					}
+					prev = task
+					if owners[task] != -1 {
+						t.Fatalf("task %d owned by shards %d and %d of %d", task, owners[task], idx, count)
+					}
+					owners[task] = idx
+					if !s.Owns(task) {
+						t.Fatalf("shard %v assigned task %d but does not own it", s, task)
+					}
+				}
+			}
+			if total != n {
+				t.Fatalf("%d shards over %d tasks assign %d tasks total", count, n, total)
+			}
+		}
+	}
+}
+
+// TestShardBalance checks the round-robin split keeps shard sizes within one
+// task of each other.
+func TestShardBalance(t *testing.T) {
+	const n, count = 45, 4
+	min, max := n, 0
+	for idx := 0; idx < count; idx++ {
+		got := len(Shard{Index: idx, Count: count}.Assign(n))
+		if got < min {
+			min = got
+		}
+		if got > max {
+			max = got
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("shard sizes range %d..%d over %d tasks / %d shards, want spread <= 1", min, max, n, count)
+	}
+}
+
+// TestShardZeroOwnsEverything pins the unsharded conventions: the zero
+// Shard and a 1-of-1 shard own every task and are not Enabled.
+func TestShardZeroOwnsEverything(t *testing.T) {
+	for _, s := range []Shard{{}, {Index: 0, Count: 1}} {
+		if s.Enabled() {
+			t.Fatalf("shard %+v reports Enabled", s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shard %+v: %v", s, err)
+		}
+		for task := 0; task < 10; task++ {
+			if !s.Owns(task) {
+				t.Fatalf("shard %+v does not own task %d", s, task)
+			}
+		}
+	}
+}
+
+// TestParseShard covers the -shard flag grammar.
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {},
+		"0/3": {Index: 0, Count: 3},
+		"2/3": {Index: 2, Count: 3},
+		"0/1": {Index: 0, Count: 1},
+	}
+	for in, want := range good { //lint:allow simdeterminism test-table iteration: each case asserts independently
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseShard(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"3", "a/b", "1/", "/2", "3/3", "-1/3", "0/0", "0/-2"} {
+		if s, err := ParseShard(in); err == nil {
+			t.Fatalf("ParseShard(%q) = %+v, want error", in, s)
+		}
+	}
+}

@@ -45,10 +45,13 @@ const manifestName = "MANIFEST.log"
 type Stats struct {
 	// Hits and Misses count Get outcomes; Corrupt is the subset of misses
 	// caused by a present-but-invalid value file.
-	Hits, Misses, Corrupt int64
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Corrupt int64 `json:"corrupt"`
 	// Writes counts successful Puts; WriteErrors counts Puts that failed
 	// (full disk, permissions) — the campaign carries on uncached.
-	Writes, WriteErrors int64
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
 }
 
 // Store is one journal directory. All methods are safe for concurrent use

@@ -1,0 +1,227 @@
+package cellstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentReadersDuringWrites is the serve-mode contract: many readers
+// polling keys while a writer is mid-Put must observe either a clean miss or
+// the complete verified payload — never torn bytes. Run with -race this is
+// the cache front-end's memory-safety gate.
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const nKeys = 8
+	keys := make([]Key, nKeys)
+	payloads := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = testKey(t, "reader-writer", i)
+		// Payloads big enough that a non-atomic write would be observably torn.
+		payloads[i] = bytes.Repeat([]byte(fmt.Sprintf("cell-%d ", i)), 4096)
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var sawHit atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for i, key := range keys {
+					got, ok := s.Get(key)
+					if !ok {
+						continue
+					}
+					sawHit.Add(1)
+					if !bytes.Equal(got, payloads[i]) {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	// Write each key several times while the readers hammer it; re-Putting
+	// the same content exercises rename-over-live-file under readers.
+	for round := 0; round < 5; round++ {
+		for i, key := range keys {
+			if err := s.Put(key, payloads[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d reads observed torn or wrong payloads", n)
+	}
+	if sawHit.Load() == 0 {
+		t.Fatal("no reader ever hit a written key; the race never happened")
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("concurrent readers counted %d corrupt values; atomic rename must hide in-flight writes", st.Corrupt)
+	}
+}
+
+// TestStatsCounterAccuracy scripts an exact sequence of cache operations and
+// requires the counters to match it exactly — the serve /v1/stats endpoint
+// and the CLI journal line both publish these numbers as facts.
+func TestStatsCounterAccuracy(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k1 := testKey(t, "counters", 1)
+	k2 := testKey(t, "counters", 2)
+
+	// 3 misses on absent keys.
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(k1); ok {
+			t.Fatal("hit on absent key")
+		}
+	}
+	// 2 writes.
+	if err := s.Put(k1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// 4 hits.
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(k1); !ok {
+			t.Fatal("miss on written key")
+		}
+		if _, ok := s.Get(k2); !ok {
+			t.Fatal("miss on written key")
+		}
+	}
+	// 1 corrupt miss.
+	if err := os.WriteFile(s.path(k2), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("hit on corrupted value")
+	}
+	// 1 write error (invalid key never touches the filesystem).
+	if err := s.Put(Key("not-a-key"), []byte("x")); err == nil {
+		t.Fatal("Put with invalid key must fail")
+	}
+
+	want := Stats{Hits: 4, Misses: 4, Corrupt: 1, Writes: 2, WriteErrors: 1}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestStatsCounterAccuracyConcurrent repeats known per-goroutine operation
+// counts across goroutines; totals must add up exactly (the counters are
+// atomics, not approximations).
+func TestStatsCounterAccuracyConcurrent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const goroutines, iters = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := testKey(t, "concurrent-counters", g)
+			payload := []byte(fmt.Sprintf("payload-%d", g))
+			for i := 0; i < iters; i++ {
+				s.Get(key) // miss on i==0, hit after
+				if i == 0 {
+					if err := s.Put(key, payload); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := Stats{
+		Hits:   goroutines * (iters - 1),
+		Misses: goroutines,
+		Writes: goroutines,
+	}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestCorruptValueFallsThroughToRecompute pins the recovery path a campaign
+// relies on: a corrupted cell is a miss (never wrong data), the caller
+// recomputes and re-Puts, and the store serves the fresh value again.
+func TestCorruptValueFallsThroughToRecompute(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	key := testKey(t, "fallthrough")
+	fresh := []byte(`{"cycles": 7777}`)
+	if err := s.Put(key, fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func() error{
+		"flipped payload byte": func() error {
+			data, err := os.ReadFile(s.path(key))
+			if err != nil {
+				return err
+			}
+			data[len(data)-1] ^= 0xff
+			return os.WriteFile(s.path(key), data, 0o644)
+		},
+		"truncated file": func() error {
+			return os.Truncate(s.path(key), 10)
+		},
+		"empty file": func() error {
+			return os.WriteFile(s.path(key), nil, 0o644)
+		},
+	}
+	for name, corrupt := range corruptions {
+		if err := corrupt(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, ok := s.Get(key); ok {
+			t.Fatalf("%s: Get returned %q from a corrupted value", name, got)
+		}
+		// The campaign's fallthrough: recompute (deterministic, so the same
+		// bytes) and re-journal.
+		if err := s.Put(key, fresh); err != nil {
+			t.Fatalf("%s: re-Put after corruption: %v", name, err)
+		}
+		got, ok := s.Get(key)
+		if !ok || !bytes.Equal(got, fresh) {
+			t.Fatalf("%s: recomputed value not served back (ok=%v)", name, ok)
+		}
+	}
+
+	st := s.Stats()
+	if st.Corrupt != int64(len(corruptions)) {
+		t.Fatalf("corrupt counter = %d, want %d", st.Corrupt, len(corruptions))
+	}
+	if st.Misses != st.Corrupt {
+		t.Fatalf("misses = %d, want %d (every miss here was a corruption)", st.Misses, st.Corrupt)
+	}
+}

@@ -53,6 +53,19 @@ type Options struct {
 	Journal *cellstore.Store
 	Resume  bool
 
+	// Shard restricts this process to its slice of the faulted cells
+	// (Phase 2); the per-benchmark goldens are replicated in every shard.
+	// A sharded campaign requires Journal and returns no aggregate table —
+	// its product is the journal, which a later full Resume run merges back
+	// into the complete report by index.
+	Shard campaign.Shard
+
+	// OnCell, if non-nil, receives one harness.CellEvent per faulted cell
+	// (Kind "chaos-cell") reporting journal hit vs. simulation. Events fire
+	// from worker goroutines in completion order; OnCell must be safe for
+	// concurrent use.
+	OnCell func(harness.CellEvent)
+
 	// CellTimeout bounds each faulted-cell attempt; Retries grants extra
 	// attempts to cells that panicked or timed out. StallAfter/OnStall arm
 	// the hung-cell watchdog; Stats receives the resilience counters. All
@@ -131,11 +144,16 @@ func decodeOutcome(data []byte) (outcome, error) {
 
 // Report is the outcome of a campaign.
 type Report struct {
-	// Table is the rendered per-(benchmark, rate) summary.
+	// Table is the rendered per-(benchmark, rate) summary. Nil for a
+	// sharded campaign, whose product is its journal, not an aggregate —
+	// aggregating a shard's slice alone would misstate every cell.
 	Table *stats.Table
 	// ArchFailures counts faulted runs whose architectural state diverged
 	// from the golden run — any nonzero value means recovery is broken.
+	// For a sharded campaign it covers only the shard's own cells.
 	ArchFailures int
+	// Shard is the shard that produced this report (zero when unsharded).
+	Shard campaign.Shard
 }
 
 // RunCampaign executes the full campaign. ctx cancels in-flight cells; with
@@ -151,6 +169,12 @@ func RunCampaign(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if len(opts.Benchmarks) == 0 {
 		return nil, fmt.Errorf("chaos: no benchmarks given")
+	}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shard.Enabled() && opts.Journal == nil {
+		return nil, fmt.Errorf("chaos: shard %s requires a journal — a shard's product is its journaled cells", opts.Shard)
 	}
 	cfg := opts.Core
 	var digests map[string][]byte
@@ -196,17 +220,26 @@ func RunCampaign(ctx context.Context, opts Options) (*Report, error) {
 	// outcome Phase 3 consumes, which is also what the journal stores.
 	nr, ns := len(opts.Rates), opts.Seeds
 	perBench := nr * ns
-	label := func(i int) string {
+	// A sharded campaign computes only its owned slice of the flattened
+	// (benchmark, rate, seed) space; the owned→cell index mapping keeps
+	// cell identity (keys, labels) exactly what the unsharded run uses.
+	owned := opts.Shard.Assign(len(opts.Benchmarks) * perBench)
+	cellLabel := func(i int) string {
 		b, rate, seed := split(opts, i)
 		return fmt.Sprintf("%s rate=%g seed=%d", opts.Benchmarks[b].Name, opts.Rates[rate], seed)
 	}
+	label := func(j int) string { return cellLabel(owned[j]) }
 	if opts.Journal != nil {
-		_ = opts.Journal.LogCampaign(len(opts.Benchmarks)*perBench,
-			fmt.Sprintf("chaos cells on %s", cfg.Name))
+		desc := fmt.Sprintf("chaos cells on %s", cfg.Name)
+		if opts.Shard.Enabled() {
+			desc = fmt.Sprintf("chaos cells on %s (shard %s)", cfg.Name, opts.Shard)
+		}
+		_ = opts.Journal.LogCampaign(len(owned), desc)
 	}
-	faulted, err := campaign.Run(ctx, len(opts.Benchmarks)*perBench,
+	faulted, err := campaign.Run(ctx, len(owned),
 		campaignOptions[outcome](opts, label),
-		func(ctx context.Context, i int) (outcome, error) {
+		func(ctx context.Context, j int) (outcome, error) {
+			i := owned[j]
 			bi, ri, seed := split(opts, i)
 			b, rate := opts.Benchmarks[bi], opts.Rates[ri]
 			var key cellstore.Key
@@ -215,7 +248,10 @@ func RunCampaign(ctx context.Context, opts Options) (*Report, error) {
 				if opts.Resume {
 					if data, ok := opts.Journal.Get(key); ok {
 						if o, derr := decodeOutcome(data); derr == nil {
-							campaign.Heartbeat(ctx, label(i)+": served from journal")
+							campaign.Heartbeat(ctx, cellLabel(i)+": served from journal")
+							if opts.OnCell != nil {
+								opts.OnCell(harness.CellEvent{Kind: "chaos-cell", Label: cellLabel(i), Key: key, Hit: true})
+							}
 							return o, nil
 						}
 					}
@@ -238,14 +274,30 @@ func RunCampaign(ctx context.Context, opts Options) (*Report, error) {
 			if opts.Journal != nil {
 				if data, derr := json.Marshal(o); derr == nil {
 					if perr := opts.Journal.Put(key, data); perr == nil {
-						_ = opts.Journal.LogDone(key, label(i))
+						_ = opts.Journal.LogDone(key, cellLabel(i))
 					}
 				}
+			}
+			if opts.OnCell != nil {
+				opts.OnCell(harness.CellEvent{Kind: "chaos-cell", Label: cellLabel(i), Key: key})
 			}
 			return o, nil
 		})
 	if err != nil {
 		return nil, err
+	}
+
+	// A sharded campaign stops here: aggregating one shard's slice would
+	// misstate every (benchmark, rate) cell, so its report carries only the
+	// shard's own verification verdicts; the table comes from the merge run.
+	if opts.Shard.Enabled() {
+		failures := 0
+		for _, o := range faulted {
+			if !o.ArchOK {
+				failures++
+			}
+		}
+		return &Report{ArchFailures: failures, Shard: opts.Shard}, nil
 	}
 
 	// Phase 3: serial aggregation into the report table.

@@ -164,11 +164,36 @@ type Cell struct {
 	Cmp       *baseline.Comparison
 }
 
-// Grid holds the entire evaluation.
+// Grid holds the entire evaluation — or, for a sharded run, the slice of it
+// this shard owns (Shard records which; a partial grid is journal fodder,
+// not report material).
 type Grid struct {
 	Cells []Cell
 	// ChosenThreshold[class][core] is the Sec. VI-C design-sweep result.
 	ChosenThreshold map[Class]map[string]int
+	// Shard is the shard that produced this grid (zero when unsharded).
+	Shard campaign.Shard
+}
+
+// CellEvent reports one journal-keyed unit of grid work to Options.OnCell:
+// which unit (Kind + Label), its content-addressed key (empty when no
+// journal is armed), and whether the journal served it (Hit) or it was
+// simulated. The serve layer streams these to clients and counts per-job
+// cache hits with them.
+type CellEvent struct {
+	// Kind is "sweep-total", "grid-cell" or "chaos-cell".
+	Kind  string
+	Label string
+	Key   cellstore.Key
+	// Hit is true when the unit was served from the journal.
+	Hit bool
+}
+
+// emitCell fans a completed unit of work to OnCell, if armed.
+func emitCell(opts Options, ev CellEvent) {
+	if opts.OnCell != nil {
+		opts.OnCell(ev)
+	}
 }
 
 // ThresholdCandidates is the Sec. VI-C design-sweep range.
@@ -202,6 +227,23 @@ type Options struct {
 	// Resume serves journal hits. Without it the journal is write-only (a
 	// fresh run that leaves a resumable trail behind).
 	Resume bool
+
+	// Shard restricts this process to its slice of the grid: only Phase B
+	// cells the shard owns are simulated and journaled. The Sec. VI-C
+	// threshold sweep is replicated in every shard — it is deterministic, so
+	// every shard chooses identical thresholds, and with a shared journal
+	// plus Resume most replicas are served from cache rather than re-run. A
+	// sharded run requires Journal: its product is the journal (merged by a
+	// later Resume run that reassembles the full grid by index), not the
+	// partial grid it returns.
+	Shard campaign.Shard
+
+	// OnCell, if non-nil, receives one event per journal-keyed unit of work
+	// (sweep total or grid cell) as it completes, reporting whether it was
+	// served from the journal or simulated. Events fire from campaign worker
+	// goroutines in completion order — OnCell must be safe for concurrent
+	// use, and the order is operational telemetry, never part of a result.
+	OnCell func(CellEvent)
 
 	// CellTimeout bounds each cell attempt; Retries grants extra attempts
 	// to cells that panicked or timed out (genuine simulation errors never
@@ -245,7 +287,13 @@ func campaignOptions[T any](opts Options, label func(int) string, onDone func(in
 // armed, everything completed before the cancellation is already persisted
 // and a -resume run picks up exactly where this one stopped.
 func Run(ctx context.Context, benchmarks []Benchmark, cores []ooo.Config, opts Options) (*Grid, error) {
-	g := &Grid{ChosenThreshold: map[Class]map[string]int{}}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shard.Enabled() && opts.Journal == nil {
+		return nil, fmt.Errorf("harness: shard %s requires a journal — a shard's product is its journaled cells", opts.Shard)
+	}
+	g := &Grid{ChosenThreshold: map[Class]map[string]int{}, Shard: opts.Shard}
 	byClass := map[Class][]Benchmark{}
 	for _, b := range benchmarks {
 		byClass[b.Class] = append(byClass[b.Class], b)
@@ -287,28 +335,37 @@ func Run(ctx context.Context, benchmarks []Benchmark, cores []ooo.Config, opts O
 			tasks = append(tasks, cellTask{pr.class, b, pr.cfg, thresholds[i]})
 		}
 	}
+	// A sharded run computes only its owned slice of the task list; the
+	// owned→task index mapping keeps cell identity (keys, labels, journal
+	// records) exactly what the unsharded run would use.
+	owned := opts.Shard.Assign(len(tasks))
 	if opts.Journal != nil {
-		_ = opts.Journal.LogCampaign(len(tasks), "grid cells")
+		desc := "grid cells"
+		if opts.Shard.Enabled() {
+			desc = fmt.Sprintf("grid cells (shard %s)", opts.Shard)
+		}
+		_ = opts.Journal.LogCampaign(len(owned), desc)
 	}
-	label := func(i int) string { return tasks[i].b.Name + "/" + tasks[i].cfg.Name }
-	cells, err := campaign.Run(ctx, len(tasks),
-		campaignOptions(opts, label, func(i int, c Cell) {
+	label := func(j int) string { t := tasks[owned[j]]; return t.b.Name + "/" + t.cfg.Name }
+	cells, err := campaign.Run(ctx, len(owned),
+		campaignOptions(opts, label, func(j int, c Cell) {
 			if opts.Progress != nil {
-				t := tasks[i]
+				t := tasks[owned[j]]
 				opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
 					t.class, t.b.Name, t.cfg.Name,
 					100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1)))
 			}
 		}),
-		func(ctx context.Context, i int) (Cell, error) {
-			t := tasks[i]
+		func(ctx context.Context, j int) (Cell, error) {
+			t := tasks[owned[j]]
 			var key cellstore.Key
 			if opts.Journal != nil {
 				key = cellKey(t.cfg, digests[t.b.Prog], t.th)
 				if c, ok := journalGet(opts, key, func(d []byte) (Cell, error) {
 					return decodeCell(d, t.b, t.cfg.Name)
 				}); ok {
-					campaign.Heartbeat(ctx, label(i)+": served from journal")
+					campaign.Heartbeat(ctx, label(j)+": served from journal")
+					emitCell(opts, CellEvent{Kind: "grid-cell", Label: label(j), Key: key, Hit: true})
 					return c, nil
 				}
 			}
@@ -322,8 +379,9 @@ func Run(ctx context.Context, benchmarks []Benchmark, cores []ooo.Config, opts O
 			cell := Cell{Benchmark: t.b, Core: t.cfg.Name, Threshold: t.th, Cmp: cmp}
 			if opts.Journal != nil {
 				data, derr := encodeCell(cell)
-				journalPut(opts, key, label(i), data, derr)
+				journalPut(opts, key, label(j), data, derr)
 			}
+			emitCell(opts, CellEvent{Kind: "grid-cell", Label: label(j), Key: key})
 			return cell, nil
 		})
 	if err != nil {
@@ -368,6 +426,7 @@ func chooseThresholds(ctx context.Context, pairs []classCore, byClass map[Class]
 				key = sweepKey(pr.cfg, pr.class, ds, th)
 				if total, ok := journalGet(opts, key, decodeTotal); ok {
 					campaign.Heartbeat(ctx, label(i)+": served from journal")
+					emitCell(opts, CellEvent{Kind: "sweep-total", Label: label(i), Key: key, Hit: true})
 					return total, nil
 				}
 			}
@@ -390,6 +449,7 @@ func chooseThresholds(ctx context.Context, pairs []classCore, byClass map[Class]
 				data, derr := encodeTotal(total)
 				journalPut(opts, key, label(i), data, derr)
 			}
+			emitCell(opts, CellEvent{Kind: "sweep-total", Label: label(i), Key: key})
 			return total, nil
 		})
 	if err != nil {

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"redsoc/internal/campaign"
+	"redsoc/internal/cellstore"
+	"redsoc/internal/ooo"
+)
+
+// TestShardMergeEquivalence is the -shards 1 ≡ -shards N contract in
+// process form: three shards each compute their slice of a sweep-enabled
+// grid into one shared journal, then a full resume run merges the journal
+// back into a complete grid. The merged report must be byte-identical to an
+// unsharded run, and the merge must touch zero simulations — every sweep
+// total and every cell is a journal hit.
+func TestShardMergeEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	bs := Benchmarks(Quick)[:3]
+	cores := []ooo.Config{ooo.SmallConfig()}
+
+	ref, err := Run(context.Background(), bs, cores,
+		Options{SweepThreshold: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	const shards = 3
+	ownedCells := 0
+	for i := 0; i < shards; i++ {
+		store, err := cellstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Run(context.Background(), bs, cores, Options{
+			SweepThreshold: true, Workers: 2,
+			Journal: store, Resume: true,
+			Shard: campaign.Shard{Index: i, Count: shards},
+		})
+		store.Close()
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, shards, err)
+		}
+		if g.Shard != (campaign.Shard{Index: i, Count: shards}) {
+			t.Fatalf("shard %d grid records shard %v", i, g.Shard)
+		}
+		ownedCells += len(g.Cells)
+	}
+	if ownedCells != len(bs)*len(cores) {
+		t.Fatalf("shards computed %d cells total, want %d (an exact partition)",
+			ownedCells, len(bs)*len(cores))
+	}
+
+	merge, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merge.Close()
+	merged, err := Run(context.Background(), bs, cores, Options{
+		SweepThreshold: true, Workers: 2, Journal: merge, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reportJSON(t, merged)
+	if string(want) != string(got) {
+		t.Fatalf("merged sharded grid diverges from the unsharded run:\n--- unsharded ---\n%s--- merged ---\n%s", want, got)
+	}
+	st := merge.Stats()
+	nSweep := len(cores) * len(ThresholdCandidates) // the 3 quick SPEC benchmarks are one class
+	nCells := len(bs) * len(cores)
+	if int(st.Hits) != nSweep+nCells || st.Misses != 0 {
+		t.Fatalf("merge stats = %+v, want %d hits (%d sweep + %d cells) and zero misses — the merge must not simulate",
+			st, nSweep+nCells, nSweep, nCells)
+	}
+}
+
+// TestShardSweepDedupe proves the threshold-sweep replication is served
+// from the shared journal rather than recomputed: after shard 0 journals
+// every sweep total, a later shard's sweep phase is all hits.
+func TestShardSweepDedupe(t *testing.T) {
+	dir := t.TempDir()
+	bs := Benchmarks(Quick)[:2]
+	cores := []ooo.Config{ooo.SmallConfig()}
+
+	first, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), bs, cores, Options{
+		SweepThreshold: true, Workers: 2, Journal: first, Resume: true,
+		Shard: campaign.Shard{Index: 0, Count: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	second, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	var sweepHits, cellHits atomic.Int64 // OnCell fires from worker goroutines
+	if _, err := Run(context.Background(), bs, cores, Options{
+		SweepThreshold: true, Workers: 2, Journal: second, Resume: true,
+		Shard: campaign.Shard{Index: 1, Count: 2},
+		OnCell: func(ev CellEvent) {
+			if ev.Hit && ev.Kind == "sweep-total" {
+				sweepHits.Add(1)
+			}
+			if ev.Hit && ev.Kind == "grid-cell" {
+				cellHits.Add(1)
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nSweep := len(cores) * len(ThresholdCandidates)
+	if int(sweepHits.Load()) != nSweep {
+		t.Fatalf("shard 1 served %d sweep totals from the journal, want all %d", sweepHits.Load(), nSweep)
+	}
+	if cellHits.Load() != 0 {
+		t.Fatalf("shard 1 served %d of its own cells from the journal, want 0 (shard 0 owns the others)", cellHits.Load())
+	}
+}
+
+// TestShardRequiresJournal pins the guard: a sharded run with no journal is
+// an error, not a silently unmergeable partial grid.
+func TestShardRequiresJournal(t *testing.T) {
+	_, err := Run(context.Background(), Benchmarks(Quick)[:1], []ooo.Config{ooo.SmallConfig()},
+		Options{Shard: campaign.Shard{Index: 0, Count: 2}})
+	if err == nil {
+		t.Fatal("sharded run without a journal succeeded, want an error")
+	}
+	_, err = Run(context.Background(), Benchmarks(Quick)[:1], []ooo.Config{ooo.SmallConfig()},
+		Options{Shard: campaign.Shard{Index: 5, Count: 2}})
+	if err == nil {
+		t.Fatal("invalid shard coordinates accepted, want an error")
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import "sync"
+
+// Event is one entry in a job's progress stream, delivered to clients as
+// NDJSON lines or SSE data frames. Seq is a per-job sequence number clients
+// can resume from (?from=N). Event order within a job reflects campaign
+// completion order — operational telemetry, never part of a result (the
+// report is merged by index regardless of who finished when).
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state", "progress", "cell", "error", "done"
+	// Text carries progress lines, state names and error messages.
+	Text string `json:"text,omitempty"`
+	// Kind/Key/Hit describe "cell" events: the journal-keyed unit that
+	// completed, its content-addressed key, and whether the cache served it.
+	Kind string `json:"kind,omitempty"`
+	Key  string `json:"key,omitempty"`
+	Hit  bool   `json:"hit,omitempty"`
+}
+
+// eventLog is an append-only per-job event buffer with blocking reads: a
+// streaming handler follows the log from any offset and blocks until more
+// events arrive or the log closes (job finished).
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append stamps the event's sequence number and wakes followers.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = len(l.events)
+	l.events = append(l.events, ev)
+	l.cond.Broadcast()
+}
+
+// close marks the log complete and wakes followers so streams terminate.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// wake broadcasts without appending — a client-disconnect watcher uses it
+// to unblock a follow whose predicate now says stop.
+func (l *eventLog) wake() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// follow returns the events at offset from onward, blocking until at least
+// one is available, the log closes, or cancelled (checked on every wakeup;
+// pair it with a wake() caller such as context.AfterFunc) reports true. The
+// second result is false when the stream is over — log closed and fully
+// consumed, or the follower cancelled.
+func (l *eventLog) follow(from int, cancelled func() bool) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.events) <= from && !l.closed {
+		if cancelled != nil && cancelled() {
+			return nil, false
+		}
+		l.cond.Wait()
+	}
+	if len(l.events) <= from {
+		return nil, false
+	}
+	// The slice is append-only and events are immutable once appended, so
+	// handing out a sub-slice is safe.
+	return l.events[from:], true
+}

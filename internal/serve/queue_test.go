@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testJob(id, tenant string) *job {
+	return &job{id: id, tenant: tenant, log: newEventLog(), state: StateQueued}
+}
+
+// TestQueueFairRoundRobin pins the fairness contract: dispatch round-robins
+// across tenants with pending work, FIFO within each tenant — a tenant
+// flooding the queue cannot starve another.
+func TestQueueFairRoundRobin(t *testing.T) {
+	q := newQueue()
+	for _, j := range []*job{
+		testJob("a1", "alice"), testJob("a2", "alice"), testJob("a3", "alice"),
+		testJob("b1", "bob"), testJob("b2", "bob"),
+		testJob("c1", "carol"),
+	} {
+		q.push(j)
+	}
+	want := []string{"a1", "b1", "c1", "a2", "b2", "a3"}
+	for i, id := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue reported closed", i)
+		}
+		if j.id != id {
+			t.Fatalf("pop %d = %s, want %s (round-robin across tenants)", i, j.id, id)
+		}
+	}
+	q.close()
+	if j, ok := q.pop(); ok {
+		t.Fatalf("pop after close returned %s", j.id)
+	}
+}
+
+// TestQueueMidstreamArrival checks a tenant that shows up while another is
+// draining joins the rotation immediately: alice was just served, so bob's
+// first job runs before alice's backlog continues.
+func TestQueueMidstreamArrival(t *testing.T) {
+	q := newQueue()
+	q.push(testJob("a1", "alice"))
+	q.push(testJob("a2", "alice"))
+	if j, _ := q.pop(); j.id != "a1" {
+		t.Fatalf("first pop = %s, want a1", j.id)
+	}
+	q.push(testJob("b1", "bob"))
+	want := []string{"b1", "a2"}
+	for i, id := range want {
+		j, _ := q.pop()
+		if j.id != id {
+			t.Fatalf("pop %d = %s, want %s", i, j.id, id)
+		}
+	}
+}
+
+// TestQueueBlockingPop proves pop blocks until work arrives and close wakes
+// every waiter; run with -race this also exercises the lock discipline.
+func TestQueueBlockingPop(t *testing.T) {
+	q := newQueue()
+	got := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if j, ok := q.pop(); ok {
+			got <- j.id
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.push(testJob("x1", "xen"))
+	select {
+	case id := <-got:
+		if id != "x1" {
+			t.Fatalf("blocked pop woke with %s", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked pop never woke after push")
+	}
+	wg.Wait()
+
+	waiters := 3
+	done := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			if _, ok := q.pop(); !ok {
+				done <- struct{}{}
+			}
+		}()
+	}
+	q.close()
+	for i := 0; i < waiters; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("close left a pop blocked")
+		}
+	}
+}
+
+// TestQueueConcurrentPushPop hammers the queue from both sides; with -race
+// this is the queue's memory-safety gate. Every pushed job must come out
+// exactly once.
+func TestQueueConcurrentPushPop(t *testing.T) {
+	q := newQueue()
+	const tenants, perTenant = 4, 25
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			tenant := string(rune('a' + ti))
+			for k := 0; k < perTenant; k++ {
+				q.push(testJob(tenant+"-job", tenant))
+			}
+		}(ti)
+	}
+	seen := make(chan string, tenants*perTenant)
+	var popWg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		popWg.Add(1)
+		go func() {
+			defer popWg.Done()
+			for {
+				j, ok := q.pop()
+				if !ok {
+					return
+				}
+				seen <- j.id
+			}
+		}()
+	}
+	wg.Wait()
+	// Give the poppers time to drain, then close to release them.
+	for {
+		d := q.depth()
+		total := 0
+		for _, tenant := range sortedTenants(d) {
+			total += d[tenant]
+		}
+		if total == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	popWg.Wait()
+	close(seen)
+	n := 0
+	for range seen {
+		n++
+	}
+	if n != tenants*perTenant {
+		t.Fatalf("popped %d jobs, pushed %d", n, tenants*perTenant)
+	}
+}
+
+// TestQueueDrain checks shutdown reclaims pending jobs in rotation order.
+func TestQueueDrain(t *testing.T) {
+	q := newQueue()
+	q.push(testJob("a1", "alice"))
+	q.push(testJob("b1", "bob"))
+	q.push(testJob("a2", "alice"))
+	jobs := q.drain()
+	if len(jobs) != 3 {
+		t.Fatalf("drained %d jobs, want 3", len(jobs))
+	}
+	if d := q.depth(); len(d) != 0 {
+		t.Fatalf("depth after drain = %v, want empty", d)
+	}
+}
