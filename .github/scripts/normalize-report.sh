@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# normalize-report.sh FILE.json...
+#
+# Strips the run-environment fields of a bench/serve report — wall_seconds
+# (intentionally nondeterministic) and workers (a fact about how the run
+# executed, not what it computed) — writing FILE.norm.json beside each
+# input, so the equivalence gates can byte-compare everything else exactly.
+# Every CI job that compares reports goes through this one helper; if
+# another environment-dependent field ever appears, this is the only place
+# to exclude it.
+set -euo pipefail
+for f in "$@"; do
+  jq 'del(.wall_seconds, .workers)' "$f" > "${f%.json}.norm.json"
+done

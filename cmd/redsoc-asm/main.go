@@ -27,8 +27,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("redsoc-asm: ")
 	coreName := flag.String("core", "big", "core: big, medium or small")
-	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc or mos")
-	compare := flag.Bool("compare", false, "run all four schedulers and compare")
+	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc, mos, loaddelay or speclsq")
+	compare := flag.Bool("compare", false, "run every scheduler and compare")
 	maxSteps := flag.Int("max-steps", 0, "dynamic instruction cap (0 = default)")
 	trace := flag.Bool("trace", false, "print the pipeline event trace (small programs!)")
 	flag.Parse()
@@ -67,23 +67,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("baseline %d cycles | redsoc %d (%+.1f%%) | ts %+.1f%% | mos %+.1f%%\n",
+		fmt.Printf("baseline %d cycles | redsoc %d (%+.1f%%) | ts %+.1f%% | mos %+.1f%% | loaddelay %+.1f%% | speclsq %+.1f%%\n",
 			cmp.Baseline.Cycles, cmp.Redsoc.Cycles,
-			100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1))
+			100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1),
+			100*(cmp.LoadDelaySpeedup()-1), 100*(cmp.SpecLSQSpeedup()-1))
 		verify(cmp.Redsoc, tr)
 		return
 	}
 
-	var policy ooo.Policy
-	switch strings.ToLower(*policyName) {
-	case "baseline":
-		policy = ooo.PolicyBaseline
-	case "redsoc":
-		policy = ooo.PolicyRedsoc
-	case "mos":
-		policy = ooo.PolicyMOS
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
+	policy, err := ooo.ParsePolicy(strings.ToLower(*policyName))
+	if err != nil {
+		log.Fatal(err)
 	}
 	sim, err := ooo.New(cfg.WithPolicy(policy), tr.Prog)
 	if err != nil {

@@ -52,10 +52,10 @@ func main() {
 	log.SetPrefix("redsoc-sim: ")
 	benchName := flag.String("bench", "bitcnt", "benchmark name (see -list)")
 	coreName := flag.String("core", "big", "core: big, medium or small")
-	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc or mos")
+	policyName := flag.String("policy", "redsoc", "scheduler: baseline, redsoc, mos, loaddelay or speclsq")
 	threshold := flag.Int("threshold", -1, "ReDSOC slack threshold in ticks (-1 = default)")
 	precision := flag.Int("precision", 0, "slack precision bits (0 = default 3)")
-	compare := flag.Bool("compare", false, "run all four schedulers and compare")
+	compare := flag.Bool("compare", false, "run every scheduler and compare")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	faultRate := flag.Float64("fault-rate", 0, "per-op fault-injection rate for every fault class (0 = off)")
@@ -104,20 +104,15 @@ func main() {
 		t.Row("ts", cmp.TS.Cycles, "-", fmt.Sprintf("%.3fx (%.0f ps, err %.3f%%)",
 			cmp.TSSpeedup(), float64(cmp.TS.PeriodPS), 100*cmp.TS.ErrorRate))
 		t.Row("mos", cmp.MOS.Cycles, cmp.MOS.IPC(), fmt.Sprintf("%.3fx", cmp.MOSSpeedup()))
+		t.Row("loaddelay", cmp.LoadDelay.Cycles, cmp.LoadDelay.IPC(), fmt.Sprintf("%.3fx", cmp.LoadDelaySpeedup()))
+		t.Row("speclsq", cmp.SpecLSQ.Cycles, cmp.SpecLSQ.IPC(), fmt.Sprintf("%.3fx", cmp.SpecLSQSpeedup()))
 		t.Render(os.Stdout)
 		return
 	}
 
-	var policy ooo.Policy
-	switch strings.ToLower(*policyName) {
-	case "baseline":
-		policy = ooo.PolicyBaseline
-	case "redsoc":
-		policy = ooo.PolicyRedsoc
-	case "mos":
-		policy = ooo.PolicyMOS
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
+	policy, err := ooo.ParsePolicy(strings.ToLower(*policyName))
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg = cfg.WithPolicy(policy)
 	if policy == ooo.PolicyRedsoc && *threshold >= 0 {

@@ -140,7 +140,7 @@ func info(args []string) {
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	coreName := fs.String("core", "big", "core: big, medium or small")
-	policyName := fs.String("policy", "redsoc", "scheduler: baseline, redsoc or mos")
+	policyName := fs.String("policy", "redsoc", "scheduler: baseline, redsoc, mos, loaddelay or speclsq")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("usage: redsoc-trace run [-core ...] [-policy ...] in.trc")
@@ -157,16 +157,9 @@ func runTrace(args []string) {
 	default:
 		log.Fatalf("unknown core %q", *coreName)
 	}
-	var pol ooo.Policy
-	switch strings.ToLower(*policyName) {
-	case "baseline":
-		pol = ooo.PolicyBaseline
-	case "redsoc":
-		pol = ooo.PolicyRedsoc
-	case "mos":
-		pol = ooo.PolicyMOS
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
+	pol, err := ooo.ParsePolicy(strings.ToLower(*policyName))
+	if err != nil {
+		log.Fatal(err)
 	}
 	res, err := ooo.Run(cfg.WithPolicy(pol), p)
 	if err != nil {

@@ -102,23 +102,28 @@ func scaleLatency(cycles, periodPS int) int {
 	return (ns + periodPS - 1) / periodPS
 }
 
-// Comparison bundles the Fig. 15 data for one benchmark × core.
+// Comparison bundles the Fig. 15 data for one benchmark × core, plus the
+// dynamic-delay policy head-to-head (loaddelay, speclsq).
 type Comparison struct {
 	Benchmark string
 	Core      string
 	Baseline  *ooo.Result
 	Redsoc    *ooo.Result
 	MOS       *ooo.Result
+	LoadDelay *ooo.Result
+	SpecLSQ   *ooo.Result
 	TS        TSResult
 }
 
-// RedsocSpeedup, MOSSpeedup and TSSpeedup return the three speedups over
-// the shared baseline.
-func (c *Comparison) RedsocSpeedup() float64 { return c.Redsoc.SpeedupOver(c.Baseline) }
-func (c *Comparison) MOSSpeedup() float64    { return c.MOS.SpeedupOver(c.Baseline) }
-func (c *Comparison) TSSpeedup() float64     { return c.TS.Speedup }
+// RedsocSpeedup, MOSSpeedup, TSSpeedup, LoadDelaySpeedup and SpecLSQSpeedup
+// return the per-policy speedups over the shared baseline.
+func (c *Comparison) RedsocSpeedup() float64    { return c.Redsoc.SpeedupOver(c.Baseline) }
+func (c *Comparison) MOSSpeedup() float64       { return c.MOS.SpeedupOver(c.Baseline) }
+func (c *Comparison) TSSpeedup() float64        { return c.TS.Speedup }
+func (c *Comparison) LoadDelaySpeedup() float64 { return c.LoadDelay.SpeedupOver(c.Baseline) }
+func (c *Comparison) SpecLSQSpeedup() float64   { return c.SpecLSQ.SpeedupOver(c.Baseline) }
 
-// Compare runs all four configurations of one benchmark on one core.
+// Compare runs all six configurations of one benchmark on one core.
 func Compare(cfg ooo.Config, prog *isa.Program) (*Comparison, error) {
 	base, err := ooo.Run(cfg.WithPolicy(ooo.PolicyBaseline), prog)
 	if err != nil {
@@ -132,11 +137,19 @@ func Compare(cfg ooo.Config, prog *isa.Program) (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
+	ld, err := ooo.Run(cfg.WithPolicy(ooo.PolicyLoadDelay), prog)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := ooo.Run(cfg.WithPolicy(ooo.PolicySpecLSQ), prog)
+	if err != nil {
+		return nil, err
+	}
 	ts, err := RunTS(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	if !red.ArchEqual(base) || !mos.ArchEqual(base) {
+	if !red.ArchEqual(base) || !mos.ArchEqual(base) || !ld.ArchEqual(base) || !sl.ArchEqual(base) {
 		return nil, fmt.Errorf("baseline: architectural divergence on %s/%s", prog.Name, cfg.Name)
 	}
 	return &Comparison{
@@ -145,6 +158,8 @@ func Compare(cfg ooo.Config, prog *isa.Program) (*Comparison, error) {
 		Baseline:  base,
 		Redsoc:    red,
 		MOS:       mos,
+		LoadDelay: ld,
+		SpecLSQ:   sl,
 		TS:        ts,
 	}, nil
 }

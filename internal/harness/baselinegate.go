@@ -18,14 +18,16 @@ import (
 )
 
 // BaselineCell is the committed record of one benchmark × core cell: the
-// exact cycle counts of the three simulated schedulers plus the recycled-op
+// exact cycle counts of the five simulated schedulers plus the recycled-op
 // count (the paper's headline activity metric, and the most sensitive
 // canary for scheduler drift).
 type BaselineCell struct {
-	BaselineCycles int64 `json:"baseline_cycles"`
-	RedsocCycles   int64 `json:"redsoc_cycles"`
-	MOSCycles      int64 `json:"mos_cycles"`
-	RecycledOps    int64 `json:"recycled_ops"`
+	BaselineCycles  int64 `json:"baseline_cycles"`
+	RedsocCycles    int64 `json:"redsoc_cycles"`
+	MOSCycles       int64 `json:"mos_cycles"`
+	LoadDelayCycles int64 `json:"loaddelay_cycles"`
+	SpecLSQCycles   int64 `json:"speclsq_cycles"`
+	RecycledOps     int64 `json:"recycled_ops"`
 }
 
 // Baseline is the committed CI performance baseline. Cells is keyed
@@ -45,10 +47,12 @@ func BaselineOf(r *Report) *Baseline {
 	b := &Baseline{Scale: r.Scale, Cells: map[string]BaselineCell{}}
 	for _, c := range r.Cells {
 		b.Cells[baselineKey(c)] = BaselineCell{
-			BaselineCycles: c.BaselineCycles,
-			RedsocCycles:   c.RedsocCycles,
-			MOSCycles:      c.MOSCycles,
-			RecycledOps:    c.RecycledOps,
+			BaselineCycles:  c.BaselineCycles,
+			RedsocCycles:    c.RedsocCycles,
+			MOSCycles:       c.MOSCycles,
+			LoadDelayCycles: c.LoadDelayCycles,
+			SpecLSQCycles:   c.SpecLSQCycles,
+			RecycledOps:     c.RecycledOps,
 		}
 	}
 	return b
@@ -71,10 +75,12 @@ func (b *Baseline) Check(r *Report) error {
 		}
 		if have != want {
 			drifts = append(drifts, fmt.Sprintf(
-				"%s: cycles base %d->%d redsoc %d->%d mos %d->%d recycled %d->%d",
+				"%s: cycles base %d->%d redsoc %d->%d mos %d->%d loaddelay %d->%d speclsq %d->%d recycled %d->%d",
 				key, want.BaselineCycles, have.BaselineCycles,
 				want.RedsocCycles, have.RedsocCycles,
 				want.MOSCycles, have.MOSCycles,
+				want.LoadDelayCycles, have.LoadDelayCycles,
+				want.SpecLSQCycles, have.SpecLSQCycles,
 				want.RecycledOps, have.RecycledOps))
 		}
 	}
@@ -116,6 +122,8 @@ func (g *Grid) MetricsSet(scale string) obs.MetricsSet {
 		set.Runs[prefix+"baseline"] = c.Cmp.Baseline.Metrics(c.Benchmark.Name, c.Core, "baseline")
 		set.Runs[prefix+"redsoc"] = c.Cmp.Redsoc.Metrics(c.Benchmark.Name, c.Core, "redsoc")
 		set.Runs[prefix+"mos"] = c.Cmp.MOS.Metrics(c.Benchmark.Name, c.Core, "mos")
+		set.Runs[prefix+"loaddelay"] = c.Cmp.LoadDelay.Metrics(c.Benchmark.Name, c.Core, "loaddelay")
+		set.Runs[prefix+"speclsq"] = c.Cmp.SpecLSQ.Metrics(c.Benchmark.Name, c.Core, "speclsq")
 	}
 	return set
 }

@@ -44,9 +44,10 @@ func runSerialReference(benchmarks []Benchmark, cores []ooo.Config, opts Options
 				}
 				g.Cells = append(g.Cells, Cell{Benchmark: b, Core: cfg.Name, Threshold: th, Cmp: cmp})
 				if opts.Progress != nil {
-					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
+					opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%  loaddelay %+5.1f%%  speclsq %+5.1f%%",
 						class, b.Name, cfg.Name,
-						100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1)))
+						100*(cmp.RedsocSpeedup()-1), 100*(cmp.TSSpeedup()-1), 100*(cmp.MOSSpeedup()-1),
+						100*(cmp.LoadDelaySpeedup()-1), 100*(cmp.SpecLSQSpeedup()-1)))
 				}
 			}
 		}
@@ -83,7 +84,7 @@ func chooseThresholdSerial(bs []Benchmark, cfg ooo.Config, opts Options) (int, e
 
 // gridFingerprint renders everything an observer of a grid can see: the
 // markdown record, every figure table, the chosen thresholds and the raw
-// per-cell cycle counts of all four schedulers.
+// per-cell cycle counts of all six schedulers.
 func gridFingerprint(t *testing.T, g *Grid) string {
 	t.Helper()
 	var buf bytes.Buffer
@@ -105,9 +106,10 @@ func gridFingerprint(t *testing.T, g *Grid) string {
 		}
 	}
 	for _, c := range g.Cells {
-		fmt.Fprintf(&buf, "cell %s/%s/%s th=%d base=%d redsoc=%d mos=%d ts=%.6f recycled=%d holds=%d viol=%d\n",
+		fmt.Fprintf(&buf, "cell %s/%s/%s th=%d base=%d redsoc=%d mos=%d loaddelay=%d speclsq=%d ts=%.6f recycled=%d holds=%d viol=%d\n",
 			c.Benchmark.Class, c.Benchmark.Name, c.Core, c.Threshold,
-			c.Cmp.Baseline.Cycles, c.Cmp.Redsoc.Cycles, c.Cmp.MOS.Cycles, c.Cmp.TSSpeedup(),
+			c.Cmp.Baseline.Cycles, c.Cmp.Redsoc.Cycles, c.Cmp.MOS.Cycles,
+			c.Cmp.LoadDelay.Cycles, c.Cmp.SpecLSQ.Cycles, c.Cmp.TSSpeedup(),
 			c.Cmp.Redsoc.RecycledOps, c.Cmp.Redsoc.TwoCycleHolds, c.Cmp.Redsoc.TimingViolations)
 	}
 	return buf.String()

@@ -1,7 +1,8 @@
 // Package harness drives the paper's full evaluation: it builds the fifteen
 // benchmarks (five SPEC-calibrated synthetics, five MiBench kernels, five
 // Table II ML kernels), runs them across the three Table I cores under every
-// scheduler (baseline, ReDSOC, TS, MOS), applies the per-application-class
+// scheduler (baseline, ReDSOC, TS, MOS, loaddelay, speclsq), applies the
+// per-application-class
 // slack-threshold sweep of Sec. VI-C, and renders each of the paper's
 // figures and tables as text (Fig. 1–3, Table I/II, Fig. 10–15, the
 // precision sweep, the power conversion, and the overhead accounting).
@@ -351,9 +352,10 @@ func Run(ctx context.Context, benchmarks []Benchmark, cores []ooo.Config, opts O
 		campaignOptions(opts, label, func(j int, c Cell) {
 			if opts.Progress != nil {
 				t := tasks[owned[j]]
-				opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%",
+				opts.Progress(fmt.Sprintf("%-8s %-10s %-7s redsoc %+5.1f%%  ts %+5.1f%%  mos %+5.1f%%  loaddelay %+5.1f%%  speclsq %+5.1f%%",
 					t.class, t.b.Name, t.cfg.Name,
-					100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1)))
+					100*(c.Cmp.RedsocSpeedup()-1), 100*(c.Cmp.TSSpeedup()-1), 100*(c.Cmp.MOSSpeedup()-1),
+					100*(c.Cmp.LoadDelaySpeedup()-1), 100*(c.Cmp.SpecLSQSpeedup()-1)))
 			}
 		}),
 		func(ctx context.Context, j int) (Cell, error) {
@@ -467,9 +469,9 @@ func chooseThresholds(ctx context.Context, pairs []classCore, byClass map[Class]
 	return out, nil
 }
 
-// compareAt runs the four schedulers with the given ReDSOC threshold. The
+// compareAt runs the six schedulers with the given ReDSOC threshold. The
 // heartbeats between runs feed the campaign watchdog: a stall report names
-// which of the four simulations a hung cell last finished.
+// which of the six simulations a hung cell last finished.
 func compareAt(ctx context.Context, cfg ooo.Config, b Benchmark, threshold int) (*baseline.Comparison, error) {
 	c := cfg
 	cmp, err := baselineCompareWithThreshold(ctx, c, b.Prog, threshold)
@@ -497,16 +499,26 @@ func baselineCompareWithThreshold(ctx context.Context, cfg ooo.Config, prog *isa
 		return nil, err
 	}
 	beat("mos", mos.Cycles)
+	ld, err := ooo.Run(cfg.WithPolicy(ooo.PolicyLoadDelay), prog)
+	if err != nil {
+		return nil, err
+	}
+	beat("loaddelay", ld.Cycles)
+	sl, err := ooo.Run(cfg.WithPolicy(ooo.PolicySpecLSQ), prog)
+	if err != nil {
+		return nil, err
+	}
+	beat("speclsq", sl.Cycles)
 	ts, err := baseline.RunTS(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	if !red.ArchEqual(base) || !mos.ArchEqual(base) {
+	if !red.ArchEqual(base) || !mos.ArchEqual(base) || !ld.ArchEqual(base) || !sl.ArchEqual(base) {
 		return nil, fmt.Errorf("harness: architectural divergence on %s/%s", prog.Name, cfg.Name)
 	}
 	return &baseline.Comparison{
 		Benchmark: prog.Name, Core: cfg.Name,
-		Baseline: base, Redsoc: red, MOS: mos, TS: ts,
+		Baseline: base, Redsoc: red, MOS: mos, LoadDelay: ld, SpecLSQ: sl, TS: ts,
 	}, nil
 }
 
@@ -514,7 +526,7 @@ func baselineCompareWithThreshold(ctx context.Context, cfg ooo.Config, prog *isa
 // memory.
 func verify(b Benchmark, cmp *baseline.Comparison) error {
 	for addr, want := range b.WantMem {
-		for _, res := range []*ooo.Result{cmp.Baseline, cmp.Redsoc, cmp.MOS} {
+		for _, res := range []*ooo.Result{cmp.Baseline, cmp.Redsoc, cmp.MOS, cmp.LoadDelay, cmp.SpecLSQ} {
 			if got := res.FinalMem[addr]; got != want {
 				return fmt.Errorf("harness: %s/%s/%s mem[%#x] = %#x, want %#x",
 					b.Name, cmp.Core, res.Config.Policy, addr, got, want)

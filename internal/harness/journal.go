@@ -10,22 +10,23 @@ import (
 	"redsoc/internal/ooo"
 )
 
-// Journaling: every unit of grid work — a Phase B cell (four scheduler runs
+// Journaling: every unit of grid work — a Phase B cell (six scheduler runs
 // compared and verified) and a Phase A sweep total (one class × core ×
 // threshold-candidate speedup sum) — is content-addressed in the cell
 // journal by a canonical fingerprint of everything that determines its
 // outcome: the full core configuration, a digest of the workload (name,
 // dynamic instruction stream, initial memory image and reference results),
 // the policy set, and the slack threshold. The journaled value is the
-// complete serialized outcome (for a cell, all four ooo.Results), so a
+// complete serialized outcome (for a cell, all of its ooo.Results), so a
 // resumed cell is indistinguishable from a fresh one to every downstream
 // consumer — report, figures, markdown, metrics — and the determinism gates
 // make that an exact, not approximate, equivalence.
 
 // cellPayloadVersion versions the harness's journaled encodings on top of
 // cellstore.SchemaVersion; it participates in the fingerprint, so bumping
-// it orphans (rather than misreads) old entries.
-const cellPayloadVersion = 1
+// it orphans (rather than misreads) old entries. Version 2 added the
+// dynamic-delay policies (loaddelay, speclsq) to every cell.
+const cellPayloadVersion = 2
 
 // journaledCell is the serialized outcome of one grid cell.
 type journaledCell struct {
@@ -76,7 +77,7 @@ func cellKey(cfg ooo.Config, digest []byte, threshold int) cellstore.Key {
 		Field("payload-version", cellPayloadVersion).
 		Field("core", cfg).
 		Bytes("workload", digest).
-		Field("policies", []string{"baseline", "redsoc", "mos", "ts"}).
+		Field("policies", []string{"baseline", "redsoc", "mos", "loaddelay", "speclsq", "ts"}).
 		Field("threshold", threshold).
 		Key()
 }
@@ -112,7 +113,8 @@ func decodeCell(data []byte, b Benchmark, core string) (Cell, error) {
 	if v.Version != cellPayloadVersion {
 		return Cell{}, fmt.Errorf("harness: journaled cell version %d, want %d", v.Version, cellPayloadVersion)
 	}
-	if v.Cmp == nil || v.Cmp.Baseline == nil || v.Cmp.Redsoc == nil || v.Cmp.MOS == nil {
+	if v.Cmp == nil || v.Cmp.Baseline == nil || v.Cmp.Redsoc == nil || v.Cmp.MOS == nil ||
+		v.Cmp.LoadDelay == nil || v.Cmp.SpecLSQ == nil {
 		return Cell{}, fmt.Errorf("harness: journaled cell is incomplete")
 	}
 	return Cell{Benchmark: b, Core: core, Threshold: v.Threshold, Cmp: v.Cmp}, nil

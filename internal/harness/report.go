@@ -19,18 +19,22 @@ type Report struct {
 
 // CellReport is one benchmark × core comparison.
 type CellReport struct {
-	Class          string  `json:"class"`
-	Benchmark      string  `json:"benchmark"`
-	Core           string  `json:"core"`
-	Threshold      int     `json:"threshold_ticks"`
-	Instructions   int64   `json:"instructions"`
-	BaselineCycles int64   `json:"baseline_cycles"`
-	RedsocCycles   int64   `json:"redsoc_cycles"`
-	MOSCycles      int64   `json:"mos_cycles"`
-	RedsocSpeedup  float64 `json:"redsoc_speedup"`
-	TSSpeedup      float64 `json:"ts_speedup"`
-	MOSSpeedup     float64 `json:"mos_speedup"`
-	RecycledOps    int64   `json:"recycled_ops"`
+	Class            string  `json:"class"`
+	Benchmark        string  `json:"benchmark"`
+	Core             string  `json:"core"`
+	Threshold        int     `json:"threshold_ticks"`
+	Instructions     int64   `json:"instructions"`
+	BaselineCycles   int64   `json:"baseline_cycles"`
+	RedsocCycles     int64   `json:"redsoc_cycles"`
+	MOSCycles        int64   `json:"mos_cycles"`
+	LoadDelayCycles  int64   `json:"loaddelay_cycles"`
+	SpecLSQCycles    int64   `json:"speclsq_cycles"`
+	RedsocSpeedup    float64 `json:"redsoc_speedup"`
+	TSSpeedup        float64 `json:"ts_speedup"`
+	MOSSpeedup       float64 `json:"mos_speedup"`
+	LoadDelaySpeedup float64 `json:"loaddelay_speedup"`
+	SpecLSQSpeedup   float64 `json:"speclsq_speedup"`
+	RecycledOps      int64   `json:"recycled_ops"`
 }
 
 // ClassMeanReport is one Fig. 13 class × core mean.
@@ -56,18 +60,22 @@ func (g *Grid) Report() *Report {
 	coreOrder := g.coreOrder()
 	for _, c := range g.Cells {
 		r.Cells = append(r.Cells, CellReport{
-			Class:          string(c.Benchmark.Class),
-			Benchmark:      c.Benchmark.Name,
-			Core:           c.Core,
-			Threshold:      c.Threshold,
-			Instructions:   c.Cmp.Baseline.Instructions,
-			BaselineCycles: c.Cmp.Baseline.Cycles,
-			RedsocCycles:   c.Cmp.Redsoc.Cycles,
-			MOSCycles:      c.Cmp.MOS.Cycles,
-			RedsocSpeedup:  c.Cmp.RedsocSpeedup(),
-			TSSpeedup:      c.Cmp.TSSpeedup(),
-			MOSSpeedup:     c.Cmp.MOSSpeedup(),
-			RecycledOps:    c.Cmp.Redsoc.RecycledOps,
+			Class:            string(c.Benchmark.Class),
+			Benchmark:        c.Benchmark.Name,
+			Core:             c.Core,
+			Threshold:        c.Threshold,
+			Instructions:     c.Cmp.Baseline.Instructions,
+			BaselineCycles:   c.Cmp.Baseline.Cycles,
+			RedsocCycles:     c.Cmp.Redsoc.Cycles,
+			MOSCycles:        c.Cmp.MOS.Cycles,
+			LoadDelayCycles:  c.Cmp.LoadDelay.Cycles,
+			SpecLSQCycles:    c.Cmp.SpecLSQ.Cycles,
+			RedsocSpeedup:    c.Cmp.RedsocSpeedup(),
+			TSSpeedup:        c.Cmp.TSSpeedup(),
+			MOSSpeedup:       c.Cmp.MOSSpeedup(),
+			LoadDelaySpeedup: c.Cmp.LoadDelaySpeedup(),
+			SpecLSQSpeedup:   c.Cmp.SpecLSQSpeedup(),
+			RecycledOps:      c.Cmp.Redsoc.RecycledOps,
 		})
 	}
 	for _, class := range Classes() {

@@ -78,6 +78,76 @@ func TestShardMergeEquivalence(t *testing.T) {
 	}
 }
 
+// TestShardMergeFullQuickGrid extends the shard-merge contract to the
+// enlarged evaluation: all fifteen quick benchmarks × three cores, each cell
+// running all six schedulers (baseline, redsoc, ts, mos, loaddelay,
+// speclsq). Three shards partition the grid into a shared journal; the merge
+// must reassemble it byte-identically to the unsharded run with every unit a
+// journal hit.
+func TestShardMergeFullQuickGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale sharded grid: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bs := Benchmarks(Quick)
+	cores := Cores()
+
+	ref, err := Run(context.Background(), bs, cores,
+		Options{SweepThreshold: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, ref)
+
+	const shards = 3
+	ownedCells := 0
+	for i := 0; i < shards; i++ {
+		store, err := cellstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Run(context.Background(), bs, cores, Options{
+			SweepThreshold: true, Workers: 4,
+			Journal: store, Resume: true,
+			Shard: campaign.Shard{Index: i, Count: shards},
+		})
+		store.Close()
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, shards, err)
+		}
+		ownedCells += len(g.Cells)
+	}
+	if ownedCells != len(bs)*len(cores) {
+		t.Fatalf("shards computed %d cells total, want %d (an exact partition)",
+			ownedCells, len(bs)*len(cores))
+	}
+
+	merge, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merge.Close()
+	merged, err := Run(context.Background(), bs, cores, Options{
+		SweepThreshold: true, Workers: 4, Journal: merge, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, merged); string(want) != string(got) {
+		t.Fatalf("merged 15x3 grid diverges from the unsharded run:\n%s", firstDiff(string(want), string(got)))
+	}
+	classes := map[Class]bool{}
+	for _, b := range bs {
+		classes[b.Class] = true
+	}
+	nSweep := len(classes) * len(cores) * len(ThresholdCandidates)
+	nCells := len(bs) * len(cores)
+	if st := merge.Stats(); int(st.Hits) != nSweep+nCells || st.Misses != 0 {
+		t.Fatalf("merge stats = %+v, want %d hits (%d sweep + %d cells) and zero misses",
+			st, nSweep+nCells, nSweep, nCells)
+	}
+}
+
 // TestShardSweepDedupe proves the threshold-sweep replication is served
 // from the shared journal rather than recomputed: after shard 0 journals
 // every sweep total, a later shard's sweep phase is all hits.

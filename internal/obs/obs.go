@@ -65,6 +65,18 @@ const (
 	// FU pool (Seq is -1: the event is pool-wide, not per-instruction).
 	KindDegrade
 	KindRearm
+	// KindLoadDelay is a load broadcasting a tracked-delay completion instant
+	// (loaddelay policy): Start carries the CI on the wakeup bus, Comp the
+	// honest resolved completion, Arg the tracked delay in cycles.
+	KindLoadDelay
+	// KindLSQForward is a load served at LSQ-read latency from a
+	// (speculatively allocated) store-queue entry (speclsq policy); Arg is
+	// the forwarding store's seq.
+	KindLSQForward
+	// KindLSQSquash is a speculative LSQ misallocation caught at issue
+	// validation: the store had not executed, the grant was wasted. Arg is
+	// the store's seq.
+	KindLSQSquash
 
 	numKinds
 )
@@ -75,6 +87,8 @@ var kindNames = [numKinds]string{
 	KindCancel: "cancel", KindViolation: "violation",
 	KindWidthReplay: "width-replay", KindCommit: "commit",
 	KindRedirect: "redirect", KindDegrade: "degrade", KindRearm: "rearm",
+	KindLoadDelay: "load-delay", KindLSQForward: "lsq-forward",
+	KindLSQSquash: "lsq-squash",
 }
 
 // String names the kind.
@@ -279,6 +293,13 @@ func (e Event) Format(ticksPerCycle int) string {
 		} else {
 			b.WriteString(" consumer")
 		}
+	case KindLoadDelay:
+		fmt.Fprintf(&b, " tracked=%dcyc bus=%s true=%s", e.Arg,
+			instant(e.Start, ticksPerCycle), instant(e.Comp, ticksPerCycle))
+	case KindLSQForward:
+		fmt.Fprintf(&b, " st=%d lsq-read", e.Arg)
+	case KindLSQSquash:
+		fmt.Fprintf(&b, " st=%d misalloc", e.Arg)
 	}
 	return b.String()
 }

@@ -15,6 +15,7 @@ package ooo
 
 import (
 	"fmt"
+	"strings"
 
 	"redsoc/internal/core"
 	"redsoc/internal/fault"
@@ -35,6 +36,20 @@ const (
 	// PolicyMOS is the Multiple-Operations-in-Single-cycle comparator
 	// (dynamic operation fusion, Sec. VI-D).
 	PolicyMOS
+	// PolicyLoadDelay schedules load consumers by real-time load-delay
+	// tracking (Diavastos & Carlson): each static load's last observed delay
+	// is broadcast as its completion instant, and under-tracked delays are
+	// recovered through the Razor-style operand detectors and selective
+	// reissue — the completion instants on the wakeup bus become dynamic,
+	// history-dependent values instead of static LUT entries.
+	PolicyLoadDelay
+	// PolicySpecLSQ allocates LSQ entries speculatively (Szafarczyk et al.):
+	// store-to-load forwarding runs at LSQ-read latency rather than a cache
+	// probe, and a forwardable load may request issue eagerly alongside its
+	// store, squashing as a misallocation when the store has not executed.
+	PolicySpecLSQ
+
+	numPolicies
 )
 
 // String names the policy.
@@ -44,8 +59,32 @@ func (p Policy) String() string {
 		return "redsoc"
 	case PolicyMOS:
 		return "mos"
+	case PolicyLoadDelay:
+		return "loaddelay"
+	case PolicySpecLSQ:
+		return "speclsq"
 	}
 	return "baseline"
+}
+
+// PolicyNames lists every policy's flag name, in enum order.
+func PolicyNames() []string {
+	names := make([]string, 0, int(numPolicies))
+	for p := PolicyBaseline; p < numPolicies; p++ {
+		names = append(names, p.String())
+	}
+	return names
+}
+
+// ParsePolicy resolves a policy flag name (as printed by String) to its
+// Policy, for the CLIs.
+func ParsePolicy(name string) (Policy, error) {
+	for p := PolicyBaseline; p < numPolicies; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("ooo: unknown policy %q (available: %s)", name, strings.Join(PolicyNames(), ", "))
 }
 
 // Config describes one core. Use SmallConfig/MediumConfig/BigConfig for the
@@ -76,9 +115,11 @@ type Config struct {
 	Redsoc core.Params
 
 	// WidthPredictorEntries and LastArrivalEntries size the predictors
-	// (defaults follow the paper).
+	// (defaults follow the paper). LoadDelayEntries sizes the real-time
+	// load-delay tracker PolicyLoadDelay schedules by.
 	WidthPredictorEntries int
 	LastArrivalEntries    int
+	LoadDelayEntries      int
 
 	// Fault configures deterministic, seeded fault injection (robustness
 	// campaigns); the zero value injects nothing. Degrade arms the
@@ -107,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.LastArrivalEntries == 0 {
 		c.LastArrivalEntries = predict.DefaultLastArrivalEntries
 	}
+	if c.LoadDelayEntries == 0 {
+		c.LoadDelayEntries = predict.DefaultLoadDelayEntries
+	}
 	return c
 }
 
@@ -127,6 +171,12 @@ func (c Config) Validate() error {
 	}
 	if n := cc.LastArrivalEntries; n <= 0 || n&(n-1) != 0 {
 		return fmt.Errorf("ooo: last-arrival predictor entries %d must be a positive power of two", n)
+	}
+	if n := cc.LoadDelayEntries; n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ooo: load-delay tracker entries %d must be a positive power of two", n)
+	}
+	if cc.Policy >= numPolicies {
+		return fmt.Errorf("ooo: unknown policy %d", cc.Policy)
 	}
 	if err := cc.Mem.Validate(); err != nil {
 		return err

@@ -89,7 +89,14 @@ func (s *Simulator) trackedReady(e *entry, cycle int64) (bool, timing.Ticks) {
 	if e.isLoad && e.memDep != none {
 		dep := s.ent(e.memDep)
 		if forwardable(dep, e) {
-			if !consider(e.memDep) {
+			if s.cfg.Policy == PolicySpecLSQ && !e.validated && dep.state == stWaiting {
+				// Speculative LSQ allocation: the load bets its store will
+				// have executed by register read and requests issue without
+				// waiting for the store's broadcast (age-ordered grants run
+				// the store first when both win the same cycle). A lost bet
+				// is a misallocation squash at issue validation (lsqSquash),
+				// which falls the entry back to conventional store wakeup.
+			} else if !consider(e.memDep) {
 				return false, 0
 			}
 		} else if dep.state != stCommitted {
@@ -400,6 +407,14 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	var fwdDep *entry
 	if e.isLoad && e.memDep != none {
 		dep := s.ent(e.memDep)
+		if dep.state == stWaiting {
+			// Only reachable through the speculative-LSQ bet (every other
+			// policy waits for the store's broadcast or commit before
+			// requesting issue): the store has not executed, so the
+			// speculatively allocated queue entry holds no data yet — a
+			// misallocation. Squash and fall back to conventional wakeup.
+			return s.lsqSquash(e, dep, cycle, spec)
+		}
 		if dep.state != stCommitted {
 			fwdDep = dep
 			if dep.estComp > trueReady {
@@ -416,6 +431,9 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	var (
 		sched     core.Schedule
 		occupancy int
+		predLat   int  // loaddelay: tracked delay broadcast for this load
+		hasPred   bool // loaddelay: broadcast a tracked CI instead of sched.Comp
+		predComp  timing.Ticks
 	)
 	class := e.class
 	switch {
@@ -430,6 +448,24 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 		lat := s.loadLatency(e, fwdDep)
 		sched = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(lat))
 		occupancy = 1 // address-generation slot; the cache is pipelined
+		if s.loadPred != nil {
+			// Real-time load-delay tracking: the wakeup bus carries a CI
+			// built from this static load's last observed delay (cold loads
+			// assume an L1 hit), while the honest schedule above keeps the
+			// resolved latency for commit and the detectors. Consumers that
+			// issued against an under-tracked delay latch early and are
+			// caught by their own consumer-side detector (trueParentComp
+			// uses trueComp, never the broadcast), then selectively
+			// reissued; over-tracked delays merely wake consumers late.
+			predLat = s.loadPred.Predict(e.pc, s.cfg.Mem.L1Latency)
+			predComp = core.PlanSynchronous(s.clock, window, trueReady, s.clock.CyclesToTicks(predLat)).Comp
+			hasPred = true
+			s.loadPred.Update(e.pc, predLat, lat)
+			s.res.LoadDelayPredicts++
+			if predLat != lat {
+				s.res.LoadDelayMispredicts++
+			}
+		}
 	case e.isStore:
 		s.hier.Access(e.addr) // write-allocate; buffered, latency hidden
 		s.res.Mix.MemLL++
@@ -475,8 +511,12 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 	// entry (commit and branch redirect use sched.Comp) while consumers keep
 	// waking on this optimistic broadcast — exactly the window in which a
 	// real core's consumers latch a not-yet-stable value and must be caught
-	// by their own cycle-boundary detectors.
+	// by their own cycle-boundary detectors. Under loaddelay the same split
+	// carries a load's tracked delay instead of its resolved latency.
 	broadcastComp := sched.Comp
+	if hasPred {
+		broadcastComp = predComp
+	}
 
 	// Fault injection at evaluation time: PVT drift beyond the guard band on
 	// the FU's combinational path, and hold-time slip on the transparent
@@ -584,6 +624,20 @@ func (s *Simulator) issueEntry(e *entry, cycle int64, spec bool) bool {
 			s.obs.Emit(obs.Event{Kind: obs.KindRecycle, Cycle: cycle, Seq: e.seq, Op: e.op,
 				PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Arg: int64(e.chainLen), Start: sched.Start})
 		}
+		if hasPred {
+			// Tracked-delay broadcast: Start carries the CI on the wakeup
+			// bus, Comp the honest resolved completion, Arg the tracked
+			// delay in cycles.
+			s.obs.Emit(obs.Event{Kind: obs.KindLoadDelay, Cycle: cycle, Seq: e.seq, Op: e.op,
+				PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Arg: int64(predLat),
+				Start: broadcastComp, Comp: sched.Comp})
+		}
+		if s.cfg.Policy == PolicySpecLSQ && e.isLoad && e.memDep != none {
+			if dep := s.ent(e.memDep); forwardable(dep, e) {
+				s.obs.Emit(obs.Event{Kind: obs.KindLSQForward, Cycle: cycle, Seq: e.seq, Op: e.op,
+					PC: e.pc, FU: uint8(e.fu), Unit: int16(unit), Arg: dep.seq})
+			}
+		}
 	}
 
 	if s.cfg.Policy == PolicyMOS {
@@ -615,6 +669,28 @@ func (s *Simulator) cancelGrant(e *entry, cycle int64, spec bool) bool {
 		}
 		s.obs.Emit(obs.Event{Kind: obs.KindCancel, Cycle: cycle, Seq: e.seq, Op: e.op,
 			PC: e.pc, FU: uint8(e.fu), Unit: -1, Flags: fl})
+	}
+	e.validated = true
+	return false
+}
+
+// lsqSquash handles a lost speculative-LSQ bet at issue validation: the
+// load's forwardable store has not executed, so the speculatively allocated
+// queue entry holds no data — a misallocation. The grant is wasted and the
+// entry reverts to conventional store wakeup (validated suppresses further
+// bets; the dispatch-time registration on the store's tag re-wakes the load
+// when the store broadcasts or commits), the same selective-reissue recovery
+// cancelGrant uses for tag mispredicts.
+//
+//redsoc:hotpath
+func (s *Simulator) lsqSquash(e, dep *entry, cycle int64, spec bool) bool {
+	s.res.LSQMisallocations++
+	if s.tracer != nil {
+		s.tracer.cancel(e.dispatchCycle, e, s.in(e), spec)
+	}
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Kind: obs.KindLSQSquash, Cycle: cycle, Seq: e.seq, Op: e.op,
+			PC: e.pc, FU: uint8(e.fu), Unit: -1, Arg: dep.seq})
 	}
 	e.validated = true
 	return false
@@ -691,11 +767,29 @@ func (s *Simulator) producerAt(e *entry, start timing.Ticks) *entry {
 	return nil
 }
 
+// lsqForwardLatency is the LSQ-read latency a speculatively allocated entry
+// forwards at: one cycle, straight off the queue's data array, instead of the
+// L1 probe a conventional forward is charged.
+const lsqForwardLatency = 1
+
 // loadLatency resolves a load's latency: store-forwarded loads cost an L1
 // hit; others probe the hierarchy. Classification for Fig. 10 happens here.
 //
 //redsoc:hotpath
 func (s *Simulator) loadLatency(e *entry, fwdDep *entry) int {
+	if s.cfg.Policy == PolicySpecLSQ && e.memDep != none {
+		if dep := s.ent(e.memDep); forwardable(dep, e) {
+			// Speculative LSQ allocation: the data comes straight off the
+			// store's queue entry at LSQ-read latency — no cache probe.
+			// Committed stores forward too: the arena refcount the memDep
+			// link holds pins the slab entry (and its result) until this
+			// load retires, so the queue read stays valid past commit.
+			s.res.LSQSpecForwards++
+			s.res.Mix.MemLL++
+			e.memLat = lsqForwardLatency
+			return e.memLat
+		}
+	}
 	if fwdDep != nil && forwardable(fwdDep, e) {
 		s.res.Mix.MemLL++
 		e.memLat = s.cfg.Mem.L1Latency
@@ -784,7 +878,13 @@ func (s *Simulator) trainLastArrival(e *entry) {
 		if p.broadcastCycle < 0 {
 			return timing.Ticks(1 << 62) // not yet issued: arrives last for sure
 		}
-		return p.estComp
+		// Score by the instant the value was actually stable, not the
+		// broadcast estimate: once completion instants are dynamic (tracked
+		// load delays, violation replays) the optimistic estComp can
+		// misidentify the last-arriving operand and train the predictor
+		// toward the wrong slot. In a fault-free static-policy run
+		// trueComp == estComp, so this is behavior-neutral there.
+		return p.trueComp
 	}
 	// pred is the tracked operand's position among the candidates; actual is
 	// the position of the operand that arrived strictly last, across *all*

@@ -62,6 +62,18 @@ func (r *Result) Metrics(benchmark, core, policy string) obs.Metrics {
 		}
 		return float64(num) / float64(den)
 	}
+	// Dynamic-delay policy counters appear only under their policy: the
+	// reference model (internal/oooref) is frozen without them, and the
+	// difftest metrics contract compares snapshots byte-for-byte.
+	switch r.Config.Policy {
+	case PolicyLoadDelay:
+		c["load_delay_predicts"] = r.LoadDelayPredicts
+		c["load_delay_mispredicts"] = r.LoadDelayMispredicts
+		c["load_delay_lookups"] = int64(r.LoadDelay.Lookups)
+	case PolicySpecLSQ:
+		c["lsq_spec_forwards"] = r.LSQSpecForwards
+		c["lsq_misallocations"] = r.LSQMisallocations
+	}
 	ops := r.Mix.Total()
 	rates := map[string]float64{
 		"ipc":                    r.IPC(),
@@ -76,6 +88,12 @@ func (r *Result) Metrics(benchmark, core, policy string) obs.Metrics {
 		"branch_mispredict_rate": r.Branches.MispredictionRate(),
 		"width_exact_rate":       ratio(int64(r.WidthPredictor.Exact), int64(r.WidthPredictor.Lookups)),
 		"l1_hit_rate":            ratio(int64(r.MemStats.L1Hits), int64(r.MemStats.Accesses)),
+	}
+	switch r.Config.Policy {
+	case PolicyLoadDelay:
+		rates["load_delay_hit_rate"] = r.LoadDelay.HitRate()
+	case PolicySpecLSQ:
+		rates["lsq_misalloc_rate"] = ratio(r.LSQMisallocations, r.LSQSpecForwards+r.LSQMisallocations)
 	}
 
 	return obs.Metrics{

@@ -45,6 +45,11 @@ type Result struct {
 	FusedOps       int64 // MOS: consumer ops executed in their producer's cycle
 	FUStallCycles  int64 // cycles where a timing-ready op found no free FU
 	IssueCycles    int64 // cycles in which at least one op issued
+	// Dynamic-delay policy activity.
+	LoadDelayPredicts    int64 // loaddelay: loads issued with a tracked-delay broadcast
+	LoadDelayMispredicts int64 // loaddelay: tracked delay differed from the resolved one
+	LSQSpecForwards      int64 // speclsq: loads served at LSQ-read latency from a queue entry
+	LSQMisallocations    int64 // speclsq: speculative issues squashed (store not yet executed)
 	// Dispatch-stall breakdown (cycles in which dispatch stopped early for
 	// the given reason; a cycle can count at most one reason).
 	StallRedirect, StallROB, StallRSE, StallLSQ int64
@@ -68,6 +73,7 @@ type Result struct {
 	DelayHistogram    [timing.ClockPS + 1]int64 // actual delay (ps) of single-cycle ops
 	WidthPredictor    predict.WidthStats
 	LastArrival       predict.LastArrivalStats
+	LoadDelay         predict.LoadDelayStats
 	Branches          predict.BranchStats
 	MemStats          mem.Stats
 

@@ -309,6 +309,7 @@ func TestTrainLastArrivalConsidersAllCandidates(t *testing.T) {
 			p.state = stIssued
 			p.broadcastCycle = 3
 			p.estComp = comp
+			p.trueComp = comp // issueEntry always stamps both before broadcast
 			return i
 		}
 		p0, p1, p2 := prod(10), prod(20), prod(30) // p2: the true last arrival

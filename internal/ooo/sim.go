@@ -36,6 +36,11 @@ type Simulator struct {
 	arbiter    *core.Arbiter
 	params     core.Params
 
+	// loadPred is the real-time load-delay tracker; non-nil only under
+	// PolicyLoadDelay, where loads broadcast completion instants built from
+	// their tracked delay instead of the resolved cache latency.
+	loadPred *predict.LoadDelayTracker
+
 	// redirect, when set (!= none), is a mispredicted branch: dispatch is
 	// stalled until it resolves and the front end refills.
 	redirect int32
@@ -146,6 +151,9 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		arbiter:    core.NewArbiter(cfg.Policy == PolicyRedsoc && params.SkewedSelect),
 		params:     params,
 		redirect:   none,
+	}
+	if cfg.Policy == PolicyLoadDelay {
+		s.loadPred = predict.NewLoadDelayTracker(cfg.LoadDelayEntries)
 	}
 	// The hard slab bound is the refcount rule in arena.go (7*ROBSize+8:
 	// ROBSize uncommitted entries, each pinning at most 6 committed ones,
@@ -657,6 +665,9 @@ func (s *Simulator) capture() {
 	s.res.FinalMem = s.memory.Snapshot()
 	s.res.WidthPredictor = s.widthPred.Stats()
 	s.res.LastArrival = s.lastPred.Stats()
+	if s.loadPred != nil {
+		s.res.LoadDelay = s.loadPred.Stats()
+	}
 	s.res.Branches = s.branchPred.Stats()
 	s.res.MemStats = s.hier.Stats()
 	for c := range s.headWait {

@@ -1,0 +1,85 @@
+package predict
+
+import "testing"
+
+func TestLoadDelayTrackerRejectsBadSizes(t *testing.T) {
+	for _, entries := range []int{0, -1, 3, 6, 511} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLoadDelayTracker(%d) must panic", entries)
+				}
+			}()
+			NewLoadDelayTracker(entries)
+		}()
+	}
+	NewLoadDelayTracker(1)
+	NewLoadDelayTracker(DefaultLoadDelayEntries)
+}
+
+func TestLoadDelayColdPredictsCallerDefault(t *testing.T) {
+	tr := NewLoadDelayTracker(64)
+	if got := tr.Predict(0x3000, 2); got != 2 {
+		t.Fatalf("cold Predict = %d, want the caller's L1 guess 2", got)
+	}
+	// A different cold default on a different cold entry is honored too —
+	// the table stores observations, not policy.
+	if got := tr.Predict(0x3004, 7); got != 7 {
+		t.Fatalf("cold Predict = %d, want 7", got)
+	}
+}
+
+func TestLoadDelayTracksLastObservation(t *testing.T) {
+	tr := NewLoadDelayTracker(64)
+	const pc = uint64(0x3000)
+	tr.Update(pc, 2, 90) // cold guess was an L1 hit; DRAM answered
+	if got := tr.Predict(pc, 2); got != 90 {
+		t.Fatalf("after a DRAM observation Predict = %d, want 90", got)
+	}
+	tr.Update(pc, 90, 2) // line now resident; L1 answered
+	if got := tr.Predict(pc, 2); got != 2 {
+		t.Fatalf("tracker must follow the latest observation, got %d", got)
+	}
+	st := tr.Stats()
+	if st.Lookups != 2 || st.Mispredictions != 2 {
+		t.Fatalf("stats %+v, want 2 lookups / 2 mispredictions", st)
+	}
+}
+
+func TestLoadDelayScoresOnlyWrongPredictions(t *testing.T) {
+	tr := NewLoadDelayTracker(64)
+	const pc = uint64(0x40)
+	tr.Update(pc, 12, 12)
+	tr.Update(pc, 12, 12)
+	tr.Update(pc, 12, 90)
+	st := tr.Stats()
+	if st.Mispredictions != 1 {
+		t.Fatalf("Mispredictions = %d, want 1", st.Mispredictions)
+	}
+	if st.Lookups != 0 {
+		t.Fatalf("Update must not count lookups, got %d", st.Lookups)
+	}
+}
+
+func TestLoadDelayHitRate(t *testing.T) {
+	if got := (LoadDelayStats{}).HitRate(); got != 0 {
+		t.Fatalf("empty HitRate = %v, want 0", got)
+	}
+	if got := (LoadDelayStats{Lookups: 8, Mispredictions: 2}).HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+}
+
+func TestLoadDelayIndexStaysInTable(t *testing.T) {
+	tr := NewLoadDelayTracker(8)
+	// Sweep PCs far beyond the table: every access must stay in bounds and
+	// aliased PCs must share an entry deterministically.
+	for pc := uint64(0); pc < 1<<16; pc += 4 {
+		tr.Update(pc, 2, 2)
+	}
+	a, b := uint64(0x1000), uint64(0x1000)+8*4 // 8-entry table: pc>>2 aliases mod 8
+	tr.Update(a, 2, 33)
+	if got := tr.Predict(b, 2); got != 33 {
+		t.Fatalf("aliased PCs %#x/%#x must share an entry, got %d", a, b, got)
+	}
+}

@@ -58,6 +58,46 @@ func TestQueueMidstreamArrival(t *testing.T) {
 	}
 }
 
+// TestQueueTenantDrainMidRotation pins the cursor discipline when a tenant's
+// FIFO empties mid-round-robin: removing the drained tenant from the ring
+// must leave the cursor on the tenant that was next — not skip it — both in
+// the middle of the ring and at its tail (where the cursor wraps).
+func TestQueueTenantDrainMidRotation(t *testing.T) {
+	q := newQueue()
+	for _, j := range []*job{
+		testJob("a1", "alice"), // alice drains after one job
+		testJob("b1", "bob"), testJob("b2", "bob"),
+		testJob("c1", "carol"), // carol drains at the ring's tail
+	} {
+		q.push(j)
+	}
+	// alice drains on the first pop; bob — the tenant after the removed
+	// slot — must be served next, not carol.
+	want := []string{"a1", "b1", "c1", "b2"}
+	for i, id := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue reported closed", i)
+		}
+		if j.id != id {
+			t.Fatalf("pop %d = %s, want %s (drain must not skip the next tenant)", i, j.id, id)
+		}
+	}
+
+	// A drained tenant that resubmits rejoins at the back of the rotation.
+	q.push(testJob("b3", "bob"))
+	q.push(testJob("a2", "alice"))
+	if j, _ := q.pop(); j.id != "b3" {
+		t.Fatalf("pop = %s, want b3 (bob re-entered the ring first)", j.id)
+	}
+	if j, _ := q.pop(); j.id != "a2" {
+		t.Fatalf("pop = %s, want a2", j.id)
+	}
+	if d := q.depth(); len(d) != 0 {
+		t.Fatalf("depth = %v, want empty", d)
+	}
+}
+
 // TestQueueBlockingPop proves pop blocks until work arrives and close wakes
 // every waiter; run with -race this also exercises the lock discipline.
 func TestQueueBlockingPop(t *testing.T) {

@@ -201,6 +201,51 @@ func TestServeRepeatSubmissionIsFullyCached(t *testing.T) {
 	}
 }
 
+// TestServeCacheHitWallClockIsOwn pins the cache-hit wall_seconds semantics:
+// a fully cached repeat job's report must carry that job's own (lookup-time)
+// wall clock, never echo the original run's — the report bytes are
+// re-marshaled per job, wall_seconds stamped from the job's own start. The
+// two measurements share no clock reading, so an echo would reproduce the
+// original float bit-for-bit; distinct values prove independent stamping.
+func TestServeCacheHitWallClockIsOwn(t *testing.T) {
+	_, ts := newTestService(t)
+	spec := testSpec()
+
+	st1 := wait(t, ts, submit(t, ts, "alice", spec).ID)
+	if st1.State != StateDone {
+		t.Fatalf("first job %s: %s", st1.State, st1.Error)
+	}
+	st2 := wait(t, ts, submit(t, ts, "bob", spec).ID)
+	if st2.CacheHits != st2.CellsTotal {
+		t.Fatalf("repeat job hit %d/%d cells; the premise is a fully cached job",
+			st2.CacheHits, st2.CellsTotal)
+	}
+
+	walls := make([]float64, 2)
+	for i, id := range []string{st1.ID, st2.ID} {
+		var rep struct {
+			WallSeconds *float64 `json:"wall_seconds"`
+		}
+		if err := json.Unmarshal(report(t, ts, id), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.WallSeconds == nil {
+			t.Fatalf("report %d has no wall_seconds field", i)
+		}
+		walls[i] = *rep.WallSeconds
+	}
+	if walls[0] <= 0 || walls[1] <= 0 {
+		t.Fatalf("wall_seconds = %v, want both positive (each job stamps its own clock)", walls)
+	}
+	if walls[0] == walls[1] {
+		t.Fatalf("cached report echoes the original run's wall clock (%v)", walls[0])
+	}
+	if st1.WallSeconds <= 0 || st2.WallSeconds <= 0 || st1.WallSeconds == st2.WallSeconds {
+		t.Fatalf("status wall clocks %v / %v must be independent per-job measurements",
+			st1.WallSeconds, st2.WallSeconds)
+	}
+}
+
 // TestServeShardEquivalence runs the same spec sharded 3 ways on one service
 // and unsharded on another (separate caches, so the sharded run really
 // computes its cells) and demands byte-identical reports — the serve-level

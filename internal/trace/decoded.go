@@ -22,7 +22,6 @@ package trace
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"redsoc/internal/isa"
 	"redsoc/internal/mem"
@@ -225,10 +224,15 @@ func Decode(p *isa.Program) *Decoded {
 // to every grid/sweep/chaos cell.
 var decodeCache sync.Map // *isa.Program -> *decodeEntry
 
-// decodeCacheSize bounds the cache: a campaign evaluates a fixed benchmark
-// set, but fuzzers and property tests mint thousands of throwaway programs —
-// those decode uncached instead of pinning their Program forever.
-var decodeCacheSize atomic.Int64
+// decodeCacheMu guards the FIFO insertion order behind the eviction bound: a
+// campaign evaluates a fixed benchmark set, but fuzzers, property tests and a
+// long-running serve process mint unbounded distinct programs — the oldest
+// cached program is evicted rather than refusing to cache new ones, so the
+// Nth workload of a long campaign still shares its decode like the first.
+var (
+	decodeCacheMu    sync.Mutex
+	decodeCacheOrder []*isa.Program
+)
 
 const maxCachedPrograms = 128
 
@@ -239,21 +243,25 @@ type decodeEntry struct {
 
 // DecodeCached returns the shared flat decode of p, building it at most once
 // per program no matter how many simulators (on any number of goroutines)
-// ask. The returned view is read-only; see Decoded. Once maxCachedPrograms
-// distinct programs are cached, further programs decode uncached (the result
-// is identical, just not shared).
+// ask. The returned view is read-only; see Decoded. The cache holds the
+// maxCachedPrograms most recently inserted programs; inserting beyond that
+// evicts the oldest entry (which simply decodes afresh if it ever returns).
 func DecodeCached(p *isa.Program) *Decoded {
 	if v, ok := decodeCache.Load(p); ok {
 		e := v.(*decodeEntry)
 		e.once.Do(func() { e.dec = Decode(p) })
 		return e.dec
 	}
-	if decodeCacheSize.Load() >= maxCachedPrograms {
-		return Decode(p)
-	}
 	v, loaded := decodeCache.LoadOrStore(p, &decodeEntry{})
 	if !loaded {
-		decodeCacheSize.Add(1)
+		decodeCacheMu.Lock()
+		decodeCacheOrder = append(decodeCacheOrder, p)
+		if len(decodeCacheOrder) > maxCachedPrograms {
+			decodeCache.Delete(decodeCacheOrder[0])
+			copy(decodeCacheOrder, decodeCacheOrder[1:])
+			decodeCacheOrder = decodeCacheOrder[:maxCachedPrograms]
+		}
+		decodeCacheMu.Unlock()
 	}
 	e := v.(*decodeEntry)
 	e.once.Do(func() { e.dec = Decode(p) })

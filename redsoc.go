@@ -14,8 +14,9 @@
 //	fmt.Println(m.IPC())
 //
 // The named paper benchmarks are available through Benchmarks and
-// RunBenchmark; CompareSchedulers runs baseline, ReDSOC, timing speculation
-// and operation fusion side by side.
+// RunBenchmark; CompareSchedulers runs baseline, ReDSOC, timing speculation,
+// operation fusion and the two dynamic-delay schedulers (load-delay
+// tracking, speculative LSQ) side by side.
 package redsoc
 
 import (
@@ -70,6 +71,13 @@ const (
 	ReDSOC
 	// OperationFusion is the MOS comparator (two ops per cycle when they fit).
 	OperationFusion
+	// LoadDelayTracking schedules loads by the delay last observed at each
+	// PC (real-time tracking), with Razor-style consumer replay on
+	// under-tracked delays.
+	LoadDelayTracking
+	// SpeculativeLSQ allocates LSQ entries speculatively so forwardable
+	// loads read the store queue at LSQ latency, squashing misallocations.
+	SpeculativeLSQ
 )
 
 // String names the scheduler.
@@ -79,6 +87,10 @@ func (s Scheduler) String() string {
 		return "redsoc"
 	case OperationFusion:
 		return "mos"
+	case LoadDelayTracking:
+		return "loaddelay"
+	case SpeculativeLSQ:
+		return "speclsq"
 	}
 	return "baseline"
 }
@@ -124,6 +136,10 @@ func (c Config) ooo() ooo.Config {
 		cfg.Redsoc.DynamicThreshold = c.DynamicThreshold
 	case OperationFusion:
 		cfg = cfg.WithPolicy(ooo.PolicyMOS)
+	case LoadDelayTracking:
+		cfg = cfg.WithPolicy(ooo.PolicyLoadDelay)
+	case SpeculativeLSQ:
+		cfg = cfg.WithPolicy(ooo.PolicySpecLSQ)
 	default:
 		cfg = cfg.WithPolicy(ooo.PolicyBaseline)
 	}
@@ -182,9 +198,12 @@ func Run(cfg Config, p *Program) (*Metrics, error) {
 	return metricsOf(res), nil
 }
 
-// Comparison holds the four schedulers' results for one program on one core.
+// Comparison holds the six schedulers' results for one program on one core.
 type Comparison struct {
 	Baseline, ReDSOC, OperationFusion *Metrics
+	// LoadDelay and SpecLSQ are the dynamic-delay schedulers: real-time
+	// per-PC load-delay tracking and speculative LSQ-entry allocation.
+	LoadDelay, SpecLSQ *Metrics
 	// TimingSpeculationSpeedup is the Razor-style comparator's wall-clock
 	// speedup (it overclocks rather than rescheduling, so it has no Metrics).
 	TimingSpeculationSpeedup float64
@@ -202,7 +221,18 @@ func (c *Comparison) FusionSpeedup() float64 {
 	return float64(c.Baseline.Cycles) / float64(c.OperationFusion.Cycles)
 }
 
-// CompareSchedulers runs baseline, ReDSOC, MOS and TS on one core.
+// LoadDelaySpeedup returns the load-delay tracker's speedup over baseline.
+func (c *Comparison) LoadDelaySpeedup() float64 {
+	return float64(c.Baseline.Cycles) / float64(c.LoadDelay.Cycles)
+}
+
+// SpecLSQSpeedup returns the speculative-LSQ speedup over baseline.
+func (c *Comparison) SpecLSQSpeedup() float64 {
+	return float64(c.Baseline.Cycles) / float64(c.SpecLSQ.Cycles)
+}
+
+// CompareSchedulers runs baseline, ReDSOC, MOS, loaddelay, speclsq and TS
+// on one core.
 func CompareSchedulers(core CoreSize, p *Program) (*Comparison, error) {
 	cmp, err := baseline.Compare(core.config(), p.build())
 	if err != nil {
@@ -212,6 +242,8 @@ func CompareSchedulers(core CoreSize, p *Program) (*Comparison, error) {
 		Baseline:                  metricsOf(cmp.Baseline),
 		ReDSOC:                    metricsOf(cmp.Redsoc),
 		OperationFusion:           metricsOf(cmp.MOS),
+		LoadDelay:                 metricsOf(cmp.LoadDelay),
+		SpecLSQ:                   metricsOf(cmp.SpecLSQ),
 		TimingSpeculationSpeedup:  cmp.TS.Speedup,
 		TimingSpeculationPeriodPS: cmp.TS.PeriodPS,
 	}, nil

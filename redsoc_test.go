@@ -56,6 +56,42 @@ func TestCompareSchedulers(t *testing.T) {
 	if cmp.TimingSpeculationSpeedup < 1.0 || cmp.TimingSpeculationPeriodPS > 500 {
 		t.Fatalf("TS result implausible: %+v", cmp)
 	}
+	// The dynamic-delay schedulers are architecturally invisible: on a pure
+	// ALU chain (no loads, no forwardable stores) neither mechanism can
+	// engage, so both must land exactly on baseline.
+	if cmp.LoadDelay == nil || cmp.SpecLSQ == nil {
+		t.Fatal("dynamic-delay scheduler metrics missing from Comparison")
+	}
+	if cmp.LoadDelaySpeedup() != 1.0 || cmp.SpecLSQSpeedup() != 1.0 {
+		t.Fatalf("loaddelay/speclsq moved a loadless chain: %.4f / %.4f",
+			cmp.LoadDelaySpeedup(), cmp.SpecLSQSpeedup())
+	}
+}
+
+func TestDynamicDelaySchedulerNames(t *testing.T) {
+	for s, want := range map[Scheduler]string{
+		Baseline: "baseline", ReDSOC: "redsoc", OperationFusion: "mos",
+		LoadDelayTracking: "loaddelay", SpeculativeLSQ: "speclsq",
+	} {
+		if s.String() != want {
+			t.Fatalf("Scheduler(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	// Run must accept the new schedulers directly, not only via Compare.
+	p := chainProgram(50)
+	for _, s := range []Scheduler{LoadDelayTracking, SpeculativeLSQ} {
+		base, err := Run(Config{Core: Small, Scheduler: Baseline}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(Config{Core: Small, Scheduler: s}, p)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if m.Cycles != base.Cycles {
+			t.Fatalf("%v on a loadless chain: %d cycles, baseline %d", s, m.Cycles, base.Cycles)
+		}
+	}
 }
 
 func TestConfigKnobs(t *testing.T) {
